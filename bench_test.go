@@ -1,0 +1,169 @@
+// Top-level benchmark harness: one benchmark per table/figure of the
+// paper's evaluation (Section VI). Each benchmark regenerates its
+// figure at the Tiny scale per iteration; run cmd/proteus-bench for the
+// paper-shaped Quick/Full outputs.
+package proteus
+
+import (
+	"testing"
+
+	"proteus/internal/core"
+	"proteus/internal/experiments"
+	"proteus/internal/sim"
+)
+
+// BenchmarkFig4Workload regenerates Fig. 4: the diurnal workload curve
+// and the provisioning result derived from it.
+func BenchmarkFig4Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5LoadBalance regenerates Fig. 5: per-slot min/max load
+// ratio for Static, Naive, Consistent (O(log n) and n^2/2 virtual
+// nodes) and Proteus.
+func BenchmarkFig5LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mean(experiments.SchemeProteus) <= res.Mean(experiments.SchemeConsistentLogN) {
+			b.Fatal("Fig. 5 inversion: Proteus did not beat random consistent hashing")
+		}
+	}
+}
+
+// BenchmarkFig6HitRatio regenerates Fig. 6: hit ratio vs cache size.
+func BenchmarkFig6HitRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7FalsePositive regenerates Fig. 7: false-positive rate vs
+// Bloom filter size.
+func BenchmarkFig7FalsePositive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8FalseNegative regenerates Fig. 8: false-negative rate vs
+// Bloom filter size under counter-overflow churn.
+func BenchmarkFig8FalseNegative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRuns executes the four Table II scenarios shared by Figs. 9-11.
+func benchRuns(b *testing.B) *experiments.ScenarioRuns {
+	b.Helper()
+	runs, err := experiments.RunScenarios(experiments.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runs
+}
+
+// BenchmarkFig9ResponseTime regenerates Fig. 9: per-slot 99.9th
+// percentile response time for all four scenarios.
+func BenchmarkFig9ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig9 := experiments.Fig9(benchRuns(b))
+		if fig9.SpikeFactor(sim.ScenarioNaive) <= fig9.SpikeFactor(sim.ScenarioProteus) {
+			b.Fatal("Fig. 9 inversion: Naive did not spike above Proteus")
+		}
+	}
+}
+
+// BenchmarkFig10Power regenerates Fig. 10: cluster power draw over time.
+func BenchmarkFig10Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig10 := experiments.Fig10(benchRuns(b))
+		if _, watts := fig10.Series(sim.ScenarioProteus); len(watts) == 0 {
+			b.Fatal("Fig. 10 empty power series")
+		}
+	}
+}
+
+// BenchmarkFig11Energy regenerates Fig. 11: total energy per scenario.
+func BenchmarkFig11Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig11 := experiments.Fig11(benchRuns(b))
+		if fig11.CacheSaving(sim.ScenarioProteus) <= 0 {
+			b.Fatal("Fig. 11 inversion: Proteus saved no cache-tier energy")
+		}
+	}
+}
+
+// BenchmarkAblationDigest regenerates the placement-vs-digest
+// decomposition table (DESIGN.md ablation index).
+func BenchmarkAblationDigest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationDigest(experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorstP999[2] >= res.WorstP999[0] { // Proteus vs Naive
+			b.Fatal("ablation inversion: Proteus worse than Naive")
+		}
+	}
+}
+
+// BenchmarkAblationTTL regenerates the TTL-window sweep.
+func BenchmarkAblationTTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTTL(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationController regenerates the provisioning-policy
+// comparison (rate plan vs delay feedback).
+func BenchmarkAblationController(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationController(experiments.Tiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReplication regenerates the Section III-E
+// fault-tolerance table (crash absorbed by replicas).
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationReplication(experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ExtraDB[1] >= res.ExtraDB[0] {
+			b.Fatal("replication did not absorb the crash")
+		}
+	}
+}
+
+// BenchmarkTheorem1Placement measures Algorithm 1 construction at the
+// paper's scale and checks the Theorem 1 node-count equality.
+func BenchmarkTheorem1Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.NumVirtualNodes() != core.VirtualNodeLowerBound(40) {
+			b.Fatal("Theorem 1 violated")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command proteus-ctl is a small operator client for proteusd servers:
+// get/set/delete/stats plus digest inspection (snapshot + membership
+// probes), the operations an administrator needs while driving
+// provisioning transitions by hand.
+//
+// Usage:
+//
+//	proteus-ctl -server 127.0.0.1:11211 get <key>
+//	proteus-ctl -server 127.0.0.1:11211 set <key> <value> [exptime-seconds]
+//	proteus-ctl -server 127.0.0.1:11211 delete <key>
+//	proteus-ctl -server 127.0.0.1:11211 incr <key> <delta>
+//	proteus-ctl -server 127.0.0.1:11211 stats
+//	proteus-ctl -server 127.0.0.1:11211 digest <key>...   # membership per key
+//	proteus-ctl -server 127.0.0.1:11211 version
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+
+	"proteus/internal/cacheclient"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proteus-ctl: ")
+
+	server := flag.String("server", "127.0.0.1:11211", "cache server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("missing subcommand (get, set, delete, incr, decr, stats, digest, version)")
+	}
+
+	client := cacheclient.New(*server)
+	defer client.Close()
+
+	switch args[0] {
+	case "get":
+		requireArgs(args, 2)
+		value, ok, err := client.Get(args[1])
+		fatalIf(err)
+		if !ok {
+			log.Fatalf("%s: not found", args[1])
+		}
+		os.Stdout.Write(value)
+		fmt.Println()
+	case "set":
+		requireArgs(args, 3)
+		var exptime int64
+		if len(args) > 3 {
+			var err error
+			exptime, err = strconv.ParseInt(args[3], 10, 64)
+			fatalIf(err)
+		}
+		fatalIf(client.Set(args[1], []byte(args[2]), exptime))
+		fmt.Println("STORED")
+	case "delete":
+		requireArgs(args, 2)
+		deleted, err := client.Delete(args[1])
+		fatalIf(err)
+		if deleted {
+			fmt.Println("DELETED")
+		} else {
+			fmt.Println("NOT_FOUND")
+		}
+	case "incr", "decr":
+		requireArgs(args, 3)
+		delta, err := strconv.ParseUint(args[2], 10, 64)
+		fatalIf(err)
+		var (
+			value uint64
+			found bool
+		)
+		if args[0] == "incr" {
+			value, found, err = client.Increment(args[1], delta)
+		} else {
+			value, found, err = client.Decrement(args[1], delta)
+		}
+		fatalIf(err)
+		if !found {
+			log.Fatalf("%s: not found", args[1])
+		}
+		fmt.Println(value)
+	case "stats":
+		stats, err := client.Stats()
+		fatalIf(err)
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-20s %s\n", name, stats[name])
+		}
+	case "digest":
+		requireArgs(args, 2)
+		digest, err := client.FetchDigest()
+		fatalIf(err)
+		fmt.Printf("digest: %d bits, %d hashes, fill %.4f\n",
+			digest.Bits(), digest.Hashes(), digest.FillRatio())
+		for _, key := range args[1:] {
+			fmt.Printf("%-30s %v\n", key, digest.Contains(key))
+		}
+	case "version":
+		version, err := client.Version()
+		fatalIf(err)
+		fmt.Println(version)
+	default:
+		log.Fatalf("unknown subcommand %q", args[0])
+	}
+}
+
+func requireArgs(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("%s: missing arguments", args[0])
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

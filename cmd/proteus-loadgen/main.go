@@ -1,0 +1,148 @@
+// Command proteus-loadgen is the RBE (remote browser emulator) of the
+// paper's evaluation: it simulates independent users, each with a
+// 0.5-second think time and an independent working set of 50 pages,
+// issuing HTTP requests against one or more proteus-web front ends and
+// reporting response-time percentiles per reporting interval.
+//
+// Usage:
+//
+//	proteus-loadgen -web http://127.0.0.1:8080 [-users 200]
+//	                [-duration 1m] [-corpus-pages 100000] [-report 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/metrics"
+	"proteus/internal/wiki"
+	"proteus/internal/workload"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("proteus-loadgen: ")
+
+	webList := flag.String("web", "http://127.0.0.1:8080", "comma-separated web tier base URLs")
+	users := flag.Int("users", 200, "concurrent emulated users")
+	duration := flag.Duration("duration", time.Minute, "experiment length")
+	corpusPages := flag.Int("corpus-pages", 100000, "corpus size (must match proteus-web)")
+	report := flag.Duration("report", 10*time.Second, "reporting interval")
+	seed := flag.Int64("seed", 1, "user page-set seed")
+	flag.Parse()
+
+	targets := splitNonEmpty(*webList)
+	if len(targets) == 0 {
+		log.Fatal("at least one -web URL required")
+	}
+	corpus, err := wiki.New(*corpusPages, wiki.DefaultPageSize)
+	if err != nil {
+		log.Fatalf("corpus: %v", err)
+	}
+	pool, err := workload.NewUserPool(workload.UserPoolConfig{Corpus: corpus, Seed: *seed})
+	if err != nil {
+		log.Fatalf("user pool: %v", err)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var (
+		mu       sync.Mutex
+		hist     metrics.Histogram
+		errs     atomic.Uint64
+		requests atomic.Uint64
+		stopCh   = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+
+	for u := 0; u < *users; u++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			user := pool.User(id)
+			rng := rand.New(rand.NewSource(*seed ^ int64(id)))
+			// Desynchronise start across one think period.
+			select {
+			case <-time.After(time.Duration(rng.Int63n(int64(workload.ThinkTime)))):
+			case <-stopCh:
+				return
+			}
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				target := targets[rng.Intn(len(targets))]
+				start := time.Now()
+				ok := fetch(client, target, user.NextPage())
+				elapsed := time.Since(start)
+				requests.Add(1)
+				if !ok {
+					errs.Add(1)
+				}
+				mu.Lock()
+				hist.Observe(elapsed)
+				mu.Unlock()
+				select {
+				case <-time.After(user.NextThink()):
+				case <-stopCh:
+					return
+				}
+			}
+		}(u)
+	}
+
+	log.Printf("driving %d users against %d front end(s) for %v", *users, len(targets), *duration)
+	ticker := time.NewTicker(*report)
+	deadline := time.After(*duration)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			mu.Lock()
+			snapshot := hist
+			hist.Reset()
+			mu.Unlock()
+			if snapshot.Count() > 0 {
+				fmt.Printf("%s  n=%-7d mean=%-12v p50=%-12v p99=%-12v p99.9=%-12v errs=%d\n",
+					time.Now().Format("15:04:05"), snapshot.Count(), snapshot.Mean(),
+					snapshot.Quantile(0.5), snapshot.Quantile(0.99), snapshot.Quantile(0.999),
+					errs.Load())
+			}
+		case <-deadline:
+			break loop
+		}
+	}
+	close(stopCh)
+	wg.Wait()
+	log.Printf("done: %d requests, %d errors", requests.Load(), errs.Load())
+}
+
+func fetch(client *http.Client, base, key string) bool {
+	resp, err := client.Get(base + "/page/" + key)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Command proteus-placement inspects the deterministic virtual-node
+// placement (Algorithm 1) for a fleet of N servers: the host-range
+// table, per-prefix balance, the migration matrix between fleet sizes,
+// and the table fingerprint that web servers compare to detect drift.
+//
+// Usage:
+//
+//	proteus-placement -n 10             # summary + balance + migration matrix
+//	proteus-placement -n 10 -ranges     # full host-range table
+//	proteus-placement -n 10 -export p.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"proteus/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proteus-placement: ")
+
+	n := flag.Int("n", 10, "number of cache servers in the provisioning order")
+	showRanges := flag.Bool("ranges", false, "print the full host-range table")
+	export := flag.String("export", "", "write the binary placement encoding to this path")
+	flag.Parse()
+
+	p, err := core.New(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("placement for N=%d servers\n", *n)
+	fmt.Printf("  virtual nodes: %d (Theorem 1 lower bound: %d)\n",
+		p.NumVirtualNodes(), core.VirtualNodeLowerBound(*n))
+	fmt.Printf("  fingerprint:   %016x\n\n", p.Fingerprint())
+
+	if *showRanges {
+		fmt.Printf("%-6s %-22s %-22s %s\n", "idx", "start", "length", "ownership chain")
+		for i, r := range p.Ranges() {
+			fmt.Printf("%-6d %-22d %-22d %v\n", i, r.Start, r.Length, r.Chain)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("balance: per-server key-space share at each fleet size")
+	fmt.Printf("%-4s", "n")
+	for s := 0; s < *n; s++ {
+		fmt.Printf(" s%-7d", s)
+	}
+	fmt.Println()
+	for active := 1; active <= *n; active++ {
+		fmt.Printf("%-4d", active)
+		for s := 0; s < *n; s++ {
+			frac := p.OwnedFraction(s, active)
+			if frac == 0 {
+				fmt.Printf(" %-8s", "-")
+			} else {
+				fmt.Printf(" %-8.4f", frac)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nmigration matrix: fraction of key space remapped from n (row) to n' (col)")
+	fmt.Printf("%-4s", "")
+	for to := 1; to <= *n; to++ {
+		fmt.Printf(" %-7d", to)
+	}
+	fmt.Println()
+	for from := 1; from <= *n; from++ {
+		fmt.Printf("%-4d", from)
+		for to := 1; to <= *n; to++ {
+			fmt.Printf(" %-7.3f", p.MigratedFraction(from, to))
+		}
+		fmt.Println()
+	}
+
+	if *export != "" {
+		data, err := p.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d-byte placement encoding to %s\n", len(data), *export)
+	}
+}

@@ -1,0 +1,83 @@
+// Command proteus-tracegen synthesises a wikibench-style request trace
+// — the diurnal, Zipf-popular stream the evaluation replays — and
+// writes it in the text format that proteus-bench's -trace flag and
+// workload.ReadTrace accept ("<seconds> <key>" per line).
+//
+// Usage:
+//
+//	proteus-tracegen -out day.trace [-duration 24h] [-mean-rps 100]
+//	                 [-corpus-pages 100000] [-zipf 0.8] [-seed 1]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"proteus/internal/wiki"
+	"proteus/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proteus-tracegen: ")
+
+	out := flag.String("out", "-", "output path ('-' for stdout)")
+	duration := flag.Duration("duration", time.Hour, "trace length")
+	meanRPS := flag.Float64("mean-rps", 100, "mean request rate")
+	corpusPages := flag.Int("corpus-pages", 100000, "page population")
+	zipf := flag.Float64("zipf", workload.DefaultZipfAlpha, "popularity skew (negative for uniform)")
+	seed := flag.Int64("seed", 1, "reproducibility seed")
+	flag.Parse()
+
+	corpus, err := wiki.New(*corpusPages, wiki.DefaultPageSize)
+	if err != nil {
+		log.Fatalf("corpus: %v", err)
+	}
+
+	var w *bufio.Writer
+	if *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("create: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("close: %v", err)
+			}
+		}()
+		w = bufio.NewWriter(f)
+	}
+
+	count := 0
+	var genErr error
+	err = workload.Generate(workload.GenConfig{
+		Duration:  *duration,
+		Rate:      workload.DefaultDiurnal(*meanRPS, *duration),
+		Corpus:    corpus,
+		ZipfAlpha: *zipf,
+		Seed:      *seed,
+	}, func(e workload.Event) bool {
+		if err := workload.WriteTraceEvent(w, e); err != nil {
+			genErr = err
+			return false
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	if genErr != nil {
+		log.Fatalf("write: %v", genErr)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatalf("flush: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d events covering %v\n", count, *duration)
+}

@@ -1,0 +1,168 @@
+// Command proteus-web runs the web tier of the paper's Fig. 1: it
+// terminates HTTP page requests, routes keys to cache servers with the
+// Proteus placement, implements Algorithm 2 during provisioning
+// transitions, and falls back to the (simulated) database tier.
+//
+// Cache servers are given in the fixed provisioning order; an admin
+// endpoint executes provisioning decisions:
+//
+//	GET  /page/<key>        fetch a page
+//	GET  /stats             web tier counters
+//	GET  /admin/active      current active server count
+//	POST /admin/active?n=3  smooth transition to 3 active servers
+//
+// Usage:
+//
+//	proteus-web -cache 127.0.0.1:11211,127.0.0.1:11212 [-active 2]
+//	            [-http :8080] [-ttl 45s] [-corpus-pages 100000] [-db-shards 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/database"
+	"proteus/internal/metrics"
+	"proteus/internal/webtier"
+	"proteus/internal/wiki"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("proteus-web: ")
+
+	cacheList := flag.String("cache", "", "comma-separated cache server addresses in provisioning order (required)")
+	active := flag.Int("active", 0, "initially active cache servers (0 = all)")
+	httpAddr := flag.String("http", ":8080", "HTTP listen address")
+	ttl := flag.Duration("ttl", 45*time.Second, "hot-data window / transition deadline")
+	corpusPages := flag.Int("corpus-pages", 100000, "synthetic Wikipedia corpus size")
+	dbShards := flag.Int("db-shards", 7, "database shards")
+	replicas := flag.Int("replicas", 1, "replication factor (Section III-E rings)")
+	pieceSize := flag.Int("piece-size", 0, "split values larger than this into fixed-size pieces (0 = whole objects)")
+	autoscale := flag.Duration("autoscale", 0, "run the delay-feedback provisioning loop with this slot width (0 = manual /admin/active only)")
+	capacity := flag.Float64("capacity", 200, "per-cache-server capacity estimate in req/s (autoscale feed-forward)")
+	flag.Parse()
+
+	addrs := splitNonEmpty(*cacheList)
+	if len(addrs) == 0 {
+		log.Fatal("at least one -cache address is required")
+	}
+	if *active == 0 {
+		*active = len(addrs)
+	}
+
+	corpus, err := wiki.New(*corpusPages, wiki.DefaultPageSize)
+	if err != nil {
+		log.Fatalf("corpus: %v", err)
+	}
+	db, err := database.New(database.Config{Shards: *dbShards, Corpus: corpus})
+	if err != nil {
+		log.Fatalf("database: %v", err)
+	}
+
+	nodes := make([]cluster.Node, len(addrs))
+	for i, addr := range addrs {
+		nodes[i] = cluster.NewRemoteNode(addr)
+	}
+	coord, err := cluster.New(cluster.Config{
+		Nodes:         nodes,
+		InitialActive: *active,
+		TTL:           *ttl,
+		Replicas:      *replicas,
+	})
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	front, err := webtier.New(webtier.Config{Coordinator: coord, DB: db, PieceSize: *pieceSize})
+	if err != nil {
+		log.Fatalf("frontend: %v", err)
+	}
+
+	// Per-slot measurement window for the autoscaler.
+	var (
+		windowMu sync.Mutex
+		window   metrics.Histogram
+	)
+	measured := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		front.ServeHTTP(w, r)
+		windowMu.Lock()
+		window.Observe(time.Since(start))
+		windowMu.Unlock()
+	})
+
+	if *autoscale > 0 {
+		ctrl := cluster.NewController(len(addrs), *capacity)
+		sup, err := cluster.NewSupervisor(cluster.SupervisorConfig{
+			Coordinator: coord,
+			Controller:  ctrl,
+			Every:       *autoscale,
+			Logger:      log.Default(),
+			Sample: func() cluster.Sample {
+				windowMu.Lock()
+				defer windowMu.Unlock()
+				s := cluster.Sample{
+					Delay: window.Quantile(0.999),
+					Rate:  float64(window.Count()) / autoscale.Seconds(),
+				}
+				window.Reset()
+				return s
+			},
+		})
+		if err != nil {
+			log.Fatalf("supervisor: %v", err)
+		}
+		sup.Start()
+		defer sup.Stop()
+		log.Printf("autoscaling every %v (%s)", *autoscale, ctrl)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/page/", measured)
+	mux.Handle("/stats", front)
+	mux.HandleFunc("/admin/active", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			fmt.Fprintf(w, "%d\n", coord.Active())
+		case http.MethodPost:
+			n, err := strconv.Atoi(r.URL.Query().Get("n"))
+			if err != nil {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if err := coord.SetActive(n); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			log.Printf("provisioning: active -> %d (transition window %v)", n, *ttl)
+			fmt.Fprintf(w, "active %d\n", coord.Active())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+
+	log.Printf("serving on %s (%d cache servers, %d active, corpus %d pages)",
+		*httpAddr, len(addrs), coord.Active(), corpus.Pages())
+	if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+		log.Fatalf("http: %v", err)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Command proteusd runs one Proteus cache server: a memcached-text-
+// protocol key-value store with the paper's built-in counting Bloom
+// filter digest, exported through the reserved SET_BLOOM_FILTER /
+// BLOOM_FILTER keys so web servers can fetch content digests during
+// provisioning transitions.
+//
+// Usage:
+//
+//	proteusd [-addr :11211] [-max-memory-mb 1024] [-digest-kb 512] [-ttl 0]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cache"
+	"proteus/internal/cacheserver"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("proteusd: ")
+
+	addr := flag.String("addr", ":11211", "listen address")
+	maxMemoryMB := flag.Int("max-memory-mb", 1024, "cache capacity in MiB (0 = unlimited)")
+	digestKB := flag.Int("digest-kb", 512, "counting Bloom filter size in KiB (the paper uses 512)")
+	hashes := flag.Int("digest-hashes", 4, "digest hash functions (the paper uses 4)")
+	counterBits := flag.Int("digest-counter-bits", 4, "bits per digest counter")
+	defaultTTL := flag.Duration("ttl", 0, "default item TTL (0 = never expire)")
+	flag.Parse()
+
+	counters := *digestKB * 1024 * 8 / *counterBits
+	srv, err := cacheserver.New(cacheserver.Config{
+		Cache: cache.Config{
+			MaxBytes:   int64(*maxMemoryMB) << 20,
+			DefaultTTL: *defaultTTL,
+		},
+		Digest: bloom.Params{
+			Counters:    counters,
+			CounterBits: *counterBits,
+			Hashes:      *hashes,
+			Mode:        bloom.Saturate,
+		},
+		Logger: log.Default(),
+	})
+	if err != nil {
+		log.Fatalf("configuring server: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	log.Printf("serving memcached protocol on %s (cache %d MiB, digest %d KiB)",
+		*addr, *maxMemoryMB, *digestKB)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining connections", s)
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+		// Give the accept loop a beat to observe the close.
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+		}
+	}
+	log.Print("bye")
+}

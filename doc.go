@@ -1,0 +1,29 @@
+// Package proteus is a from-scratch Go reproduction of "Proteus: Power
+// Proportional Memory Cache Cluster in Data Centers" (Li et al.,
+// IEEE ICDCS 2013).
+//
+// Proteus makes a memcached-style cache cluster power proportional: a
+// provisioning policy can turn cache servers on and off with the load
+// curve, and Proteus guarantees that doing so neither unbalances load
+// nor produces response-time spikes. Two mechanisms deliver that:
+//
+//   - A deterministic virtual-node placement for consistent hashing
+//     (internal/core) that keeps every active server's share of the
+//     key space exactly equal at every fleet size along a fixed
+//     provisioning order, with the provably minimal number of virtual
+//     nodes (N(N-1)/2+1) and the minimal data movement per step.
+//   - A smooth provisioning transition (internal/cluster, internal/
+//     webtier) built on per-server counting Bloom filter digests
+//     (internal/bloom): at a transition the digests are broadcast to
+//     the web tier, which then migrates still-hot items from their old
+//     owner on demand — so the database tier never sees the transition
+//     and servers can be powered off safely after one TTL window.
+//
+// The repository contains the full system of the paper's Fig. 1 — a
+// memcached-protocol cache server with a built-in digest, a pooled
+// client, the web tier implementing the paper's Algorithm 2, a sharded
+// backing database over a synthetic Wikipedia corpus, workload and
+// power models — plus a discrete-event simulator and an experiment
+// harness (internal/experiments) that regenerates every figure of the
+// paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package proteus

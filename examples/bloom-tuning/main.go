@@ -1,0 +1,100 @@
+// Bloom tuning: Section IV-B of the paper, end to end. Given the
+// expected in-cache key count κ, the hash count h, and target false-
+// positive/false-negative rates, compute the memory-minimal counting
+// Bloom filter configuration (Eq. 10), verify it empirically, and
+// reproduce the paper's worked example (κ=10^4, h=4, p=10^-4 =>
+// l≈4x10^5, b=3, ≈150 KB).
+//
+// Run with: go run ./examples/bloom-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proteus/internal/bloom"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Section IV-B: memory-optimal counting Bloom filter configuration")
+	fmt.Println()
+	fmt.Printf("%-10s %-4s %-9s %-9s | %-9s %-3s %-10s\n",
+		"κ", "h", "pp", "pn", "l", "b", "memory")
+	for _, tc := range []struct {
+		keys   int
+		pp, pn float64
+	}{
+		{10000, 1e-4, 1e-4}, // the paper's worked example
+		{100000, 1e-4, 1e-4},
+		{1000000, 1e-4, 1e-4},
+		{2560000, 1e-4, 1e-4}, // the paper's per-cluster hot page count
+		{10000, 1e-2, 1e-6},
+	} {
+		cfg, err := bloom.Optimize(tc.keys, 4, tc.pp, tc.pn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-4d %-9.0e %-9.0e | %-9d %-3d %-10s\n",
+			tc.keys, 4, tc.pp, tc.pn, cfg.Counters, cfg.CounterBits, fmtBytes(cfg.MemoryBytes()))
+	}
+
+	// Validate the worked example empirically.
+	fmt.Println("\nempirical check of the paper's example (κ=10^4, h=4, pp=pn=10^-4):")
+	cfg, err := bloom.Optimize(10000, 4, 1e-4, 1e-4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := bloom.NewCounting(cfg.Params(bloom.Saturate))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		f.Insert(fmt.Sprintf("page:%d", i))
+	}
+	const probes = 2000000
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("absent:%d", i)) {
+			fp++
+		}
+	}
+	fmt.Printf("  predicted FP rate (Eq. 4): %.2e\n",
+		bloom.FalsePositiveRate(cfg.Counters, cfg.Hashes, cfg.Keys))
+	fmt.Printf("  measured  FP rate:         %.2e (%d/%d probes)\n",
+		float64(fp)/probes, fp, probes)
+	fmt.Printf("  FN bound (Eq. 5):          %.2e at b=%d\n",
+		bloom.FalseNegativeBound(cfg.Counters, cfg.CounterBits, cfg.Hashes, cfg.Keys), cfg.CounterBits)
+	fmt.Printf("  Lambert-W closed form b:   %.3f (enumeration picked %d)\n",
+		bloom.ClosedFormCounterBits(cfg.Counters, cfg.Hashes, cfg.Keys, 1e-4), cfg.CounterBits)
+
+	// What the digest broadcast costs on the wire.
+	snap, err := f.Snapshot().MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndigest broadcast size (bitmap snapshot): %s\n", fmtBytes(len(snap)))
+	fmt.Println("(the paper: \"digests (a few KB each) will be broadcasted to all web servers\")")
+
+	// Why h=4: at a fixed memory budget more hashes first help then
+	// hurt (Eq. 4), and every extra hash costs lookup time — "as
+	// Memcached is designed as a high performance software, fewer hash
+	// functions are preferred".
+	fmt.Println("\nhash-count sweep at fixed memory (κ=10^4, l=4x10^5):")
+	fmt.Printf("%-4s %-14s\n", "h", "FP rate (Eq.4)")
+	for h := 1; h <= 8; h++ {
+		fmt.Printf("%-4d %-14.2e\n", h, bloom.FalsePositiveRate(400000, h, 10000))
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,105 @@
+// Wikipedia replay: simulate a compressed Wikipedia day against the
+// Proteus cluster — the workload curve of the paper's Fig. 4, the
+// provisioning plan derived from it, and the resulting load balance,
+// response times and energy.
+//
+// Run with: go run ./examples/wikipedia [-scale tiny|quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"proteus/internal/experiments"
+	"proteus/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	scaleName := flag.String("scale", "tiny", "tiny or quick")
+	flag.Parse()
+
+	scale := experiments.Tiny()
+	if *scaleName == "quick" {
+		scale = experiments.Quick()
+	}
+
+	// The workload curve and the provisioning result (Fig. 4).
+	fig4, err := experiments.Fig4(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wikipedia-shaped day (%s scale): peak/valley = %.2f\n", scale.Name, fig4.PeakToValley())
+	fmt.Printf("requests per window: %s\n", sparkline(fig4.Requests))
+	fmt.Printf("provisioning plan:   %s (servers per slot, 1-10)\n\n", planLine(fig4.Plan))
+
+	// Replay the day through the full Proteus stack in the simulator.
+	corpus, err := scale.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.NewConfig(sim.ScenarioProteus, corpus, scale.Duration, scale.MeanRPS)
+	cfg.SlotWidth = scale.SlotWidth
+	cfg.CachePagesPerServer = scale.CachePagesPerServer
+	cfg.Warmup = scale.Duration / 8
+	cfg.TTL = scale.SlotWidth / 4
+	cfg.BootDelay = scale.SlotWidth / 16
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := res.Latency.Total()
+	fmt.Printf("Proteus day summary:\n")
+	fmt.Printf("  requests          %d\n", res.Stats.Requests)
+	fmt.Printf("  cache hit ratio   %.3f\n", res.Stats.HitRatio())
+	fmt.Printf("  transitions       %d (on-demand migrations: %d, digest false positives: %d)\n",
+		res.Stats.Transitions, res.Stats.MigratedOnDemand, res.Stats.DigestFalsePos)
+	fmt.Printf("  response time     mean=%v p99=%v p99.9=%v\n",
+		total.Mean().Truncate(time.Microsecond),
+		total.Quantile(0.99).Truncate(time.Microsecond),
+		total.Quantile(0.999).Truncate(time.Microsecond))
+
+	worstRatio := 1.0
+	for s := 0; s < res.Load.Slots(); s++ {
+		if res.Load.SlotTotal(s) < 100 {
+			continue
+		}
+		if r := res.Load.MinMaxRatio(s, res.Plan[s]); r < worstRatio {
+			worstRatio = r
+		}
+	}
+	fmt.Printf("  load balance      worst slot min/max ratio %.3f\n", worstRatio)
+	fmt.Printf("  cache energy      %.1f Wh (whole cluster %.1f Wh)\n",
+		res.Meter.EnergyWh("cache"), res.Meter.TotalEnergyWh())
+}
+
+func sparkline(counts []uint64) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	max := counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for _, c := range counts {
+		idx := int(c * uint64(len(glyphs)-1) / max)
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+func planLine(plan []int) string {
+	var b strings.Builder
+	for _, n := range plan {
+		fmt.Fprintf(&b, "%d", n%10)
+	}
+	return b.String()
+}

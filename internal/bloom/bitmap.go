@@ -1,0 +1,104 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Filter is the plain (non-counting) Bloom filter bitmap broadcast to
+// web servers as a cache server's content digest. It supports only
+// queries and decoding; mutation happens on the counting filter that the
+// snapshot was taken from. Filter is immutable after construction and
+// safe for concurrent readers.
+type Filter struct {
+	bits   int
+	hashes int
+	words  []uint64
+}
+
+// filterMagic guards the wire encoding ("PBF1": Proteus Bloom Filter).
+const filterMagic = 0x50424631
+
+func newFilterRaw(bits, hashes int) *Filter {
+	return &Filter{bits: bits, hashes: hashes, words: make([]uint64, (bits+63)/64)}
+}
+
+// Bits returns the bitmap length l.
+func (f *Filter) Bits() int { return f.bits }
+
+// Hashes returns the number of hash functions h.
+func (f *Filter) Hashes() int { return f.hashes }
+
+func (f *Filter) setBit(i int) { f.words[i/64] |= 1 << uint(i%64) }
+
+func (f *Filter) bit(i int) bool { return f.words[i/64]>>uint(i%64)&1 == 1 }
+
+// Contains reports whether the key is possibly present in the digest.
+func (f *Filter) Contains(key string) bool {
+	h1 := mixA(key)
+	h2 := mixB(key) | 1
+	l := uint64(f.bits)
+	for i := 0; i < f.hashes; i++ {
+		if !f.bit(int((h1 + uint64(i)*h2) % l)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRatio returns the fraction of set bits, a load indicator for the
+// digest (the expected false-positive rate is FillRatio^h).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.words {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.bits)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// MarshalBinary encodes the digest for broadcast: a 16-byte header
+// (magic, l, h) followed by the bitmap words in little-endian order.
+// A digest of the paper's recommended size encodes to a few hundred KB.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 16+8*len(f.words))
+	binary.LittleEndian.PutUint32(out[0:], filterMagic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(f.hashes))
+	binary.LittleEndian.PutUint64(out[8:], uint64(f.bits))
+	for i, w := range f.words {
+		binary.LittleEndian.PutUint64(out[16+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalFilter decodes a broadcast digest.
+func UnmarshalFilter(data []byte) (*Filter, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortBuffer, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != filterMagic {
+		return nil, fmt.Errorf("bloom: bad digest magic %#x", binary.LittleEndian.Uint32(data[0:]))
+	}
+	hashes := int(binary.LittleEndian.Uint32(data[4:]))
+	bits := int(binary.LittleEndian.Uint64(data[8:]))
+	if hashes < 1 || hashes > 32 || bits < 1 {
+		return nil, fmt.Errorf("bloom: bad digest header (l=%d h=%d)", bits, hashes)
+	}
+	nWords := (bits + 63) / 64
+	if len(data) < 16+8*nWords {
+		return nil, fmt.Errorf("%w: want %d bytes, have %d", ErrShortBuffer, 16+8*nWords, len(data))
+	}
+	f := newFilterRaw(bits, hashes)
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(data[16+8*i:])
+	}
+	return f, nil
+}

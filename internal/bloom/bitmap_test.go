@@ -1,0 +1,84 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFilterMarshalRoundTrip(t *testing.T) {
+	f := mustCounting(t, Params{Counters: 4000, CounterBits: 4, Hashes: 4})
+	for i := 0; i < 800; i++ {
+		f.Insert(key(i))
+	}
+	snap := f.Snapshot()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalFilter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bits() != snap.Bits() || back.Hashes() != snap.Hashes() {
+		t.Fatalf("header mismatch: got (l=%d h=%d) want (l=%d h=%d)",
+			back.Bits(), back.Hashes(), snap.Bits(), snap.Hashes())
+	}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if back.Contains(k) != snap.Contains(k) {
+			t.Fatalf("decoded digest disagrees on %q", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 16),                 // zero magic
+		append(mustDigest(t), 0x00)[:17], // truncated body
+	}
+	for i, data := range cases {
+		if _, err := UnmarshalFilter(data); err == nil {
+			t.Errorf("case %d: UnmarshalFilter accepted invalid input", i)
+		}
+	}
+}
+
+func mustDigest(t *testing.T) []byte {
+	t.Helper()
+	f := mustCounting(t, Params{Counters: 100, CounterBits: 2, Hashes: 2})
+	f.Insert("a")
+	data, err := f.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFillRatio(t *testing.T) {
+	f := mustCounting(t, Params{Counters: 1024, CounterBits: 4, Hashes: 1})
+	if r := f.Snapshot().FillRatio(); r != 0 {
+		t.Fatalf("empty filter FillRatio = %g", r)
+	}
+	for i := 0; i < 200; i++ {
+		f.Insert(key(i))
+	}
+	r := f.Snapshot().FillRatio()
+	if r <= 0 || r > 200.0/1024 {
+		t.Fatalf("FillRatio = %g, want in (0, %g]", r, 200.0/1024)
+	}
+}
+
+func TestDigestSizeMatchesPaperScale(t *testing.T) {
+	// The paper's recommended setting: 512 KB digest per server.
+	f := mustCounting(t, Params{Counters: 512 * 1024 * 8, CounterBits: 4, Hashes: 4})
+	data, err := f.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits := 512 * 1024 * 8
+	if got := len(data); got != 16+wantBits/8 {
+		t.Fatalf("snapshot broadcast size = %d bytes, want %d", got, 16+wantBits/8)
+	}
+}

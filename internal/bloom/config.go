@@ -1,0 +1,129 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements Section IV-B of the paper: choosing the number of
+// counters l and the counter width b that minimise memory (l*b bits)
+// subject to false-positive and false-negative rate bounds, for a given
+// expected key count κ and hash count h.
+
+// FalsePositiveRate is Eq. 4: the probability that a membership query
+// for an absent key answers "yes", after κ keys have been inserted into
+// l counters with h hash functions.
+func FalsePositiveRate(l, h, keys int) float64 {
+	if l <= 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(keys)*float64(h)/float64(l)), float64(h))
+}
+
+// FalseNegativeBound is Eq. 5: an upper bound on the probability that
+// any counter exceeds the 2^b-1 maximum (the union bound
+// l * (e*κ*h / (2^b * l))^(2^b)), which is the only source of false
+// negatives in Proteus.
+func FalseNegativeBound(l, b, h, keys int) float64 {
+	if l <= 0 || b <= 0 {
+		return 1
+	}
+	cap2b := math.Pow(2, float64(b))
+	base := math.E * float64(keys) * float64(h) / (cap2b * float64(l))
+	return float64(l) * math.Pow(base, cap2b)
+}
+
+// Config is an optimizer result.
+type Config struct {
+	Counters    int // l
+	CounterBits int // b
+	Hashes      int // h (input, echoed for convenience)
+	Keys        int // κ (input, echoed for convenience)
+}
+
+// MemoryBytes is the counter-array footprint of the configuration.
+func (c Config) MemoryBytes() int { return (c.Counters*c.CounterBits + 7) / 8 }
+
+// Params converts the configuration into counting-filter parameters.
+func (c Config) Params(mode OverflowMode) Params {
+	return Params{Counters: c.Counters, CounterBits: c.CounterBits, Hashes: c.Hashes, Mode: mode}
+}
+
+// maxCounterBits bounds the enumeration of b; the paper notes b "is an
+// integer with a very small range".
+const maxCounterBits = 16
+
+// Optimize returns the memory-minimal (l, b) meeting the bounds, per
+// Eq. 10: the optimum is reached at the smallest l satisfying the
+// false-positive constraint, l = -κh / ln(1 - pp^(1/h)), after which b
+// is the smallest counter width whose Eq. 5 bound meets pn (the paper
+// enumerates b rather than evaluating the Lambert-W closed form, and so
+// do we; see ClosedFormCounterBits for the analytic value).
+func Optimize(keys, h int, pp, pn float64) (Config, error) {
+	if keys < 1 || h < 1 {
+		return Config{}, fmt.Errorf("bloom: need keys>=1 and h>=1, got κ=%d h=%d", keys, h)
+	}
+	if pp <= 0 || pp >= 1 || pn <= 0 || pn >= 1 {
+		return Config{}, fmt.Errorf("bloom: rate bounds must be in (0,1), got pp=%g pn=%g", pp, pn)
+	}
+	l := MinCounters(keys, h, pp)
+	for b := 1; b <= maxCounterBits; b++ {
+		if FalseNegativeBound(l, b, h, keys) <= pn {
+			return Config{Counters: l, CounterBits: b, Hashes: h, Keys: keys}, nil
+		}
+	}
+	return Config{}, fmt.Errorf("bloom: no counter width <= %d bits meets pn=%g with l=%d", maxCounterBits, pn, l)
+}
+
+// MinCounters returns the smallest l whose Eq. 4 false-positive rate is
+// within pp (the first half of Eq. 10).
+func MinCounters(keys, h int, pp float64) int {
+	l := -float64(keys) * float64(h) / math.Log(1-math.Pow(pp, 1/float64(h)))
+	return int(math.Ceil(l))
+}
+
+// ClosedFormCounterBits evaluates the paper's Lambert-W closed form for
+// b (Eq. 10): with β = eκh/l and γ = pn/l, b = log2(β e^{W(ln(1/γ)/β)})
+// — the real solution of the Eq. 5 bound holding with equality. The
+// returned float is rounded up by Optimize's integer enumeration.
+func ClosedFormCounterBits(l, h, keys int, pn float64) float64 {
+	beta := math.E * float64(keys) * float64(h) / float64(l)
+	gamma := pn / float64(l)
+	// Solve l*(β/2^b)^(2^b) = pn. Let y = 2^b/β: y*ln(y) = ln(1/γ)/β,
+	// so y = exp(W(ln(1/γ)/β)) and 2^b = β*e^{W(...)}.
+	w := LambertW(math.Log(1/gamma) / beta)
+	return math.Log2(beta * math.Exp(w))
+}
+
+// LambertW computes the principal branch W0 of the Lambert W function
+// (the inverse of x*e^x) for x >= -1/e, via Halley iteration.
+func LambertW(x float64) float64 {
+	if x < -1/math.E {
+		return math.NaN()
+	}
+	// Initial guess.
+	var w float64
+	switch {
+	case x > math.E:
+		w = math.Log(x) - math.Log(math.Log(x))
+	case x > 0:
+		w = x / math.E
+	default:
+		w = x * math.E / (1 + math.E)
+	}
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			break
+		}
+		d := ew*(w+1) - (w+2)*f/(2*w+2)
+		next := w - f/d
+		if math.Abs(next-w) <= 1e-14*(1+math.Abs(next)) {
+			w = next
+			break
+		}
+		w = next
+	}
+	return w
+}

@@ -1,0 +1,143 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLambertWIdentity(t *testing.T) {
+	for _, x := range []float64{-0.3, -0.1, 0, 0.5, 1, 2, 10, 100, 1e6} {
+		w := LambertW(x)
+		if got := w * math.Exp(w); math.Abs(got-x) > 1e-9*(1+math.Abs(x)) {
+			t.Errorf("W(%g)=%g but W*e^W=%g", x, w, got)
+		}
+	}
+	if !math.IsNaN(LambertW(-1)) {
+		t.Error("LambertW(-1) should be NaN (below branch point)")
+	}
+	if got := LambertW(math.E); math.Abs(got-1) > 1e-12 {
+		t.Errorf("W(e) = %g, want 1", got)
+	}
+}
+
+func TestFalsePositiveRateMonotone(t *testing.T) {
+	// More counters => lower FP rate; more keys => higher FP rate.
+	if FalsePositiveRate(1<<16, 4, 10000) >= FalsePositiveRate(1<<14, 4, 10000) {
+		t.Error("FP rate not decreasing in l")
+	}
+	if FalsePositiveRate(1<<16, 4, 20000) <= FalsePositiveRate(1<<16, 4, 10000) {
+		t.Error("FP rate not increasing in κ")
+	}
+}
+
+func TestFalseNegativeBoundMonotoneInB(t *testing.T) {
+	prev := math.Inf(1)
+	for b := 1; b <= 8; b++ {
+		cur := FalseNegativeBound(400000, b, 4, 10000)
+		if cur == 0 {
+			break // underflowed to exactly zero; trivially still decreasing
+		}
+		if cur >= prev {
+			t.Fatalf("FN bound not decreasing at b=%d: %g >= %g", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// The paper's worked example: κ=10^4, h=4, pp=pn=10^-4 gives roughly
+// l=4x10^5, b=3 (~150 KB).
+func TestOptimizePaperExample(t *testing.T) {
+	cfg, err := Optimize(10000, 4, 1e-4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Counters < 350000 || cfg.Counters > 420000 {
+		t.Errorf("l = %d, paper says ≈4x10^5", cfg.Counters)
+	}
+	if cfg.CounterBits != 3 {
+		t.Errorf("b = %d, paper says 3", cfg.CounterBits)
+	}
+	mem := cfg.MemoryBytes()
+	if mem < 120<<10 || mem > 180<<10 {
+		t.Errorf("memory = %d bytes, paper says ≈150 KB", mem)
+	}
+	// The produced config must actually satisfy both bounds.
+	if fp := FalsePositiveRate(cfg.Counters, cfg.Hashes, cfg.Keys); fp > 1e-4 {
+		t.Errorf("config FP rate %g exceeds bound", fp)
+	}
+	if fn := FalseNegativeBound(cfg.Counters, cfg.CounterBits, cfg.Hashes, cfg.Keys); fn > 1e-4 {
+		t.Errorf("config FN bound %g exceeds bound", fn)
+	}
+}
+
+func TestOptimizeChoosesMinimalB(t *testing.T) {
+	cfg, err := Optimize(10000, 4, 1e-4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CounterBits > 1 {
+		below := FalseNegativeBound(cfg.Counters, cfg.CounterBits-1, cfg.Hashes, cfg.Keys)
+		if below <= 1e-4 {
+			t.Errorf("b-1=%d already satisfies pn (%g); Optimize not minimal", cfg.CounterBits-1, below)
+		}
+	}
+}
+
+func TestClosedFormMatchesEnumeration(t *testing.T) {
+	// ceil of the analytic b must equal the enumerated minimal b.
+	for _, tc := range []struct {
+		keys int
+		pp   float64
+		pn   float64
+	}{
+		{10000, 1e-4, 1e-4},
+		{100000, 1e-3, 1e-6},
+		{2560000, 1e-4, 1e-4}, // paper's per-server hot-page count
+	} {
+		cfg, err := Optimize(tc.keys, 4, tc.pp, tc.pn)
+		if err != nil {
+			t.Fatalf("Optimize(%+v): %v", tc, err)
+		}
+		analytic := ClosedFormCounterBits(cfg.Counters, 4, tc.keys, tc.pn)
+		if int(math.Ceil(analytic)) != cfg.CounterBits {
+			t.Errorf("κ=%d: closed form b=%.3f (ceil %d), enumeration picked %d",
+				tc.keys, analytic, int(math.Ceil(analytic)), cfg.CounterBits)
+		}
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	cases := []struct {
+		keys, h int
+		pp, pn  float64
+	}{
+		{0, 4, 1e-4, 1e-4},
+		{100, 0, 1e-4, 1e-4},
+		{100, 4, 0, 1e-4},
+		{100, 4, 1e-4, 1},
+		{100, 4, 2, 1e-4},
+	}
+	for _, c := range cases {
+		if _, err := Optimize(c.keys, c.h, c.pp, c.pn); err == nil {
+			t.Errorf("Optimize(%+v): want error", c)
+		}
+	}
+}
+
+func TestMinCountersSatisfiesBound(t *testing.T) {
+	for _, keys := range []int{100, 10000, 1000000} {
+		for _, pp := range []float64{1e-2, 1e-4, 1e-6} {
+			l := MinCounters(keys, 4, pp)
+			if got := FalsePositiveRate(l, 4, keys); got > pp*1.001 {
+				t.Errorf("κ=%d pp=%g: l=%d gives FP %g", keys, pp, l, got)
+			}
+			// One fewer counter must (approximately) break the bound:
+			// the bound is tight at the returned l.
+			if l > 1 {
+				if got := FalsePositiveRate(l-1000, 4, keys); keys > 1000 && got < pp {
+					t.Errorf("κ=%d pp=%g: l=%d is far from minimal (l-1000 gives %g)", keys, pp, l, got)
+				}
+			}
+		}
+	}
+}

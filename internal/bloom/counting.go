@@ -1,0 +1,244 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OverflowMode selects how counters behave at their 2^b-1 maximum.
+type OverflowMode int
+
+const (
+	// Saturate freezes a counter at max once reached: further inserts
+	// and deletes leave it untouched. A saturated counter can cause a
+	// lingering false positive but never a false negative; this is the
+	// safe production default.
+	Saturate OverflowMode = iota + 1
+	// Wrap lets counters wrap modulo 2^b, reproducing the failure mode
+	// the paper analyses (overflow then underflow => false negatives,
+	// Fig. 8). Use for experiments only.
+	Wrap
+)
+
+func (m OverflowMode) String() string {
+	switch m {
+	case Saturate:
+		return "saturate"
+	case Wrap:
+		return "wrap"
+	default:
+		return fmt.Sprintf("OverflowMode(%d)", int(m))
+	}
+}
+
+// Params configures a counting filter. The symbols match Table I of the
+// paper: h hash functions, l counters of b bits each.
+type Params struct {
+	Counters    int          // l: number of counters
+	CounterBits int          // b: bits per counter, 1..16
+	Hashes      int          // h: number of hash functions
+	Mode        OverflowMode // counter overflow policy; default Saturate
+}
+
+func (p Params) validate() error {
+	if p.Counters < 1 {
+		return fmt.Errorf("bloom: Counters must be >= 1, got %d", p.Counters)
+	}
+	if p.CounterBits < 1 || p.CounterBits > 16 {
+		return fmt.Errorf("bloom: CounterBits must be in 1..16, got %d", p.CounterBits)
+	}
+	if p.Hashes < 1 || p.Hashes > 32 {
+		return fmt.Errorf("bloom: Hashes must be in 1..32, got %d", p.Hashes)
+	}
+	return nil
+}
+
+// MemoryBytes returns the counter-array footprint of this configuration,
+// the quantity the Section IV-B optimizer minimises (l*b bits).
+func (p Params) MemoryBytes() int {
+	return (p.Counters*p.CounterBits + 7) / 8
+}
+
+// CountingFilter is a counting Bloom filter with packed b-bit counters.
+// It is not safe for concurrent use; the cache server serialises access
+// under its own lock.
+type CountingFilter struct {
+	params    Params
+	words     []uint64
+	max       uint32 // 2^b - 1
+	keys      int    // net inserts - deletes
+	saturated int    // counters frozen at max (Saturate mode)
+	wrapped   int    // overflow events (Wrap mode)
+}
+
+// NewCounting builds an empty counting filter.
+func NewCounting(p Params) (*CountingFilter, error) {
+	if p.Mode == 0 {
+		p.Mode = Saturate
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.Mode != Saturate && p.Mode != Wrap {
+		return nil, fmt.Errorf("bloom: unknown overflow mode %d", p.Mode)
+	}
+	bits := p.Counters * p.CounterBits
+	return &CountingFilter{
+		params: p,
+		words:  make([]uint64, (bits+63)/64),
+		max:    uint32(1)<<p.CounterBits - 1,
+	}, nil
+}
+
+// Params returns the filter's configuration.
+func (f *CountingFilter) Params() Params { return f.params }
+
+// Keys returns the net number of inserted keys.
+func (f *CountingFilter) Keys() int { return f.keys }
+
+// SaturatedCounters reports how many counters are frozen at max
+// (Saturate mode only).
+func (f *CountingFilter) SaturatedCounters() int { return f.saturated }
+
+// Overflows reports how many counter overflow events occurred (Wrap
+// mode only).
+func (f *CountingFilter) Overflows() int { return f.wrapped }
+
+// counter returns the value of counter i.
+func (f *CountingFilter) counter(i int) uint32 {
+	b := f.params.CounterBits
+	bit := i * b
+	word, off := bit/64, uint(bit%64)
+	v := f.words[word] >> off
+	if off+uint(b) > 64 {
+		v |= f.words[word+1] << (64 - off)
+	}
+	return uint32(v) & f.max
+}
+
+// setCounter stores v into counter i.
+func (f *CountingFilter) setCounter(i int, v uint32) {
+	b := f.params.CounterBits
+	bit := i * b
+	word, off := bit/64, uint(bit%64)
+	mask := uint64(f.max) << off
+	f.words[word] = f.words[word]&^mask | uint64(v)<<off
+	if off+uint(b) > 64 {
+		spill := uint(b) - (64 - off)
+		mask := uint64(f.max) >> (uint(b) - spill)
+		f.words[word+1] = f.words[word+1]&^mask | uint64(v)>>(uint(b)-spill)
+	}
+}
+
+// indexes computes the h counter indexes for a key via double hashing.
+func (f *CountingFilter) indexes(key string, out []int) []int {
+	h1 := mixA(key)
+	h2 := mixB(key) | 1 // odd stride visits all counters
+	l := uint64(f.params.Counters)
+	for i := 0; i < f.params.Hashes; i++ {
+		out = append(out, int((h1+uint64(i)*h2)%l))
+	}
+	return out
+}
+
+// Insert records one key occurrence.
+func (f *CountingFilter) Insert(key string) {
+	var buf [32]int
+	for _, idx := range f.indexes(key, buf[:0]) {
+		v := f.counter(idx)
+		switch {
+		case v < f.max:
+			f.setCounter(idx, v+1)
+		case f.params.Mode == Saturate:
+			// frozen; first time reaching max already counted below
+		case f.params.Mode == Wrap:
+			f.setCounter(idx, 0)
+			f.wrapped++
+		}
+		if v == f.max-1 && f.params.Mode == Saturate {
+			f.saturated++
+		}
+	}
+	f.keys++
+}
+
+// Delete removes one key occurrence. The caller must only delete keys it
+// previously inserted (the cache guarantees this; see package doc).
+func (f *CountingFilter) Delete(key string) {
+	var buf [32]int
+	for _, idx := range f.indexes(key, buf[:0]) {
+		v := f.counter(idx)
+		switch {
+		case v == f.max && f.params.Mode == Saturate:
+			// frozen forever
+		case v > 0:
+			f.setCounter(idx, v-1)
+		case f.params.Mode == Wrap:
+			f.setCounter(idx, f.max) // underflow
+		}
+	}
+	f.keys--
+}
+
+// Contains answers the membership query: true means "possibly present"
+// (false positives possible), false means "definitely absent" unless a
+// Wrap-mode counter underflowed (false negatives, Fig. 8).
+func (f *CountingFilter) Contains(key string) bool {
+	var buf [32]int
+	for _, idx := range f.indexes(key, buf[:0]) {
+		if f.counter(idx) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all counters.
+func (f *CountingFilter) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.keys, f.saturated, f.wrapped = 0, 0, 0
+}
+
+// Snapshot converts the counters into the plain presence bitmap that the
+// paper broadcasts to web servers ("take a snapshot of current Bloom
+// filter bit array"). The bitmap shares the filter's l and h.
+func (f *CountingFilter) Snapshot() *Filter {
+	s := newFilterRaw(f.params.Counters, f.params.Hashes)
+	for i := 0; i < f.params.Counters; i++ {
+		if f.counter(i) != 0 {
+			s.setBit(i)
+		}
+	}
+	return s
+}
+
+// ErrShortBuffer is returned when decoding truncated filter bytes.
+var ErrShortBuffer = errors.New("bloom: short buffer")
+
+const (
+	bloomSeedA = 0x8e5beadf0a3c11d7
+	bloomSeedB = 0x2545f4914f6cdd1d
+)
+
+func mixA(key string) uint64 { return mix(fnv(key) ^ bloomSeedA) }
+func mixB(key string) uint64 { return mix(fnv(key) ^ bloomSeedB) }
+
+func fnv(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

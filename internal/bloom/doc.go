@@ -1,0 +1,14 @@
+// Package bloom implements the counting Bloom filter digest that Proteus
+// embeds in every cache server (Section IV of the paper), the plain
+// bitmap snapshot that is broadcast to the web tier at the start of a
+// provisioning transition, and the Section IV-B optimizer that picks the
+// memory-minimal (l, b) counter configuration for target false-positive
+// and false-negative rates.
+//
+// The counting filter tracks the set of keys currently resident in one
+// cache server: the cache inserts a key when an item is linked and
+// deletes it when the item is unlinked, so the filter is exactly
+// consistent with cache contents (deletion of an absent key never
+// happens, which is why counter overflow is the only source of false
+// negatives — the property the paper's Eq. 5 analysis relies on).
+package bloom

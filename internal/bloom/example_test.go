@@ -1,0 +1,34 @@
+package bloom_test
+
+import (
+	"fmt"
+
+	"proteus/internal/bloom"
+)
+
+// The Section IV-B optimizer: the paper's worked example.
+func ExampleOptimize() {
+	cfg, err := bloom.Optimize(10000, 4, 1e-4, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("l=%d b=%d memory=%dKB\n", cfg.Counters, cfg.CounterBits, cfg.MemoryBytes()/1024)
+	// Output:
+	// l=379649 b=3 memory=139KB
+}
+
+// A counting filter tracks cache residency exactly: inserts on item
+// link, deletes on unlink, membership queries in between.
+func ExampleCountingFilter() {
+	f, err := bloom.NewCounting(bloom.Params{Counters: 1 << 16, CounterBits: 4, Hashes: 4})
+	if err != nil {
+		panic(err)
+	}
+	f.Insert("page:42")
+	fmt.Println(f.Contains("page:42"))
+	f.Delete("page:42")
+	fmt.Println(f.Contains("page:42"))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddOnlyWhenAbsent(t *testing.T) {
+	c := New(Config{})
+	if !c.Add("k", []byte("1"), 0) {
+		t.Fatal("Add on absent key failed")
+	}
+	if c.Add("k", []byte("2"), 0) {
+		t.Fatal("Add on resident key succeeded")
+	}
+	v, _ := c.Get("k")
+	if string(v) != "1" {
+		t.Fatalf("value = %q, want 1", v)
+	}
+}
+
+func TestReplaceOnlyWhenPresent(t *testing.T) {
+	c := New(Config{})
+	if c.Replace("k", []byte("1"), 0) {
+		t.Fatal("Replace on absent key succeeded")
+	}
+	c.Set("k", []byte("1"), 0)
+	if !c.Replace("k", []byte("2"), 0) {
+		t.Fatal("Replace on resident key failed")
+	}
+	v, _ := c.Get("k")
+	if string(v) != "2" {
+		t.Fatalf("value = %q, want 2", v)
+	}
+}
+
+func TestAddTreatsExpiredAsAbsent(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Clock: clk.Now})
+	c.Set("k", []byte("old"), time.Second)
+	clk.Advance(2 * time.Second)
+	if !c.Add("k", []byte("new"), 0) {
+		t.Fatal("Add treated expired key as resident")
+	}
+	v, _ := c.Get("k")
+	if string(v) != "new" {
+		t.Fatalf("value = %q, want new", v)
+	}
+}
+
+func TestReplaceTreatsExpiredAsAbsent(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Clock: clk.Now})
+	c.Set("k", []byte("old"), time.Second)
+	clk.Advance(2 * time.Second)
+	if c.Replace("k", []byte("new"), 0) {
+		t.Fatal("Replace treated expired key as resident")
+	}
+}

@@ -1,0 +1,378 @@
+// Package cache implements the in-memory key-value store at the heart of
+// each Proteus cache server: a byte-bounded LRU with per-item TTL, the
+// Go counterpart of the paper's modified memcached. Item link/unlink
+// events are exposed as hooks so a counting Bloom filter digest can be
+// kept exactly consistent with cache contents (the paper wires these to
+// memcached's do_item_link / do_item_unlink).
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// itemOverhead approximates memcached's per-item bookkeeping cost, added
+// to key+value length when accounting bytes.
+const itemOverhead = 48
+
+// Config configures a Cache. The zero value of every field is usable:
+// unlimited size, no expiry, wall clock, no hooks.
+type Config struct {
+	// MaxBytes bounds the total accounted size (keys + values +
+	// per-item overhead); 0 means unlimited. The least recently used
+	// items are evicted to stay within the bound.
+	MaxBytes int64
+	// DefaultTTL applies to Set calls with ttl == 0; 0 means items
+	// never expire.
+	DefaultTTL time.Duration
+	// Clock supplies the current time; nil means time.Now. The
+	// discrete-event simulator injects its virtual clock here.
+	Clock func() time.Time
+	// OnLink is invoked (under the cache lock) whenever a key becomes
+	// resident; OnUnlink whenever it stops being resident (delete,
+	// eviction, expiry, or overwrite). Hooks must not call back into
+	// the cache.
+	OnLink   func(key string)
+	OnUnlink func(key string)
+}
+
+// Stats is a snapshot of cache counters, matching the memcached "stats"
+// command fields the evaluation uses.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Sets        uint64
+	Deletes     uint64
+	Evictions   uint64
+	Expirations uint64
+	Items       int
+	Bytes       int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("items=%d bytes=%d hits=%d misses=%d hit_ratio=%.4f evictions=%d expirations=%d",
+		s.Items, s.Bytes, s.Hits, s.Misses, s.HitRatio(), s.Evictions, s.Expirations)
+}
+
+type entry struct {
+	key        string
+	value      []byte
+	expires    time.Time // zero means never
+	lastAccess time.Time
+	cas        uint64 // unique token for check-and-set
+	prev, next *entry // intrusive LRU list
+}
+
+func (e *entry) size() int64 { return int64(len(e.key)) + int64(len(e.value)) + itemOverhead }
+
+// Cache is a thread-safe LRU + TTL store.
+type Cache struct {
+	cfg Config
+
+	mu         sync.Mutex
+	items      map[string]*entry
+	head       *entry // most recently used
+	tail       *entry // least recently used
+	bytes      int64
+	stats      Stats
+	casCounter uint64
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Cache{cfg: cfg, items: make(map[string]*entry)}
+}
+
+// now is the configured clock.
+func (c *Cache) now() time.Time { return c.cfg.Clock() }
+
+// Get returns the value for key and whether it was resident and fresh.
+// A hit refreshes the item's LRU position and last-access time. The
+// returned slice is the cache's own buffer; callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	now := c.now()
+	if e.expired(now) {
+		c.removeLocked(e, &c.stats.Expirations)
+		c.stats.Misses++
+		return nil, false
+	}
+	e.lastAccess = now
+	c.moveToFrontLocked(e)
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Peek returns the value without refreshing recency or counting a
+// hit/miss; used by inspection paths.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok || e.expired(c.now()) {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// Contains reports residency (fresh, non-expired) without stat effects.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.Peek(key)
+	return ok
+}
+
+// Set stores value under key. ttl == 0 applies the configured default;
+// a negative ttl stores an already-expired item (useful in tests). The
+// value slice is retained; callers must not modify it afterwards.
+func (c *Cache) Set(key string, value []byte, ttl time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setLocked(key, value, ttl)
+}
+
+// Add stores value only if key is not already resident (memcached
+// "add"), reporting whether it stored.
+func (c *Cache) Add(key string, value []byte, ttl time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok && !e.expired(c.now()) {
+		return false
+	}
+	c.setLocked(key, value, ttl)
+	return true
+}
+
+// Replace stores value only if key is already resident (memcached
+// "replace"), reporting whether it stored.
+func (c *Cache) Replace(key string, value []byte, ttl time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; !ok || e.expired(c.now()) {
+		return false
+	}
+	c.setLocked(key, value, ttl)
+	return true
+}
+
+func (c *Cache) setLocked(key string, value []byte, ttl time.Duration) {
+	now := c.now()
+	if ttl == 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	var expires time.Time
+	if ttl != 0 {
+		expires = now.Add(ttl)
+	}
+	if old, ok := c.items[key]; ok {
+		c.removeLocked(old, nil)
+	}
+	c.casCounter++
+	e := &entry{key: key, value: value, expires: expires, lastAccess: now, cas: c.casCounter}
+	c.items[key] = e
+	c.pushFrontLocked(e)
+	c.bytes += e.size()
+	c.stats.Sets++
+	if c.cfg.OnLink != nil {
+		c.cfg.OnLink(key)
+	}
+	c.evictLocked()
+}
+
+// Delete removes key, reporting whether it was resident.
+func (c *Cache) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(e, nil)
+	c.stats.Deletes++
+	return true
+}
+
+// Touch resets the TTL of a resident key, reporting success.
+func (c *Cache) Touch(key string, ttl time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	now := c.now()
+	if !ok || e.expired(now) {
+		return false
+	}
+	if ttl == 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	if ttl == 0 {
+		e.expires = time.Time{}
+	} else {
+		e.expires = now.Add(ttl)
+	}
+	e.lastAccess = now
+	c.moveToFrontLocked(e)
+	return true
+}
+
+// FlushAll removes every item (memcached flush_all).
+func (c *Cache) FlushAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.items {
+		if c.cfg.OnUnlink != nil {
+			c.cfg.OnUnlink(e.key)
+		}
+	}
+	c.items = make(map[string]*entry)
+	c.head, c.tail, c.bytes = nil, nil, 0
+}
+
+// ExpireSweep removes all items whose TTL has passed and returns how
+// many were dropped. Expiry is otherwise lazy (checked on access).
+func (c *Cache) ExpireSweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	dropped := 0
+	for e := c.tail; e != nil; {
+		prev := e.prev
+		if e.expired(now) {
+			c.removeLocked(e, &c.stats.Expirations)
+			dropped++
+		}
+		e = prev
+	}
+	return dropped
+}
+
+// ColdKeys returns the keys not accessed within the given window — the
+// complement of the paper's "hot" set. The smooth-transition logic uses
+// this to verify a server is safe to power off after TTL seconds.
+func (c *Cache) ColdKeys(window time.Duration) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := c.now().Add(-window)
+	var cold []string
+	for _, e := range c.items {
+		if e.lastAccess.Before(cutoff) {
+			cold = append(cold, e.key)
+		}
+	}
+	return cold
+}
+
+// Len returns the number of resident items (including not-yet-swept
+// expired ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the accounted size of resident items.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Items = len(c.items)
+	s.Bytes = c.bytes
+	return s
+}
+
+// Keys returns all resident keys in most-recently-used-first order.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.items))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+func (e *entry) expired(now time.Time) bool {
+	return !e.expires.IsZero() && !now.Before(e.expires)
+}
+
+// removeLocked unlinks e from the map and list, fires OnUnlink, and
+// bumps the optional counter (used for eviction/expiry stats).
+func (c *Cache) removeLocked(e *entry, counter *uint64) {
+	delete(c.items, e.key)
+	c.unlinkLocked(e)
+	c.bytes -= e.size()
+	if counter != nil {
+		*counter++
+	}
+	if c.cfg.OnUnlink != nil {
+		c.cfg.OnUnlink(e.key)
+	}
+}
+
+// evictLocked drops LRU items until within MaxBytes.
+func (c *Cache) evictLocked() {
+	if c.cfg.MaxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.cfg.MaxBytes && c.tail != nil {
+		c.removeLocked(c.tail, &c.stats.Evictions)
+	}
+}
+
+func (c *Cache) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFrontLocked(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}

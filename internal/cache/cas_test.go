@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGetWithCASAndSwap(t *testing.T) {
+	c := New(Config{})
+	c.Set("k", []byte("v1"), 0)
+	_, cas1, ok := c.GetWithCAS("k")
+	if !ok || cas1 == 0 {
+		t.Fatalf("GetWithCAS = cas=%d ok=%v", cas1, ok)
+	}
+	if res := c.CompareAndSwap("k", []byte("v2"), 0, cas1); res != CASStored {
+		t.Fatalf("CAS with fresh token = %v, want CASStored", res)
+	}
+	v, cas2, _ := c.GetWithCAS("k")
+	if string(v) != "v2" || cas2 == cas1 {
+		t.Fatalf("after swap: v=%q cas=%d (old %d)", v, cas2, cas1)
+	}
+	// Stale token: value changed since cas1.
+	if res := c.CompareAndSwap("k", []byte("v3"), 0, cas1); res != CASExists {
+		t.Fatalf("CAS with stale token = %v, want CASExists", res)
+	}
+	if res := c.CompareAndSwap("absent", []byte("v"), 0, 1); res != CASNotFound {
+		t.Fatalf("CAS on absent key = %v, want CASNotFound", res)
+	}
+}
+
+func TestCASChangesOnEveryMutation(t *testing.T) {
+	c := New(Config{})
+	c.Set("k", []byte("1"), 0)
+	_, cas1, _ := c.GetWithCAS("k")
+	c.Set("k", []byte("2"), 0)
+	_, cas2, _ := c.GetWithCAS("k")
+	if cas2 == cas1 {
+		t.Fatal("overwrite did not change CAS token")
+	}
+	c.Append("k", []byte("x"))
+	_, cas3, _ := c.GetWithCAS("k")
+	if cas3 == cas2 {
+		t.Fatal("append did not change CAS token")
+	}
+}
+
+func TestGetWithCASExpired(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Clock: clk.Now})
+	c.Set("k", []byte("v"), time.Second)
+	clk.Advance(2 * time.Second)
+	if _, _, ok := c.GetWithCAS("k"); ok {
+		t.Fatal("expired item served by GetWithCAS")
+	}
+	if res := c.CompareAndSwap("k", []byte("v"), 0, 1); res != CASNotFound {
+		t.Fatalf("CAS on expired = %v, want CASNotFound", res)
+	}
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	c := New(Config{})
+	c.Set("n", []byte("10"), 0)
+	v, found, err := c.Increment("n", 5)
+	if err != nil || !found || v != 15 {
+		t.Fatalf("Increment = %d,%v,%v", v, found, err)
+	}
+	v, found, err = c.Decrement("n", 7)
+	if err != nil || !found || v != 8 {
+		t.Fatalf("Decrement = %d,%v,%v", v, found, err)
+	}
+	// Clamp at zero.
+	v, _, _ = c.Decrement("n", 100)
+	if v != 0 {
+		t.Fatalf("Decrement below zero = %d, want 0", v)
+	}
+	// Stored value is the decimal string.
+	raw, _ := c.Get("n")
+	if string(raw) != "0" {
+		t.Fatalf("stored value %q, want \"0\"", raw)
+	}
+	// Absent key.
+	if _, found, _ := c.Increment("ghost", 1); found {
+		t.Fatal("Increment on absent key reported found")
+	}
+	// Non-numeric value.
+	c.Set("s", []byte("abc"), 0)
+	if _, _, err := c.Increment("s", 1); !errors.Is(err, ErrNotNumber) {
+		t.Fatalf("Increment on non-number err = %v", err)
+	}
+}
+
+func TestIncrementBytesAccounting(t *testing.T) {
+	c := New(Config{})
+	c.Set("n", []byte("9"), 0)
+	before := c.Bytes()
+	c.Increment("n", 1) // "9" -> "10": one byte longer
+	if got := c.Bytes(); got != before+1 {
+		t.Fatalf("Bytes = %d, want %d", got, before+1)
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	c := New(Config{})
+	if c.Append("k", []byte("x")) {
+		t.Fatal("Append to absent key succeeded")
+	}
+	c.Set("k", []byte("mid"), 0)
+	if !c.Append("k", []byte("-end")) {
+		t.Fatal("Append failed")
+	}
+	if !c.Prepend("k", []byte("start-")) {
+		t.Fatal("Prepend failed")
+	}
+	v, _ := c.Get("k")
+	if string(v) != "start-mid-end" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestConcatRespectsCapacity(t *testing.T) {
+	// Room for both small items plus one grown item, but not for the
+	// grown item and a small one together.
+	itemSize := int64(1+4) + itemOverhead // 53
+	grownSize := itemSize + 64            // 117
+	c := New(Config{MaxBytes: grownSize + itemSize/2})
+	c.Set("a", []byte("1234"), 0)
+	c.Set("b", []byte("1234"), 0)
+	// Growing b pushes total over capacity; LRU (a) is evicted.
+	if !c.Append("b", make([]byte, 64)) {
+		t.Fatal("Append failed")
+	}
+	if c.Contains("a") {
+		t.Fatal("LRU item survived over-capacity append")
+	}
+	if !c.Contains("b") {
+		t.Fatal("appended item evicted")
+	}
+}

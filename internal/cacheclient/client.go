@@ -1,0 +1,352 @@
+// Package cacheclient is the memcached-protocol client used by the web
+// tier to talk to Proteus cache servers. It keeps a bounded pool of TCP
+// connections per server (the role Apache Commons Pool plays in the
+// paper's Java servlets) and adds the digest-fetch convenience built on
+// the paper's reserved SET_BLOOM_FILTER / BLOOM_FILTER keys.
+package cacheclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/memproto"
+)
+
+// ErrClosed is returned by calls made after Close.
+var ErrClosed = errors.New("cacheclient: client closed")
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithMaxConns bounds the connection pool (default 4).
+func WithMaxConns(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxConns = n
+		}
+	}
+}
+
+// WithTimeout sets both dial and per-operation I/O deadlines
+// (default 5s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// Client is a pooled connection to one cache server. It is safe for
+// concurrent use.
+type Client struct {
+	addr     string
+	maxConns int
+	timeout  time.Duration
+
+	pool   chan *conn
+	tokens chan struct{} // limits total live connections
+	closed chan struct{}
+}
+
+type conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// New builds a client for the server at addr.
+func New(addr string, opts ...Option) *Client {
+	c := &Client{addr: addr, maxConns: 4, timeout: 5 * time.Second, closed: make(chan struct{})}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.pool = make(chan *conn, c.maxConns)
+	c.tokens = make(chan struct{}, c.maxConns)
+	for i := 0; i < c.maxConns; i++ {
+		c.tokens <- struct{}{}
+	}
+	return c
+}
+
+// Addr returns the server address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases all pooled connections. In-flight calls may still
+// complete; subsequent calls fail with ErrClosed.
+func (c *Client) Close() {
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	close(c.closed)
+	for {
+		select {
+		case cn := <-c.pool:
+			cn.nc.Close()
+		default:
+			return
+		}
+	}
+}
+
+// getConn returns a connection and whether it came from the pool (a
+// pooled connection may have been closed by a server power cycle, so
+// its first use is retried).
+func (c *Client) getConn() (*conn, bool, error) {
+	select {
+	case <-c.closed:
+		return nil, false, ErrClosed
+	default:
+	}
+	select {
+	case cn := <-c.pool:
+		return cn, true, nil
+	case <-c.tokens:
+		nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			c.tokens <- struct{}{}
+			return nil, false, fmt.Errorf("cacheclient: dial %s: %w", c.addr, err)
+		}
+		return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, false, nil
+	case <-c.closed:
+		return nil, false, ErrClosed
+	}
+}
+
+func (c *Client) putConn(cn *conn, broken bool) {
+	if broken {
+		cn.nc.Close()
+		c.tokens <- struct{}{}
+		return
+	}
+	select {
+	case <-c.closed:
+		cn.nc.Close()
+		c.tokens <- struct{}{}
+	case c.pool <- cn:
+	}
+}
+
+// roundTrip sends one request and parses the reply with fn. A
+// transport failure on a pooled connection (e.g. the server was power
+// cycled since the connection was cached) is retried once on a fresh
+// connection, the standard memcached-client behaviour.
+func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
+	for attempt := 0; ; attempt++ {
+		pooled, err := c.roundTripOnce(req, fn)
+		if err == nil {
+			return nil
+		}
+		var se *memproto.ServerError
+		if errors.As(err, &se) || errors.Is(err, ErrClosed) {
+			return err // protocol-level or terminal: no retry
+		}
+		if !pooled || attempt > 0 {
+			return err
+		}
+		// Stale pooled connection: retry once on a fresh dial.
+	}
+}
+
+func (c *Client) roundTripOnce(req *memproto.Request, fn func(*bufio.Reader) error) (pooled bool, err error) {
+	cn, pooled, err := c.getConn()
+	if err != nil {
+		return pooled, err
+	}
+	broken := true
+	defer func() { c.putConn(cn, broken) }()
+
+	deadline := time.Now().Add(c.timeout)
+	if err := cn.nc.SetDeadline(deadline); err != nil {
+		return pooled, fmt.Errorf("cacheclient: set deadline: %w", err)
+	}
+	if err := req.WriteTo(cn.bw); err != nil {
+		return pooled, err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return pooled, fmt.Errorf("cacheclient: flush: %w", err)
+	}
+	if req.NoReply {
+		broken = false
+		return pooled, nil
+	}
+	if err := fn(cn.br); err != nil {
+		// Protocol-level error replies leave the stream aligned.
+		var se *memproto.ServerError
+		if errors.As(err, &se) {
+			broken = false
+		}
+		return pooled, err
+	}
+	broken = false
+	return pooled, nil
+}
+
+// Get fetches one key; ok reports residency.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	req := &memproto.Request{Command: memproto.CmdGet, Keys: []string{key}}
+	err = c.roundTrip(req, func(br *bufio.Reader) error {
+		values, err := memproto.ReadValues(br)
+		if err != nil {
+			return err
+		}
+		if len(values) > 0 {
+			value, ok = values[0].Data, true
+		}
+		return nil
+	})
+	return value, ok, err
+}
+
+// MultiGet fetches several keys at once, returning the resident subset.
+func (c *Client) MultiGet(keys ...string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	req := &memproto.Request{Command: memproto.CmdGet, Keys: keys}
+	out := make(map[string][]byte, len(keys))
+	err := c.roundTrip(req, func(br *bufio.Reader) error {
+		values, err := memproto.ReadValues(br)
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			out[v.Key] = v.Data
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Set stores a value with an expiry in seconds (0 = server default).
+func (c *Client) Set(key string, value []byte, exptime int64) error {
+	req := &memproto.Request{Command: memproto.CmdSet, Keys: []string{key}, Exptime: exptime, Data: value}
+	return c.expectReply(req, memproto.ReplyStored)
+}
+
+// Add stores only if absent, reporting whether it stored.
+func (c *Client) Add(key string, value []byte, exptime int64) (bool, error) {
+	req := &memproto.Request{Command: memproto.CmdAdd, Keys: []string{key}, Exptime: exptime, Data: value}
+	return c.storedReply(req)
+}
+
+// Replace stores only if present, reporting whether it stored.
+func (c *Client) Replace(key string, value []byte, exptime int64) (bool, error) {
+	req := &memproto.Request{Command: memproto.CmdReplace, Keys: []string{key}, Exptime: exptime, Data: value}
+	return c.storedReply(req)
+}
+
+// Delete removes a key, reporting whether it was resident.
+func (c *Client) Delete(key string) (bool, error) {
+	req := &memproto.Request{Command: memproto.CmdDelete, Keys: []string{key}}
+	var deleted bool
+	err := c.roundTrip(req, func(br *bufio.Reader) error {
+		reply, err := memproto.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		deleted = reply == memproto.ReplyDeleted
+		return nil
+	})
+	return deleted, err
+}
+
+// Touch refreshes a key's TTL, reporting whether it was resident.
+func (c *Client) Touch(key string, exptime int64) (bool, error) {
+	req := &memproto.Request{Command: memproto.CmdTouch, Keys: []string{key}, Exptime: exptime}
+	var touched bool
+	err := c.roundTrip(req, func(br *bufio.Reader) error {
+		reply, err := memproto.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		touched = reply == memproto.ReplyTouched
+		return nil
+	})
+	return touched, err
+}
+
+// Stats fetches the server's stats map.
+func (c *Client) Stats() (map[string]string, error) {
+	req := &memproto.Request{Command: memproto.CmdStats}
+	var stats map[string]string
+	err := c.roundTrip(req, func(br *bufio.Reader) error {
+		var err error
+		stats, err = memproto.ReadStats(br)
+		return err
+	})
+	return stats, err
+}
+
+// FlushAll clears the server.
+func (c *Client) FlushAll() error {
+	req := &memproto.Request{Command: memproto.CmdFlushAll}
+	return c.expectReply(req, memproto.ReplyOK)
+}
+
+// Version returns the server version string.
+func (c *Client) Version() (string, error) {
+	req := &memproto.Request{Command: memproto.CmdVersion}
+	var version string
+	err := c.roundTrip(req, func(br *bufio.Reader) error {
+		reply, err := memproto.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		version = reply
+		return nil
+	})
+	return version, err
+}
+
+// FetchDigest snapshots and downloads the server's Bloom filter digest,
+// exactly as the paper's web servers do at the start of a transition:
+// get(SET_BLOOM_FILTER) then get(BLOOM_FILTER).
+func (c *Client) FetchDigest() (*bloom.Filter, error) {
+	if _, _, err := c.Get("SET_BLOOM_FILTER"); err != nil {
+		return nil, fmt.Errorf("cacheclient: snapshot digest: %w", err)
+	}
+	data, ok, err := c.Get("BLOOM_FILTER")
+	if err != nil {
+		return nil, fmt.Errorf("cacheclient: fetch digest: %w", err)
+	}
+	if !ok {
+		return nil, errors.New("cacheclient: server returned no digest")
+	}
+	return bloom.UnmarshalFilter(data)
+}
+
+func (c *Client) expectReply(req *memproto.Request, want string) error {
+	return c.roundTrip(req, func(br *bufio.Reader) error {
+		reply, err := memproto.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		if reply != want {
+			return fmt.Errorf("cacheclient: unexpected reply %q (want %q)", reply, want)
+		}
+		return nil
+	})
+}
+
+func (c *Client) storedReply(req *memproto.Request) (bool, error) {
+	var stored bool
+	err := c.roundTrip(req, func(br *bufio.Reader) error {
+		reply, err := memproto.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		stored = reply == memproto.ReplyStored
+		return nil
+	})
+	return stored, err
+}

@@ -1,0 +1,122 @@
+package cacheclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDialFailure(t *testing.T) {
+	c := New("127.0.0.1:1", WithTimeout(200*time.Millisecond)) // port 1: refused
+	defer c.Close()
+	if _, _, err := c.Get("k"); err == nil {
+		t.Fatal("Get against dead server succeeded")
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	c := New("127.0.0.1:1")
+	c.Close()
+	c.Close() // idempotent
+	if _, _, err := c.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := c.Set("k", nil, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMultiGetEmptyKeys(t *testing.T) {
+	c := New("127.0.0.1:1")
+	defer c.Close()
+	got, err := c.MultiGet()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("MultiGet() = %v, %v", got, err)
+	}
+}
+
+// A slow fake server that accepts but never answers: the pool must
+// bound concurrent connections and operations must time out rather
+// than hang.
+func TestPoolBoundsConnectionsAndTimesOut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	accepted := 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			accepted++
+			mu.Unlock()
+			defer conn.Close()
+			// Never respond; just hold the connection.
+		}
+	}()
+
+	c := New(ln.Addr().String(), WithMaxConns(2), WithTimeout(300*time.Millisecond))
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Get("k"); err == nil {
+				t.Error("Get against mute server succeeded")
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if accepted > 6 {
+		t.Fatalf("server accepted %d conns; pool failed to bound per-wave dials", accepted)
+	}
+}
+
+// A fake server returning a protocol error reply must not poison the
+// pooled connection: the next request on the same connection works.
+func TestErrorReplyKeepsConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		for i := 0; ; i++ {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+			if i == 0 {
+				fmt.Fprintf(conn, "SERVER_ERROR simulated\r\n")
+			} else {
+				fmt.Fprintf(conn, "END\r\n")
+			}
+		}
+	}()
+
+	c := New(ln.Addr().String(), WithMaxConns(1), WithTimeout(time.Second))
+	defer c.Close()
+	if _, _, err := c.Get("first"); err == nil {
+		t.Fatal("expected SERVER_ERROR")
+	}
+	if _, ok, err := c.Get("second"); err != nil || ok {
+		t.Fatalf("second Get on same conn: ok=%v err=%v", ok, err)
+	}
+}

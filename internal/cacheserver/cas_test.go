@@ -1,0 +1,115 @@
+package cacheserver
+
+import (
+	"testing"
+
+	"proteus/internal/cacheclient"
+)
+
+func TestGetsAndCompareAndSwapOverTCP(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	if err := c.Set("k", []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	cv, ok, err := c.Gets("k")
+	if err != nil || !ok || string(cv.Value) != "v1" || cv.CAS == 0 {
+		t.Fatalf("Gets = %+v,%v,%v", cv, ok, err)
+	}
+	status, err := c.CompareAndSwap("k", []byte("v2"), 0, cv.CAS)
+	if err != nil || status != cacheclient.CASStored {
+		t.Fatalf("CAS = %v,%v", status, err)
+	}
+	// Stale token now.
+	status, err = c.CompareAndSwap("k", []byte("v3"), 0, cv.CAS)
+	if err != nil || status != cacheclient.CASExists {
+		t.Fatalf("stale CAS = %v,%v", status, err)
+	}
+	status, err = c.CompareAndSwap("ghost", []byte("v"), 0, 1)
+	if err != nil || status != cacheclient.CASNotFound {
+		t.Fatalf("absent CAS = %v,%v", status, err)
+	}
+	v, _, _ := c.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("value = %q, want v2", v)
+	}
+}
+
+func TestGetsMissOmitsValue(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	if _, ok, err := c.Gets("nope"); err != nil || ok {
+		t.Fatalf("Gets(miss) = ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIncrDecrOverTCP(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	if err := c.Set("n", []byte("41"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Increment("n", 1)
+	if err != nil || !found || v != 42 {
+		t.Fatalf("Increment = %d,%v,%v", v, found, err)
+	}
+	v, found, err = c.Decrement("n", 2)
+	if err != nil || !found || v != 40 {
+		t.Fatalf("Decrement = %d,%v,%v", v, found, err)
+	}
+	if _, found, err := c.Increment("ghost", 1); err != nil || found {
+		t.Fatalf("Increment(absent) = found=%v err=%v", found, err)
+	}
+	// Non-numeric values produce CLIENT_ERROR.
+	if err := c.Set("s", []byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Increment("s", 1); err == nil {
+		t.Fatal("Increment on non-number succeeded")
+	}
+	// The connection survives the error reply.
+	if _, ok, err := c.Get("n"); err != nil || !ok {
+		t.Fatalf("connection poisoned after CLIENT_ERROR: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAppendPrependOverTCP(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	if stored, err := c.Append("k", []byte("x")); err != nil || stored {
+		t.Fatalf("Append(absent) = %v,%v", stored, err)
+	}
+	if err := c.Set("k", []byte("mid"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if stored, err := c.Append("k", []byte("-end")); err != nil || !stored {
+		t.Fatalf("Append = %v,%v", stored, err)
+	}
+	if stored, err := c.Prepend("k", []byte("start-")); err != nil || !stored {
+		t.Fatalf("Prepend = %v,%v", stored, err)
+	}
+	v, _, _ := c.Get("k")
+	if string(v) != "start-mid-end" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+// The digest must remain consistent through concat/arith mutations:
+// the key stays resident and the digest keeps reporting it.
+func TestDigestSurvivesMutatingOps(t *testing.T) {
+	s, c := startServer(t, Config{Digest: smallDigest()})
+	if err := c.Set("n", []byte("1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Increment("n", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append("n", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.DigestContains("n") {
+		t.Fatal("digest lost key after in-place mutations")
+	}
+	if _, err := c.Delete("n"); err != nil {
+		t.Fatal(err)
+	}
+	if s.DigestContains("n") {
+		t.Fatal("digest retains deleted key")
+	}
+}

@@ -1,0 +1,133 @@
+package cacheserver
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/cacheclient"
+)
+
+func TestListenAndServe(t *testing.T) {
+	s, err := New(Config{Digest: smallDigest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve a free port, release it, and let the server bind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(addr) }()
+
+	c := cacheclient.New(addr, cacheclient.WithTimeout(2*time.Second))
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := c.Set("k", []byte("v"), 0); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	s, err := New(Config{Digest: smallDigest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ListenAndServe("256.256.256.256:99999"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestServeAfterCloseRejected(t *testing.T) {
+	s, err := New(Config{Digest: smallDigest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(ln); err == nil {
+		t.Fatal("Serve after Close accepted")
+	}
+}
+
+func TestAddrBeforeServeIsNil(t *testing.T) {
+	s, err := New(Config{Digest: smallDigest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() != nil {
+		t.Fatal("Addr non-nil before Serve")
+	}
+}
+
+func TestCloseDrainsOpenConnections(t *testing.T) {
+	s, c := startServer(t, Config{Digest: smallDigest()})
+	// Hold an idle raw connection open; Close must not hang on it.
+	nc, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+	// The held connection is dead.
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("connection still alive after Close")
+	}
+}
+
+func TestStatsIncludeDigestFields(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	for i := 0; i < 10; i++ {
+		if err := c.Set(strings.Repeat("x", i+1), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"digest_keys", "digest_saturated", "uptime", "bytes"} {
+		if _, ok := stats[field]; !ok {
+			t.Errorf("stats missing %q", field)
+		}
+	}
+	if stats["digest_keys"] != "10" {
+		t.Errorf("digest_keys = %q, want 10", stats["digest_keys"])
+	}
+}

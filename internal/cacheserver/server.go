@@ -1,0 +1,456 @@
+// Package cacheserver implements the Proteus cache server: a TCP server
+// speaking the memcached text protocol over an LRU+TTL store, with the
+// paper's built-in counting Bloom filter digest. The digest is updated
+// on every item link/unlink (the paper's do_item_link / do_item_unlink
+// hooks) and exported through the two reserved keys the paper defines:
+// a get for "SET_BLOOM_FILTER" snapshots the filter, and a get for
+// "BLOOM_FILTER" retrieves the snapshot bit array as ordinary value
+// data, so any stock memcached client can fetch a digest.
+package cacheserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cache"
+	"proteus/internal/memproto"
+)
+
+// Reserved keys from the paper's memcached modification.
+const (
+	// KeySnapshotDigest triggers a digest snapshot when fetched.
+	KeySnapshotDigest = "SET_BLOOM_FILTER"
+	// KeyFetchDigest retrieves the latest snapshot bytes when fetched.
+	KeyFetchDigest = "BLOOM_FILTER"
+)
+
+// Version is reported by the "version" command.
+const Version = "proteus-0.9.0"
+
+// DefaultDigestParams sizes the digest per the paper's evaluation
+// (512 KB of counters is "negligible false positive and false negative
+// rate" for the per-server working set; Fig. 7/8).
+var DefaultDigestParams = bloom.Params{
+	Counters:    1 << 20,
+	CounterBits: 4,
+	Hashes:      4,
+	Mode:        bloom.Saturate,
+}
+
+// Config configures a Server.
+type Config struct {
+	// Cache configures the backing store. OnLink/OnUnlink must be nil;
+	// the server installs the digest hooks itself.
+	Cache cache.Config
+	// Digest configures the counting Bloom filter; zero value selects
+	// DefaultDigestParams.
+	Digest bloom.Params
+	// Logger receives connection errors; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is one cache node. Create with New, start with Serve or
+// ListenAndServe, stop with Close.
+type Server struct {
+	cache  *cache.Cache
+	logger *log.Logger
+
+	digestMu sync.Mutex
+	digest   *bloom.CountingFilter
+	snapshot []byte
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	startTime time.Time
+}
+
+// New builds a Server. The digest hooks are wired into the cache so the
+// filter stays exactly consistent with cache contents.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache.OnLink != nil || cfg.Cache.OnUnlink != nil {
+		return nil, errors.New("cacheserver: Cache.OnLink/OnUnlink are reserved for the digest")
+	}
+	params := cfg.Digest
+	if params == (bloom.Params{}) {
+		params = DefaultDigestParams
+	}
+	digest, err := bloom.NewCounting(params)
+	if err != nil {
+		return nil, fmt.Errorf("cacheserver: digest: %w", err)
+	}
+	s := &Server{
+		digest:    digest,
+		logger:    cfg.Logger,
+		conns:     make(map[net.Conn]struct{}),
+		startTime: time.Now(),
+	}
+	cacheCfg := cfg.Cache
+	cacheCfg.OnLink = s.onLink
+	cacheCfg.OnUnlink = s.onUnlink
+	s.cache = cache.New(cacheCfg)
+	return s, nil
+}
+
+func (s *Server) onLink(key string) {
+	s.digestMu.Lock()
+	s.digest.Insert(key)
+	s.digestMu.Unlock()
+}
+
+func (s *Server) onUnlink(key string) {
+	s.digestMu.Lock()
+	s.digest.Delete(key)
+	s.digestMu.Unlock()
+}
+
+// Cache exposes the backing store (used by in-process harnesses and
+// tests; network clients use the protocol).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// SnapshotDigest takes a digest snapshot and returns its encoding; the
+// same bytes become fetchable via the BLOOM_FILTER key.
+func (s *Server) SnapshotDigest() ([]byte, error) {
+	s.digestMu.Lock()
+	defer s.digestMu.Unlock()
+	data, err := s.digest.Snapshot().MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	s.snapshot = data
+	return data, nil
+}
+
+// DigestContains queries the live counting filter (in-process fast path
+// for the simulator; network callers fetch snapshots instead).
+func (s *Server) DigestContains(key string) bool {
+	s.digestMu.Lock()
+	defer s.digestMu.Unlock()
+	return s.digest.Contains(key)
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cacheserver: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// graceful Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("cacheserver: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("cacheserver: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := memproto.ReadRequest(br)
+		if err != nil {
+			if err == io.EOF {
+				return
+			}
+			if errors.Is(err, memproto.ErrProtocol) || errors.Is(err, memproto.ErrBadKey) || errors.Is(err, memproto.ErrTooLarge) {
+				// Report and drop the connection: after a framing error
+				// the stream position is unreliable.
+				_ = memproto.WriteClientError(bw, err.Error())
+				_ = bw.Flush()
+			}
+			s.logf("conn %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		quit, err := s.handle(bw, req)
+		if err != nil {
+			s.logf("conn %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+		// Flush unless more pipelined input is already buffered.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if quit {
+			_ = bw.Flush()
+			return
+		}
+	}
+}
+
+// handle executes one request, writing the response. The bool result
+// requests connection shutdown (quit).
+func (s *Server) handle(bw *bufio.Writer, req *memproto.Request) (bool, error) {
+	switch req.Command {
+	case memproto.CmdGet, memproto.CmdGets:
+		withCAS := req.Command == memproto.CmdGets
+		for _, key := range req.Keys {
+			if err := s.handleGetKey(bw, key, withCAS); err != nil {
+				return false, err
+			}
+		}
+		return false, memproto.WriteEnd(bw)
+	case memproto.CmdCas:
+		var reply string
+		switch s.cache.CompareAndSwap(req.Key(), req.Data, req.Exptime, req.CAS) {
+		case cache.CASStored:
+			reply = memproto.ReplyStored
+		case cache.CASExists:
+			reply = memproto.ReplyExists
+		default:
+			reply = memproto.ReplyNotFound
+		}
+		if req.NoReply {
+			return false, nil
+		}
+		return false, memproto.WriteReply(bw, reply)
+	case memproto.CmdAppend, memproto.CmdPrepend:
+		var stored bool
+		if req.Command == memproto.CmdAppend {
+			stored = s.cache.Append(req.Key(), req.Data)
+		} else {
+			stored = s.cache.Prepend(req.Key(), req.Data)
+		}
+		if req.NoReply {
+			return false, nil
+		}
+		reply := memproto.ReplyStored
+		if !stored {
+			reply = memproto.ReplyNotStored
+		}
+		return false, memproto.WriteReply(bw, reply)
+	case memproto.CmdIncr, memproto.CmdDecr:
+		var (
+			next  uint64
+			found bool
+			err   error
+		)
+		if req.Command == memproto.CmdIncr {
+			next, found, err = s.cache.Increment(req.Key(), req.Delta)
+		} else {
+			next, found, err = s.cache.Decrement(req.Key(), req.Delta)
+		}
+		if req.NoReply {
+			return false, nil
+		}
+		switch {
+		case err != nil:
+			return false, memproto.WriteClientError(bw, "cannot increment or decrement non-numeric value")
+		case !found:
+			return false, memproto.WriteReply(bw, memproto.ReplyNotFound)
+		default:
+			return false, memproto.WriteNumber(bw, next)
+		}
+	case memproto.CmdSet, memproto.CmdAdd, memproto.CmdReplace:
+		stored := s.store(req)
+		if req.NoReply {
+			return false, nil
+		}
+		reply := memproto.ReplyStored
+		if !stored {
+			reply = memproto.ReplyNotStored
+		}
+		return false, memproto.WriteReply(bw, reply)
+	case memproto.CmdDelete:
+		deleted := s.cache.Delete(req.Key())
+		if req.NoReply {
+			return false, nil
+		}
+		reply := memproto.ReplyDeleted
+		if !deleted {
+			reply = memproto.ReplyNotFound
+		}
+		return false, memproto.WriteReply(bw, reply)
+	case memproto.CmdTouch:
+		touched := s.cache.Touch(req.Key(), expDuration(req.Exptime))
+		if req.NoReply {
+			return false, nil
+		}
+		reply := memproto.ReplyTouched
+		if !touched {
+			reply = memproto.ReplyNotFound
+		}
+		return false, memproto.WriteReply(bw, reply)
+	case memproto.CmdStats:
+		return false, memproto.WriteStats(bw, s.statsMap())
+	case memproto.CmdFlushAll:
+		s.cache.FlushAll()
+		if req.NoReply {
+			return false, nil
+		}
+		return false, memproto.WriteReply(bw, memproto.ReplyOK)
+	case memproto.CmdVersion:
+		return false, memproto.WriteReply(bw, "VERSION "+Version)
+	case memproto.CmdQuit:
+		return true, nil
+	default:
+		return false, memproto.WriteReply(bw, memproto.ReplyError)
+	}
+}
+
+func (s *Server) handleGetKey(bw *bufio.Writer, key string, withCAS bool) error {
+	switch key {
+	case KeySnapshotDigest:
+		data, err := s.SnapshotDigest()
+		if err != nil {
+			return memproto.WriteServerError(bw, "digest snapshot failed")
+		}
+		return memproto.WriteValue(bw, memproto.Value{
+			Key:  key,
+			Data: []byte(strconv.Itoa(len(data))),
+		})
+	case KeyFetchDigest:
+		s.digestMu.Lock()
+		data := s.snapshot
+		s.digestMu.Unlock()
+		if data == nil {
+			return nil // no snapshot taken: behaves as a miss
+		}
+		return memproto.WriteValue(bw, memproto.Value{Key: key, Data: data})
+	default:
+		if withCAS {
+			value, cas, ok := s.cache.GetWithCAS(key)
+			if !ok {
+				return nil
+			}
+			return memproto.WriteValue(bw, memproto.Value{Key: key, Data: value, CAS: cas, HasCAS: true})
+		}
+		value, ok := s.cache.Get(key)
+		if !ok {
+			return nil
+		}
+		return memproto.WriteValue(bw, memproto.Value{Key: key, Data: value})
+	}
+}
+
+func (s *Server) store(req *memproto.Request) bool {
+	ttl := expDuration(req.Exptime)
+	switch req.Command {
+	case memproto.CmdAdd:
+		return s.cache.Add(req.Key(), req.Data, ttl)
+	case memproto.CmdReplace:
+		return s.cache.Replace(req.Key(), req.Data, ttl)
+	default:
+		s.cache.Set(req.Key(), req.Data, ttl)
+		return true
+	}
+}
+
+// expDuration maps memcached exptime seconds to a cache TTL. A negative
+// exptime expires immediately (memcached semantics).
+func expDuration(exptime int64) time.Duration {
+	if exptime < 0 {
+		return -time.Nanosecond
+	}
+	return time.Duration(exptime) * time.Second
+}
+
+func (s *Server) statsMap() map[string]string {
+	st := s.cache.Stats()
+	s.digestMu.Lock()
+	digestKeys := s.digest.Keys()
+	saturated := s.digest.SaturatedCounters()
+	s.digestMu.Unlock()
+	return map[string]string{
+		"version":           Version,
+		"uptime":            strconv.FormatInt(int64(time.Since(s.startTime).Seconds()), 10),
+		"curr_items":        strconv.Itoa(st.Items),
+		"bytes":             strconv.FormatInt(st.Bytes, 10),
+		"get_hits":          strconv.FormatUint(st.Hits, 10),
+		"get_misses":        strconv.FormatUint(st.Misses, 10),
+		"cmd_set":           strconv.FormatUint(st.Sets, 10),
+		"delete_hits":       strconv.FormatUint(st.Deletes, 10),
+		"evictions":         strconv.FormatUint(st.Evictions, 10),
+		"expired_unfetched": strconv.FormatUint(st.Expirations, 10),
+		"digest_keys":       strconv.Itoa(digestKeys),
+		"digest_saturated":  strconv.Itoa(saturated),
+	}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}

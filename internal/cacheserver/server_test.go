@@ -1,0 +1,343 @@
+package cacheserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cache"
+	"proteus/internal/cacheclient"
+)
+
+// startServer launches a server on a loopback port and returns it with
+// a connected client. Both are torn down with t.Cleanup.
+func startServer(t *testing.T, cfg Config) (*Server, *cacheclient.Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	c := cacheclient.New(ln.Addr().String(), cacheclient.WithTimeout(2*time.Second))
+	t.Cleanup(c.Close)
+	return s, c
+}
+
+func smallDigest() bloom.Params {
+	return bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4}
+}
+
+func TestGetSetDeleteOverTCP(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+
+	if _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Fatalf("Get(missing) = ok=%v err=%v", ok, err)
+	}
+	if err := c.Set("page:1", []byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("page:1")
+	if err != nil || !ok || string(v) != "hello world" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	deleted, err := c.Delete("page:1")
+	if err != nil || !deleted {
+		t.Fatalf("Delete = %v,%v", deleted, err)
+	}
+	deleted, err = c.Delete("page:1")
+	if err != nil || deleted {
+		t.Fatalf("second Delete = %v,%v", deleted, err)
+	}
+}
+
+func TestAddReplaceOverTCP(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	stored, err := c.Add("k", []byte("1"), 0)
+	if err != nil || !stored {
+		t.Fatalf("Add = %v,%v", stored, err)
+	}
+	stored, err = c.Add("k", []byte("2"), 0)
+	if err != nil || stored {
+		t.Fatalf("Add on resident = %v,%v", stored, err)
+	}
+	stored, err = c.Replace("k", []byte("3"), 0)
+	if err != nil || !stored {
+		t.Fatalf("Replace = %v,%v", stored, err)
+	}
+	v, _, _ := c.Get("k")
+	if string(v) != "3" {
+		t.Fatalf("value = %q, want 3", v)
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	for i := 0; i < 5; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.MultiGet("k0", "k2", "k4", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got["k2"]) != "v2" {
+		t.Fatalf("MultiGet = %v", got)
+	}
+}
+
+func TestTouchAndExpiry(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	if err := c.Set("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	touched, err := c.Touch("k", 3600)
+	if err != nil || !touched {
+		t.Fatalf("Touch = %v,%v", touched, err)
+	}
+	touched, err = c.Touch("absent", 60)
+	if err != nil || touched {
+		t.Fatalf("Touch(absent) = %v,%v", touched, err)
+	}
+	// Negative exptime stores an immediately-expired item.
+	if err := c.Set("dead", []byte("v"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("dead"); ok {
+		t.Fatal("negative exptime item still resident")
+	}
+}
+
+func TestStatsAndVersionAndFlush(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	c.Set("a", []byte("1"), 0)
+	c.Get("a")
+	c.Get("zzz")
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["curr_items"] != "1" || stats["get_hits"] != "1" || stats["get_misses"] != "1" {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats["digest_keys"] != "1" {
+		t.Fatalf("digest_keys = %q, want 1", stats["digest_keys"])
+	}
+	version, err := c.Version()
+	if err != nil || !strings.HasPrefix(version, "VERSION ") {
+		t.Fatalf("Version = %q,%v", version, err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("a"); ok {
+		t.Fatal("item survived flush_all")
+	}
+}
+
+// The paper's digest flow: get(SET_BLOOM_FILTER) snapshots; then
+// get(BLOOM_FILTER) retrieves the bit array as ordinary data.
+func TestDigestSnapshotProtocol(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	for i := 0; i < 500; i++ {
+		if err := c.Set(fmt.Sprintf("page:%d", i), []byte("data"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	digest, err := c.FetchDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if !digest.Contains(fmt.Sprintf("page:%d", i)) {
+			t.Fatalf("digest missing resident key page:%d", i)
+		}
+	}
+	// Deleted keys disappear from the *next* snapshot.
+	for i := 0; i < 250; i++ {
+		if _, err := c.Delete(fmt.Sprintf("page:%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	digest2, err := c.FetchDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	falsePos := 0
+	for i := 0; i < 250; i++ {
+		if digest2.Contains(fmt.Sprintf("page:%d", i)) {
+			falsePos++
+		}
+	}
+	if falsePos > 10 {
+		t.Fatalf("%d/250 deleted keys still in digest", falsePos)
+	}
+	for i := 250; i < 500; i++ {
+		if !digest2.Contains(fmt.Sprintf("page:%d", i)) {
+			t.Fatalf("digest lost surviving key page:%d", i)
+		}
+	}
+}
+
+func TestDigestFetchBeforeSnapshotIsMiss(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, ok, err := c.Get(KeyFetchDigest)
+	if err != nil || ok {
+		t.Fatalf("BLOOM_FILTER before snapshot: ok=%v err=%v, want miss", ok, err)
+	}
+}
+
+func TestEvictionKeepsDigestConsistent(t *testing.T) {
+	s, c := startServer(t, Config{
+		Cache:  cache.Config{MaxBytes: 20 * 1024},
+		Digest: smallDigest(),
+	})
+	value := make([]byte, 1024)
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Sprintf("big:%d", i), value, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := s.Cache().Stats()
+	if stats.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	// Live digest must agree with the cache for all keys.
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("big:%d", i)
+		if s.Cache().Contains(key) && !s.DigestContains(key) {
+			t.Fatalf("resident key %s absent from digest", key)
+		}
+	}
+}
+
+func TestRawProtocolSession(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	nc, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	send := func(lines string) {
+		if _, err := nc.Write([]byte(lines)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(want string) {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got := strings.TrimRight(line, "\r\n"); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	send("set foo 0 0 3\r\nbar\r\n")
+	expect("STORED")
+	send("get foo\r\n")
+	expect("VALUE foo 0 3")
+	expect("bar")
+	expect("END")
+	send("set quiet 0 0 1 noreply\r\nx\r\nget quiet\r\n")
+	expect("VALUE quiet 0 1")
+	expect("x")
+	expect("END")
+	send("quit\r\n")
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("connection still open after quit")
+	}
+}
+
+func TestMalformedCommandGetsClientError(t *testing.T) {
+	_, c := startServer(t, Config{Digest: smallDigest()})
+	nc, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("gibberish\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "CLIENT_ERROR") {
+		t.Fatalf("got %q, want CLIENT_ERROR", line)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, cc := startServer(t, Config{Digest: smallDigest()})
+	addr := cc.Addr()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := cacheclient.New(addr, cacheclient.WithMaxConns(2))
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := c.Set(key, []byte("v"), 0); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok, err := c.Get(key); err != nil || !ok {
+					errs <- fmt.Errorf("get %s: ok=%v err=%v", key, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Cache().Len(); got != 8*200 {
+		t.Fatalf("cache has %d items, want %d", got, 8*200)
+	}
+}
+
+func TestNewRejectsHookedCacheConfig(t *testing.T) {
+	_, err := New(Config{Cache: cache.Config{OnLink: func(string) {}}})
+	if err == nil {
+		t.Fatal("New accepted a cache config with hooks")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s, err := New(Config{Digest: smallDigest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

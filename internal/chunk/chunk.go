@@ -1,0 +1,137 @@
+// Package chunk implements the paper's fixed-size-piece model (Section
+// II, Assumptions): "Each object in cache is of the same size. Even
+// though the size of pages or user accounts would vary considerably,
+// they can be divided into fixed-size pieces. One piece is considered
+// as the basic unit of objects in cache."
+//
+// A large value is split into PieceSize-byte pieces, each stored under
+// its own derived key. Piece keys hash independently, so one large page
+// spreads across cache servers exactly like the paper's basic units —
+// which is what makes the Balance Condition's per-key-space guarantee
+// translate into per-byte balance. The original key stores a small
+// manifest describing the split.
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultPieceSize is the paper's 4 KB basic unit.
+const DefaultPieceSize = 4096
+
+// pieceSep separates the parent key from the piece index. Keys
+// containing this suffix pattern are reserved for the chunk layer.
+const pieceSep = "#p"
+
+// PieceKey derives the cache key of piece i of a parent key.
+func PieceKey(parent string, i int) string {
+	return parent + pieceSep + strconv.Itoa(i)
+}
+
+// ParsePieceKey reports whether key is a piece key, returning its
+// parent and index.
+func ParsePieceKey(key string) (parent string, index int, ok bool) {
+	at := strings.LastIndex(key, pieceSep)
+	if at < 0 {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(key[at+len(pieceSep):])
+	if err != nil || idx < 0 {
+		return "", 0, false
+	}
+	return key[:at], idx, true
+}
+
+// Manifest describes one split object.
+type Manifest struct {
+	// Size is the original value length in bytes.
+	Size int
+	// PieceSize is the split unit; the final piece may be shorter.
+	PieceSize int
+}
+
+// Pieces returns the number of pieces the object was split into.
+func (m Manifest) Pieces() int {
+	if m.PieceSize <= 0 {
+		return 0
+	}
+	return (m.Size + m.PieceSize - 1) / m.PieceSize
+}
+
+// manifestMagic marks encoded manifests ("PMAN").
+const manifestMagic = 0x504d414e
+
+// manifestLen is the fixed encoding size.
+const manifestLen = 12
+
+// Encode serialises the manifest for storage under the parent key.
+func (m Manifest) Encode() []byte {
+	out := make([]byte, manifestLen)
+	binary.BigEndian.PutUint32(out[0:], manifestMagic)
+	binary.BigEndian.PutUint32(out[4:], uint32(m.Size))
+	binary.BigEndian.PutUint32(out[8:], uint32(m.PieceSize))
+	return out
+}
+
+// IsManifest reports whether a cached value is an encoded manifest.
+func IsManifest(data []byte) bool {
+	return len(data) == manifestLen && binary.BigEndian.Uint32(data) == manifestMagic
+}
+
+// DecodeManifest parses an encoded manifest.
+func DecodeManifest(data []byte) (Manifest, error) {
+	if !IsManifest(data) {
+		return Manifest{}, errors.New("chunk: not a manifest")
+	}
+	m := Manifest{
+		Size:      int(binary.BigEndian.Uint32(data[4:])),
+		PieceSize: int(binary.BigEndian.Uint32(data[8:])),
+	}
+	if m.Size < 0 || m.PieceSize <= 0 {
+		return Manifest{}, fmt.Errorf("chunk: invalid manifest %+v", m)
+	}
+	return m, nil
+}
+
+// Split cuts data into pieces of pieceSize bytes (the final piece may
+// be shorter) and returns the manifest. pieceSize <= 0 selects
+// DefaultPieceSize. The returned slices alias data.
+func Split(data []byte, pieceSize int) (Manifest, [][]byte) {
+	if pieceSize <= 0 {
+		pieceSize = DefaultPieceSize
+	}
+	m := Manifest{Size: len(data), PieceSize: pieceSize}
+	pieces := make([][]byte, 0, m.Pieces())
+	for off := 0; off < len(data); off += pieceSize {
+		end := off + pieceSize
+		if end > len(data) {
+			end = len(data)
+		}
+		pieces = append(pieces, data[off:end])
+	}
+	return m, pieces
+}
+
+// Reassemble concatenates pieces and validates them against the
+// manifest.
+func Reassemble(m Manifest, pieces [][]byte) ([]byte, error) {
+	if len(pieces) != m.Pieces() {
+		return nil, fmt.Errorf("chunk: have %d pieces, manifest says %d", len(pieces), m.Pieces())
+	}
+	out := make([]byte, 0, m.Size)
+	for i, p := range pieces {
+		wantLen := m.PieceSize
+		if i == len(pieces)-1 {
+			wantLen = m.Size - m.PieceSize*(len(pieces)-1)
+		}
+		if len(p) != wantLen {
+			return nil, fmt.Errorf("chunk: piece %d is %d bytes, want %d", i, len(p), wantLen)
+		}
+		out = append(out, p...)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPieceKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		parent string
+		index  int
+	}{
+		{"page:1", 0},
+		{"page:1", 17},
+		{"weird#pkey", 3}, // parent containing the separator
+	}
+	for _, c := range cases {
+		key := PieceKey(c.parent, c.index)
+		parent, index, ok := ParsePieceKey(key)
+		if !ok || parent != c.parent || index != c.index {
+			t.Errorf("ParsePieceKey(%q) = %q,%d,%v want %q,%d", key, parent, index, ok, c.parent, c.index)
+		}
+	}
+	for _, notPiece := range []string{"page:1", "page#px", "page#p-1", ""} {
+		if _, _, ok := ParsePieceKey(notPiece); ok {
+			t.Errorf("ParsePieceKey(%q) accepted", notPiece)
+		}
+	}
+}
+
+func TestManifestEncodeDecode(t *testing.T) {
+	m := Manifest{Size: 10000, PieceSize: 4096}
+	data := m.Encode()
+	if !IsManifest(data) {
+		t.Fatal("encoded manifest not recognised")
+	}
+	back, err := DecodeManifest(data)
+	if err != nil || back != m {
+		t.Fatalf("DecodeManifest = %+v, %v", back, err)
+	}
+	if m.Pieces() != 3 {
+		t.Fatalf("Pieces = %d, want 3", m.Pieces())
+	}
+	if _, err := DecodeManifest([]byte("junk")); err == nil {
+		t.Fatal("junk decoded")
+	}
+	// A real page body must never look like a manifest.
+	if IsManifest(bytes.Repeat([]byte{'a'}, manifestLen)) {
+		t.Fatal("plain text mistaken for manifest")
+	}
+}
+
+func TestSplitReassembleRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, 4095, 4096, 4097, 8192, 10000} {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		m, pieces := Split(data, 4096)
+		if m.Size != size || m.PieceSize != 4096 {
+			t.Fatalf("manifest = %+v", m)
+		}
+		back, err := Reassemble(m, pieces)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("size %d: reassembly mismatch", size)
+		}
+	}
+}
+
+func TestSplitDefaultPieceSize(t *testing.T) {
+	m, _ := Split(make([]byte, 100), 0)
+	if m.PieceSize != DefaultPieceSize {
+		t.Fatalf("PieceSize = %d", m.PieceSize)
+	}
+}
+
+func TestReassembleValidation(t *testing.T) {
+	data := make([]byte, 9000)
+	m, pieces := Split(data, 4096)
+	if _, err := Reassemble(m, pieces[:2]); err == nil {
+		t.Fatal("missing piece accepted")
+	}
+	bad := append([][]byte{}, pieces...)
+	bad[1] = bad[1][:100]
+	if _, err := Reassemble(m, bad); err == nil {
+		t.Fatal("truncated piece accepted")
+	}
+}
+
+// Property: split/reassemble is the identity for any data and piece
+// size.
+func TestQuickSplitRoundTrip(t *testing.T) {
+	prop := func(data []byte, rawSize uint16) bool {
+		pieceSize := int(rawSize%8192) + 1
+		m, pieces := Split(data, pieceSize)
+		back, err := Reassemble(m, pieces)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package chunk_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"proteus/internal/chunk"
+)
+
+// Split a 10 KB page into the paper's 4 KB basic units and put it back
+// together.
+func ExampleSplit() {
+	page := bytes.Repeat([]byte("wiki"), 2560) // 10240 bytes
+	m, pieces := chunk.Split(page, chunk.DefaultPieceSize)
+	fmt.Printf("pieces: %d (last %d bytes)\n", m.Pieces(), len(pieces[len(pieces)-1]))
+	for i := range pieces {
+		fmt.Println(chunk.PieceKey("page:42", i))
+	}
+	whole, err := chunk.Reassemble(m, pieces)
+	fmt.Println(bytes.Equal(whole, page), err)
+	// Output:
+	// pieces: 3 (last 2048 bytes)
+	// page:42#p0
+	// page:42#p1
+	// page:42#p2
+	// true <nil>
+}

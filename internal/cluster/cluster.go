@@ -1,0 +1,334 @@
+// Package cluster is the Proteus provisioning actuator for a real
+// (networked) cache fleet: it owns the fixed provisioning order, the
+// deterministic placement, and the smooth-transition protocol of
+// Section IV — broadcast digests, re-route, and power servers off only
+// after the TTL window during which hot data migrates on demand. The
+// paper's point that any provisioning *policy* can sit on top is
+// honoured by the Controller type (a delay-feedback policy like the
+// evaluation's) being separate from the actuator.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cacheclient"
+	"proteus/internal/core"
+)
+
+// Node abstracts one controllable cache server in the fixed
+// provisioning order.
+type Node interface {
+	// Addr returns the server's memcached-protocol address.
+	Addr() string
+	// PowerOn boots the server; it must be reachable on return.
+	PowerOn() error
+	// PowerOff shuts it down, losing in-memory data.
+	PowerOff() error
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Nodes is the fixed provisioning order (s1..sN); index 0 is never
+	// powered off.
+	Nodes []Node
+	// InitialActive is the number of nodes already running (>=1).
+	InitialActive int
+	// TTL is the hot-data window: how long a transition keeps old
+	// owners alive for on-demand migration.
+	TTL time.Duration
+	// Replicas enables Section III-E replication: r hashing rings over
+	// one shared placement (0 or 1 disables).
+	Replicas int
+	// NewClient builds a protocol client for a node address; nil uses
+	// cacheclient.New defaults.
+	NewClient func(addr string) *cacheclient.Client
+	// After schedules delayed work (the TTL expiry); nil uses
+	// time.AfterFunc. Tests inject a manual trigger.
+	After func(d time.Duration, fn func()) (cancel func())
+}
+
+// Coordinator executes provisioning decisions over a live fleet. It is
+// safe for concurrent use; Route is wait-free with respect to
+// provisioning (readers see a consistent snapshot).
+type Coordinator struct {
+	placement  *core.Placement
+	replicated *core.Replicated
+	nodes      []Node
+	clients    []*cacheclient.Client
+	ttl        time.Duration
+	after      func(time.Duration, func()) func()
+
+	mu     sync.RWMutex
+	active int
+	trans  *Transition
+	cancel func()
+	closed bool
+}
+
+// Transition is the in-flight smooth-transition window.
+type Transition struct {
+	FromActive int
+	ToActive   int
+	// Digests holds the broadcast content digests, indexed by node;
+	// nil entries were not snapshotted.
+	Digests []*bloom.Filter
+	// Deadline is when old owners may be powered off.
+	Deadline time.Time
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("cluster: coordinator closed")
+
+// New builds a Coordinator and powers on the initial prefix.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: at least one node required")
+	}
+	if cfg.InitialActive < 1 || cfg.InitialActive > len(cfg.Nodes) {
+		return nil, fmt.Errorf("cluster: InitialActive %d out of range 1..%d", cfg.InitialActive, len(cfg.Nodes))
+	}
+	if cfg.TTL <= 0 {
+		return nil, errors.New("cluster: TTL must be positive")
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	replicated, err := core.NewReplicated(len(cfg.Nodes), cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	placement := replicated.Placement()
+	newClient := cfg.NewClient
+	if newClient == nil {
+		newClient = func(addr string) *cacheclient.Client { return cacheclient.New(addr) }
+	}
+	after := cfg.After
+	if after == nil {
+		after = func(d time.Duration, fn func()) func() {
+			t := time.AfterFunc(d, fn)
+			return func() { t.Stop() }
+		}
+	}
+	c := &Coordinator{
+		placement:  placement,
+		replicated: replicated,
+		nodes:      cfg.Nodes,
+		ttl:        cfg.TTL,
+		after:      after,
+		active:     cfg.InitialActive,
+	}
+	for i := 0; i < cfg.InitialActive; i++ {
+		if err := cfg.Nodes[i].PowerOn(); err != nil {
+			return nil, fmt.Errorf("cluster: powering on node %d: %w", i, err)
+		}
+	}
+	c.clients = make([]*cacheclient.Client, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		c.clients[i] = newClient(n.Addr())
+	}
+	return c, nil
+}
+
+// Placement exposes the shared routing table.
+func (c *Coordinator) Placement() *core.Placement { return c.placement }
+
+// Replicas returns the replication factor (1 when disabled).
+func (c *Coordinator) Replicas() int { return c.replicated.Replicas() }
+
+// Active returns the current active-prefix size.
+func (c *Coordinator) Active() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.active
+}
+
+// Client returns the protocol client for node i.
+func (c *Coordinator) Client(i int) *cacheclient.Client { return c.clients[i] }
+
+// InTransition reports whether a smooth transition is in progress.
+func (c *Coordinator) InTransition() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.trans != nil
+}
+
+// CurrentTransition returns a snapshot of the in-flight transition, or
+// nil when the cluster is stable. The digest slice is shared (digests
+// are immutable); the struct itself is a copy.
+func (c *Coordinator) CurrentTransition() *Transition {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.trans == nil {
+		return nil
+	}
+	snapshot := *c.trans
+	return &snapshot
+}
+
+// Route is the web tier's per-request routing decision: the new owner
+// index, plus — during a transition, when the key's old owner differs
+// and its digest claims the key is hot — the old owner to try first
+// for on-demand migration (Algorithm 2 lines 6-8).
+func (c *Coordinator) Route(key string) (newOwner int, oldOwner int, tryOld bool) {
+	return c.RouteRing(key, 0)
+}
+
+// RouteRing is Route on one replication ring (ring 0 is the primary).
+// With replication enabled, a key is stored on its owner on every ring
+// (Section III-E); the web tier reads through the rings in order.
+func (c *Coordinator) RouteRing(key string, ring int) (newOwner int, oldOwner int, tryOld bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	newOwner = c.replicated.OwnerOnRing(key, ring, c.active)
+	if c.trans == nil {
+		return newOwner, 0, false
+	}
+	old := c.replicated.OwnerOnRing(key, ring, c.trans.FromActive)
+	if old == newOwner {
+		return newOwner, 0, false
+	}
+	digest := c.trans.Digests[old]
+	if digest == nil || !digest.Contains(key) {
+		return newOwner, 0, false
+	}
+	return newOwner, old, true
+}
+
+// WriteOwners returns the distinct servers that must store the key at
+// the current active-prefix size (one per ring, deduplicated; ring
+// collisions reduce the copy count, Eq. 3).
+func (c *Coordinator) WriteOwners(key string) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicated.DistinctOwners(key, c.active)
+}
+
+// SetActive executes one provisioning decision: grow or shrink the
+// active prefix to n with a smooth transition. A decision arriving
+// while a transition is pending finalizes the pending one first.
+func (c *Coordinator) SetActive(n int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if n < 1 || n > len(c.nodes) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: target %d out of range 1..%d", n, len(c.nodes))
+	}
+	if n == c.active && c.trans == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.finalizeLocked()
+	from := c.active
+	c.mu.Unlock()
+
+	if n == from {
+		return nil
+	}
+	if n > from {
+		// Boot the new servers before re-routing anything to them.
+		for i := from; i < n; i++ {
+			if err := c.nodes[i].PowerOn(); err != nil {
+				return fmt.Errorf("cluster: powering on node %d: %w", i, err)
+			}
+		}
+	}
+
+	// Broadcast: snapshot the digest of every old owner that may hold
+	// hot data for re-mapped keys (all running old-prefix nodes; when
+	// shrinking, only the dying nodes' keys move, but snapshotting the
+	// prefix is correct in both directions and matches the paper's
+	// "digests will be broadcasted" step).
+	digests := make([]*bloom.Filter, len(c.nodes))
+	lo, hi := relocationSources(from, n)
+	var firstErr error
+	for i := lo; i < hi; i++ {
+		d, err := c.clients[i].FetchDigest()
+		if err != nil {
+			// A node that cannot produce a digest degrades that node's
+			// keys to the database path; the transition still proceeds.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: digest from node %d: %w", i, err)
+			}
+			continue
+		}
+		digests[i] = d
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.trans = &Transition{FromActive: from, ToActive: n, Digests: digests, Deadline: time.Now().Add(c.ttl)}
+	c.active = n
+	c.cancel = c.after(c.ttl, c.expireTransition)
+	c.mu.Unlock()
+	return firstErr
+}
+
+// relocationSources returns the node index range whose keys move when
+// the prefix changes from -> to: the full old prefix when growing, the
+// dying suffix when shrinking.
+func relocationSources(from, to int) (lo, hi int) {
+	if to > from {
+		return 0, from
+	}
+	return to, from
+}
+
+func (c *Coordinator) expireTransition() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finalizeLocked()
+}
+
+// finalizeLocked ends the transition window: after TTL every still-hot
+// key has migrated, so dying servers can be powered off safely.
+func (c *Coordinator) finalizeLocked() {
+	if c.trans == nil {
+		return
+	}
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	tr := c.trans
+	c.trans = nil
+	if tr.ToActive < tr.FromActive {
+		for i := tr.ToActive; i < tr.FromActive; i++ {
+			// Best-effort: a node that fails to power off keeps burning
+			// power but stays correct.
+			_ = c.nodes[i].PowerOff()
+		}
+	}
+}
+
+// FinalizeNow ends a pending transition immediately (tests, shutdown).
+func (c *Coordinator) FinalizeNow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finalizeLocked()
+}
+
+// Close finalizes any transition and releases all clients. Nodes are
+// left in their current power state.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.finalizeLocked()
+	c.mu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Controller is the delay-feedback provisioning policy used in the
+// paper's evaluation: a reference response time of 0.4 s under a 0.5 s
+// delay bound, updated once per slot. The paper stresses that policy
+// design is not its contribution and omits the loop details; this
+// controller captures the described behaviour — track the workload with
+// as few servers as possible while keeping the measured high-percentile
+// delay under the bound.
+type Controller struct {
+	// Reference is the target high-percentile response time (paper:
+	// 0.4 s, chosen to tolerate overshoot under the 0.5 s bound).
+	Reference time.Duration
+	// Bound is the delay SLO (paper: 0.5 s).
+	Bound time.Duration
+	// PerServerCapacity estimates sustainable requests/second per
+	// cache server; used as a feed-forward term.
+	PerServerCapacity float64
+	// Min and Max clamp the fleet size.
+	Min, Max int
+}
+
+// NewController returns the evaluation's configuration for a fleet of n
+// servers with the given capacity estimate.
+func NewController(n int, perServerCapacity float64) *Controller {
+	return &Controller{
+		Reference:         400 * time.Millisecond,
+		Bound:             500 * time.Millisecond,
+		PerServerCapacity: perServerCapacity,
+		Min:               1,
+		Max:               n,
+	}
+}
+
+// Decide returns the server count for the next slot given the current
+// count, the measured high-percentile delay of the ending slot, and the
+// measured request rate.
+//
+// The rule combines feed-forward (enough servers for the observed rate)
+// with feedback (react to the delay error): delay above the bound adds
+// a server on top of the feed-forward term; delay comfortably under the
+// reference allows the feed-forward term to shed servers one at a time.
+func (c *Controller) Decide(current int, delay time.Duration, rate float64) int {
+	if current < c.Min {
+		current = c.Min
+	}
+	feedForward := current
+	if c.PerServerCapacity > 0 {
+		feedForward = int(math.Ceil(rate / c.PerServerCapacity))
+	}
+
+	next := current
+	switch {
+	case delay > c.Bound:
+		// SLO violated: grow immediately, at least one server above
+		// the feed-forward estimate.
+		next = max(current+1, feedForward+1)
+	case delay > c.Reference:
+		// Above reference but within bound: hold, or follow the
+		// feed-forward term upward only.
+		next = max(current, feedForward)
+	default:
+		// Comfortable: shed at most one server per slot toward the
+		// feed-forward target (hysteresis against oscillation).
+		if feedForward < current {
+			next = current - 1
+		} else {
+			next = max(current, feedForward)
+		}
+	}
+
+	if next < c.Min {
+		next = c.Min
+	}
+	if next > c.Max {
+		next = c.Max
+	}
+	return next
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("Controller(ref=%v bound=%v cap=%.1f range=[%d,%d])",
+		c.Reference, c.Bound, c.PerServerCapacity, c.Min, c.Max)
+}

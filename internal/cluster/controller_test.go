@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestControllerGrowsOnBoundViolation(t *testing.T) {
+	c := NewController(10, 100)
+	next := c.Decide(5, 600*time.Millisecond, 450)
+	if next <= 5 {
+		t.Fatalf("Decide = %d, want growth above 5", next)
+	}
+}
+
+func TestControllerHoldsInsideBand(t *testing.T) {
+	c := NewController(10, 100)
+	// 450ms is above reference but under bound; rate supports 5.
+	if next := c.Decide(5, 450*time.Millisecond, 450); next != 5 {
+		t.Fatalf("Decide = %d, want hold at 5", next)
+	}
+}
+
+func TestControllerShedsSlowly(t *testing.T) {
+	c := NewController(10, 100)
+	// Comfortable delay, rate only needs 3 servers: shed one per slot.
+	if next := c.Decide(7, 100*time.Millisecond, 250); next != 6 {
+		t.Fatalf("Decide = %d, want 6 (one step down)", next)
+	}
+}
+
+func TestControllerFollowsRateUp(t *testing.T) {
+	c := NewController(10, 100)
+	// Low delay but rate demands more servers (feed-forward).
+	if next := c.Decide(4, 100*time.Millisecond, 820); next != 9 {
+		t.Fatalf("Decide = %d, want 9", next)
+	}
+}
+
+func TestControllerClamps(t *testing.T) {
+	c := NewController(10, 100)
+	if next := c.Decide(10, time.Second, 5000); next != 10 {
+		t.Fatalf("Decide = %d, want clamp to 10", next)
+	}
+	if next := c.Decide(1, time.Millisecond, 0); next != 1 {
+		t.Fatalf("Decide = %d, want clamp to 1", next)
+	}
+}
+
+// Driving the controller with the diurnal curve must track it: more
+// servers at peak than at valley, and no thrashing (steps of one).
+func TestControllerTracksDiurnalCurve(t *testing.T) {
+	c := NewController(10, 40)
+	current := 5
+	var history []int
+	for slot := 0; slot < 48; slot++ {
+		// Synthetic rate curve: valley 133, peak 267.
+		frac := float64(slot) / 48
+		rate := 200 * (1 + (1.0/3)*cosApprox(frac))
+		// Delay correlates loosely with load per server.
+		perServer := rate / float64(current)
+		delay := time.Duration(perServer / 40 * 0.3 * float64(time.Second))
+		current = c.Decide(current, delay, rate)
+		history = append(history, current)
+	}
+	min, max := history[0], history[0]
+	for i, n := range history {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		if i > 0 {
+			step := n - history[i-1]
+			if step > 2 || step < -1 {
+				t.Fatalf("controller thrashing at slot %d: %v", i, history)
+			}
+		}
+	}
+	if max < 7 || min > 5 {
+		t.Fatalf("controller not tracking the curve: min=%d max=%d history=%v", min, max, history)
+	}
+}
+
+// cosApprox maps [0,1) to a cosine-like curve peaking at 0.5.
+func cosApprox(frac float64) float64 {
+	x := frac - 0.5
+	return 1 - 8*x*x // parabola peaking at 1, valley -1 at edges
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+	"log"
+	"time"
+)
+
+// Sample is one provisioning-slot measurement: the high-percentile
+// response time and the request rate observed during the ending slot.
+type Sample struct {
+	Delay time.Duration
+	Rate  float64
+}
+
+// Supervisor closes the loop in real time: every slot it reads a
+// measurement, asks the Controller for the next fleet size, and has the
+// Coordinator actuate it with a smooth transition — the paper's
+// "feedback control algorithm along with Proteus".
+type Supervisor struct {
+	coord  *Coordinator
+	ctrl   *Controller
+	sample func() Sample
+	every  time.Duration
+	logger *log.Logger
+	// onDecision, when set, observes every slot decision (tests).
+	onDecision func(from, to int)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// SupervisorConfig configures a Supervisor.
+type SupervisorConfig struct {
+	// Coordinator actuates decisions (required).
+	Coordinator *Coordinator
+	// Controller decides fleet sizes (required).
+	Controller *Controller
+	// Sample returns the ending slot's measurement and resets the
+	// window (required).
+	Sample func() Sample
+	// Every is the slot width (the paper updates every 30 minutes).
+	Every time.Duration
+	// Logger receives decision logs; nil disables.
+	Logger *log.Logger
+	// OnDecision observes decisions (tests); may be nil.
+	OnDecision func(from, to int)
+}
+
+// NewSupervisor builds a stopped supervisor; call Start.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Coordinator == nil || cfg.Controller == nil || cfg.Sample == nil {
+		return nil, errors.New("cluster: supervisor needs coordinator, controller and sample")
+	}
+	if cfg.Every <= 0 {
+		return nil, errors.New("cluster: supervisor slot width must be positive")
+	}
+	return &Supervisor{
+		coord:      cfg.Coordinator,
+		ctrl:       cfg.Controller,
+		sample:     cfg.Sample,
+		every:      cfg.Every,
+		logger:     cfg.Logger,
+		onDecision: cfg.OnDecision,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}, nil
+}
+
+// Start launches the control loop. Call Stop to terminate it; Start
+// must be called at most once.
+func (s *Supervisor) Start() {
+	go s.loop()
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (s *Supervisor) Stop() {
+	select {
+	case <-s.stop:
+		// already stopped
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+func (s *Supervisor) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.tick()
+		}
+	}
+}
+
+// tick executes one slot decision.
+func (s *Supervisor) tick() {
+	m := s.sample()
+	current := s.coord.Active()
+	next := s.ctrl.Decide(current, m.Delay, m.Rate)
+	if s.onDecision != nil {
+		s.onDecision(current, next)
+	}
+	if next == current {
+		return
+	}
+	if s.logger != nil {
+		s.logger.Printf("supervisor: delay=%v rate=%.1f req/s: active %d -> %d",
+			m.Delay, m.Rate, current, next)
+	}
+	if err := s.coord.SetActive(next); err != nil {
+		if s.logger != nil {
+			s.logger.Printf("supervisor: SetActive(%d): %v", next, err)
+		}
+	}
+}

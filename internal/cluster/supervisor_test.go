@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSupervisorValidation(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{}); err == nil {
+		t.Error("empty supervisor config accepted")
+	}
+}
+
+// Drive the supervisor with synthetic measurements and watch it scale
+// the live fleet both ways.
+func TestSupervisorScalesFleet(t *testing.T) {
+	coord, locals, _ := newTestCluster(t, 4, 2)
+
+	var (
+		mu     sync.Mutex
+		sample = Sample{Delay: 600 * time.Millisecond, Rate: 300}
+	)
+	decisions := make(chan [2]int, 64)
+	ctrl := NewController(4, 100)
+	sup, err := NewSupervisor(SupervisorConfig{
+		Coordinator: coord,
+		Controller:  ctrl,
+		Sample: func() Sample {
+			mu.Lock()
+			defer mu.Unlock()
+			return sample
+		},
+		Every:      10 * time.Millisecond,
+		OnDecision: func(from, to int) { decisions <- [2]int{from, to} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Start()
+	defer sup.Stop()
+
+	waitFor := func(want int) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case <-decisions:
+				if coord.Active() == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("fleet never reached %d (at %d)", want, coord.Active())
+			}
+		}
+	}
+
+	// High delay + high rate: grow to the rate-implied fleet (3) and
+	// beyond while the bound stays violated.
+	waitFor(4)
+	if !locals[3].Running() {
+		t.Fatal("scaled-up server not powered")
+	}
+
+	// Calm measurements: shed one server per slot toward rate/capacity.
+	mu.Lock()
+	sample = Sample{Delay: 50 * time.Millisecond, Rate: 150}
+	mu.Unlock()
+	waitFor(2)
+
+	sup.Stop() // idempotent with the deferred Stop
+}

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+func TestRangeOwnerMethod(t *testing.T) {
+	p, err := New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Ranges() {
+		for active := 1; active <= 6; active++ {
+			got := r.Owner(active)
+			want := p.Owner(r.Start, active)
+			if got != want {
+				t.Fatalf("Range.Owner(%d) = %d, Placement.Owner = %d", active, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeOwnerPanicsBelowChain(t *testing.T) {
+	r := Range{Start: 0, Length: 1, Chain: []int{2, 5}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Owner(1) on chain starting at 2 did not panic")
+		}
+	}()
+	r.Owner(1)
+}
+
+func TestOwnerOnRingPanicsOutOfRange(t *testing.T) {
+	rep, err := NewReplicated(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Replicas(); got != 2 {
+		t.Fatalf("Replicas = %d", got)
+	}
+	if rep.OwnerOnRing("k", 0, 4) != rep.Placement().Lookup("k", 4) {
+		t.Fatal("ring 0 disagrees with Lookup")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OwnerOnRing(ring=5) did not panic")
+		}
+	}()
+	rep.OwnerOnRing("k", 5, 4)
+}
+
+func TestNewReplicatedClampsAndValidates(t *testing.T) {
+	rep, err := NewReplicated(3, 0) // r < 1 clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas() != 1 {
+		t.Fatalf("Replicas = %d, want 1", rep.Replicas())
+	}
+	if _, err := NewReplicated(0, 2); err == nil {
+		t.Error("NewReplicated(0, 2) accepted")
+	}
+}
+
+func TestNoConflictProbabilityDegenerate(t *testing.T) {
+	if got := NoConflictProbability(0, 10); got != 0 {
+		t.Errorf("r=0: %g", got)
+	}
+	if got := NoConflictProbability(2, 0); got != 0 {
+		t.Errorf("n=0: %g", got)
+	}
+}

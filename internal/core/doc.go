@@ -1,0 +1,23 @@
+// Package core implements the primary contribution of the Proteus paper
+// (ICDCS 2013): a deterministic virtual-node placement algorithm for
+// consistent hashing that keeps load perfectly balanced across every
+// active prefix of a fixed provisioning order, while guaranteeing the
+// minimum possible amount of data movement at each provisioning step.
+//
+// Servers are identified by their index 0..N-1 in the fixed provisioning
+// order (the paper's s1..sN). At any instant the active set is the prefix
+// {0..n-1}; turning a server on or off moves n by one. The Placement type
+// answers, for any key and any active-prefix size n, which server owns the
+// key — the paper's consistent-hash view shared by every web server — and
+// can enumerate exactly which fraction of the key space migrates between
+// any two prefix sizes.
+//
+// Algorithm 1 of the paper is reproduced exactly: server i (1-based)
+// contributes i-1 virtual nodes, each carved as a K/(i(i-1))-long host
+// range borrowed from one feasible virtual node of every lower-ordered
+// server, for a total of N(N-1)/2 + 1 virtual nodes — the lower bound the
+// paper proves in Theorem 1. Construction uses exact rational arithmetic
+// and is then projected onto a 2^62-point integer ring, so every web
+// server derives bit-identical routing tables (the paper's consistency
+// objective) with rounding error bounded by one ring unit per boundary.
+package core

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The paper's third objective is that every web server makes identical
+// routing decisions. Construction is deterministic, so building from N
+// suffices — but operators still want to (a) skip the O(N^3) rational
+// construction on hot start-up paths and (b) verify that two processes
+// really hold the same table. MarshalBinary/UnmarshalPlacement give a
+// compact wire form, and Fingerprint gives a cheap equality check to
+// gossip between web servers.
+
+// placementMagic guards the wire encoding ("PVNP": Proteus Virtual
+// Node Placement).
+const placementMagic = 0x50564e50
+
+// MarshalBinary encodes the placement: header (magic, N, range count),
+// then per range its start delta and chain (varint-encoded).
+func (p *Placement) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+len(p.starts)*8)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf = append(buf, scratch[:n]...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, placementMagic)
+	put(uint64(p.n))
+	put(uint64(len(p.starts)))
+	prev := uint64(0)
+	for i, start := range p.starts {
+		put(start - prev) // starts are sorted; deltas compress well
+		prev = start
+		chain := p.chains[i]
+		put(uint64(len(chain)))
+		prevOwner := 0
+		for _, owner := range chain {
+			put(uint64(owner - prevOwner)) // strictly increasing
+			prevOwner = owner
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalPlacement decodes a placement previously encoded with
+// MarshalBinary, validating structural invariants.
+func UnmarshalPlacement(data []byte) (*Placement, error) {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data) != placementMagic {
+		return nil, errors.New("core: bad placement magic")
+	}
+	data = data[4:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, errors.New("core: truncated placement encoding")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	n64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	count64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	count := int(count64)
+	if n < 1 || n > MaxServers {
+		return nil, fmt.Errorf("core: decoded server count %d out of range", n)
+	}
+	if count < 1 || count > VirtualNodeLowerBound(n) {
+		return nil, fmt.Errorf("core: decoded range count %d out of range for n=%d", count, n)
+	}
+	p := &Placement{n: n, starts: make([]uint64, count), chains: make([][]int, count)}
+	prev := uint64(0)
+	for i := 0; i < count; i++ {
+		delta, err := next()
+		if err != nil {
+			return nil, err
+		}
+		start := prev + delta
+		if i == 0 && start != 0 {
+			return nil, errors.New("core: decoded placement does not start at ring origin")
+		}
+		if i > 0 && delta == 0 {
+			return nil, errors.New("core: decoded placement has empty range")
+		}
+		if start >= RingSize {
+			return nil, errors.New("core: decoded range start beyond ring")
+		}
+		p.starts[i] = start
+		prev = start
+		chainLen, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if chainLen < 1 || chainLen > uint64(n) {
+			return nil, fmt.Errorf("core: decoded chain length %d invalid", chainLen)
+		}
+		chain := make([]int, chainLen)
+		owner := 0
+		for k := range chain {
+			d, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if k == 0 && d != 0 {
+				return nil, errors.New("core: decoded chain does not begin at server 0")
+			}
+			if k > 0 && d == 0 {
+				return nil, errors.New("core: decoded chain not strictly increasing")
+			}
+			owner += int(d)
+			if owner >= n {
+				return nil, errors.New("core: decoded chain owner out of range")
+			}
+			chain[k] = owner
+		}
+		p.chains[i] = chain
+	}
+	if len(data) != 0 {
+		return nil, errors.New("core: trailing bytes after placement encoding")
+	}
+	return p, nil
+}
+
+// Fingerprint returns a 64-bit digest of the routing table. Two
+// placements route identically iff their fingerprints match (up to hash
+// collisions); web servers exchange it to detect configuration drift.
+func (p *Placement) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	mixIn := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	mixIn(uint64(p.n))
+	for i, start := range p.starts {
+		mixIn(start)
+		for _, owner := range p.chains[i] {
+			mixIn(uint64(owner))
+		}
+	}
+	return mix64(h)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlacementMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		p, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalPlacement(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if back.Servers() != p.Servers() || back.NumVirtualNodes() != p.NumVirtualNodes() {
+			t.Fatalf("n=%d: shape mismatch", n)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 2000; trial++ {
+			pt := rng.Uint64() & (RingSize - 1)
+			active := rng.Intn(n) + 1
+			if a, b := p.Owner(pt, active), back.Owner(pt, active); a != b {
+				t.Fatalf("n=%d: decoded placement routes %d, original %d", n, b, a)
+			}
+		}
+		if p.Fingerprint() != back.Fingerprint() {
+			t.Fatalf("n=%d: fingerprint changed across round trip", n)
+		}
+	}
+}
+
+func TestPlacementEncodingCompact(t *testing.T) {
+	p, err := New(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 781 ranges with short chains should encode in a few KB.
+	if len(data) > 32*1024 {
+		t.Fatalf("encoding is %d bytes; expected a few KB", len(data))
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	p, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		data[:len(data)-1],                    // truncated
+		append(data[:len(data):len(data)], 0), // trailing byte
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalPlacement(c); err == nil {
+			t.Errorf("case %d: corrupted encoding accepted", i)
+		}
+	}
+	// Flipping header magic must fail.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := UnmarshalPlacement(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// Property: random byte soup never panics the decoder and never yields
+// a structurally invalid placement.
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	prop := func(data []byte) bool {
+		p, err := UnmarshalPlacement(data)
+		if err != nil {
+			return true
+		}
+		// If it decoded, invariants must hold.
+		if p.Servers() < 1 || p.NumVirtualNodes() < 1 {
+			return false
+		}
+		return p.Owner(0, 1) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different placements share a fingerprint")
+	}
+	c, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Error("identical placements have different fingerprints")
+	}
+}

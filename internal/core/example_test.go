@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"proteus/internal/core"
+)
+
+// Build the placement for a 4-server provisioning order and route a
+// key at different fleet sizes.
+func ExampleNew() {
+	p, err := core.New(4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("virtual nodes:", p.NumVirtualNodes())
+	fmt.Println("lower bound:  ", core.VirtualNodeLowerBound(4))
+	key := "page:Main_Page"
+	for active := 1; active <= 4; active++ {
+		fmt.Printf("active=%d -> server %d\n", active, p.Lookup(key, active))
+	}
+	// Output:
+	// virtual nodes: 7
+	// lower bound:   7
+	// active=1 -> server 0
+	// active=2 -> server 1
+	// active=3 -> server 1
+	// active=4 -> server 1
+}
+
+// Inspect how much of the key space moves at each provisioning step —
+// always the provable minimum |Δn|/max(n, n').
+func ExamplePlacement_MigratedFraction() {
+	p, err := core.New(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("5 -> 4 servers: %.2f of the key space\n", p.MigratedFraction(5, 4))
+	fmt.Printf("4 -> 5 servers: %.2f of the key space\n", p.MigratedFraction(4, 5))
+	fmt.Printf("5 -> 2 servers: %.2f of the key space\n", p.MigratedFraction(5, 2))
+	// Output:
+	// 5 -> 4 servers: 0.20 of the key space
+	// 4 -> 5 servers: 0.20 of the key space
+	// 5 -> 2 servers: 0.60 of the key space
+}
+
+// Replication: r rings over one placement (Section III-E).
+func ExampleNoConflictProbability() {
+	fmt.Printf("r=2, n=10:  %.3f\n", core.NoConflictProbability(2, 10))
+	fmt.Printf("r=3, n=100: %.3f\n", core.NoConflictProbability(3, 100))
+	// Output:
+	// r=2, n=10:  0.900
+	// r=3, n=100: 0.970
+}

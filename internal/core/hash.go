@@ -1,0 +1,52 @@
+package core
+
+// RingBits is the log2 of the ring size. The paper's key space K is
+// realised as the integer interval [0, RingSize). 62 bits keeps every
+// intermediate product of the rational-to-integer projection inside a
+// uint64 while leaving the smallest host range (K / (N(N-1)) for the
+// largest supported N) astronomically wider than one ring unit.
+const RingBits = 62
+
+// RingSize is the number of points on the hash ring (the paper's K).
+const RingSize uint64 = 1 << RingBits
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// fnv64a hashes s with FNV-1a. It is inlined here rather than using
+// hash/fnv to avoid per-call allocations on the hot lookup path.
+func fnv64a(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer; it decorrelates the bits of FNV
+// output so that truncation to RingBits keeps keys uniformly spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Point maps a data key to its position on the ring.
+func Point(key string) uint64 {
+	return mix64(fnv64a(key)) & (RingSize - 1)
+}
+
+// PointSeeded maps a data key to a ring position under an alternative
+// hash function identified by seed. The paper's replication scheme
+// (Section III-E) builds r rings that share one virtual-node placement
+// but use r different hash functions; distinct seeds realise those
+// functions.
+func PointSeeded(key string, seed uint64) uint64 {
+	return mix64(fnv64a(key)^seed) & (RingSize - 1)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Brute-force cross-check: the Migrations() enumeration must agree
+// with per-point owner comparison at every sampled ring position.
+func TestMigrationsMatchBruteForce(t *testing.T) {
+	const n = 12
+	p, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, step := range [][2]int{{12, 11}, {5, 6}, {3, 9}, {9, 3}, {1, 12}} {
+		from, to := step[0], step[1]
+		moves := p.Migrations(from, to)
+
+		inMove := func(pt uint64) (Movement, bool) {
+			for _, m := range moves {
+				if pt >= m.Start && pt < m.Start+m.Length {
+					return m, true
+				}
+			}
+			return Movement{}, false
+		}
+
+		for trial := 0; trial < 5000; trial++ {
+			pt := rng.Uint64() & (RingSize - 1)
+			a, b := p.Owner(pt, from), p.Owner(pt, to)
+			m, moved := inMove(pt)
+			if (a != b) != moved {
+				t.Fatalf("%d->%d: point %d owner %d->%d but enumeration moved=%v",
+					from, to, pt, a, b, moved)
+			}
+			if moved && (m.From != a || m.To != b) {
+				t.Fatalf("%d->%d: point %d movement %+v but owners %d->%d",
+					from, to, pt, m, a, b)
+			}
+		}
+	}
+}
+
+// Movements must be disjoint and sorted.
+func TestMigrationsDisjointSorted(t *testing.T) {
+	p, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := p.Migrations(16, 7)
+	for i := 1; i < len(moves); i++ {
+		prevEnd := moves[i-1].Start + moves[i-1].Length
+		if moves[i].Start < prevEnd {
+			t.Fatalf("movements overlap at %d: %+v then %+v", i, moves[i-1], moves[i])
+		}
+	}
+}
+
+// Identical from/to yields no movements.
+func TestMigrationsIdentity(t *testing.T) {
+	p, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for active := 1; active <= 8; active++ {
+		if moves := p.Migrations(active, active); len(moves) != 0 {
+			t.Fatalf("active=%d: %d spurious movements", active, len(moves))
+		}
+	}
+}
+
+// OwnedFraction sums to 1 across active servers at every prefix size.
+func TestOwnedFractionSums(t *testing.T) {
+	p, err := New(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for active := 1; active <= 20; active++ {
+		sum := 0.0
+		for s := 0; s < active; s++ {
+			sum += p.OwnedFraction(s, active)
+		}
+		if sum < 0.9999 || sum > 1.0001 {
+			t.Fatalf("active=%d: fractions sum to %g", active, sum)
+		}
+	}
+}
+
+func BenchmarkMigrations(b *testing.B) {
+	p, err := New(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Migrations(40, 20)
+	}
+}

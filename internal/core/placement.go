@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// MaxServers bounds the provisioning order length. Construction is
+// O(N^3) exact rational operations: ~60 ms at N=128, ~400 ms at N=256,
+// seconds beyond that (far past the paper's 10-server tier). Large
+// fleets should construct once and distribute via MarshalBinary.
+const MaxServers = 1024
+
+// ErrTooManyServers is returned by New when n exceeds MaxServers.
+var ErrTooManyServers = errors.New("core: too many servers")
+
+// Range is one virtual node's host range on the integer ring, exposed
+// for inspection and testing. The range covers [Start, Start+Length).
+// Chain is the strictly increasing ownership history of the range: the
+// servers (by provisioning index) that successively carved a host range
+// containing these points. The last entry is the owner when all servers
+// are active; the owner at active-prefix size n is the largest entry
+// below n.
+type Range struct {
+	Start  uint64
+	Length uint64
+	Chain  []int
+}
+
+// Owner reports which server owns this range when the first active
+// servers are on. It panics if active <= Chain[0] (server 0 is always in
+// every chain, so any active >= 1 is valid).
+func (r Range) Owner(active int) int {
+	for i := len(r.Chain) - 1; i >= 0; i-- {
+		if r.Chain[i] < active {
+			return r.Chain[i]
+		}
+	}
+	panic(fmt.Sprintf("core: range has no owner below active=%d", active))
+}
+
+// Placement is the deterministic virtual-node placement of Algorithm 1
+// for a fixed provisioning order of Servers() physical servers. It is
+// immutable after construction and safe for concurrent use.
+type Placement struct {
+	n      int
+	starts []uint64 // sorted range starts; range i spans [starts[i], starts[i+1])
+	chains [][]int  // chains[i] is the ownership history of range i
+}
+
+// ratRange is a host range during exact construction.
+type ratRange struct {
+	start *big.Rat
+	len   *big.Rat
+	chain []int
+}
+
+// New runs Algorithm 1 for n servers and projects the exact rational
+// placement onto the integer ring. The same n always yields the same
+// placement, so independent web servers route identically.
+func New(n int) (*Placement, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: placement needs at least 1 server, got %d", n)
+	}
+	if n > MaxServers {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyServers, n, MaxServers)
+	}
+
+	// owned[j] lists the host ranges currently owned by server j, in
+	// creation order (the order Algorithm 1's inner loop scans R[j]).
+	owned := make([][]*ratRange, n)
+	all := make([]*ratRange, 0, n*(n-1)/2+1)
+
+	first := &ratRange{start: big.NewRat(0, 1), len: big.NewRat(1, 1), chain: []int{0}}
+	owned[0] = append(owned[0], first)
+	all = append(all, first)
+
+	// Server p (0-based; the paper's s_{p+1}) carves p virtual nodes,
+	// each of length 1/(p(p+1)) of the ring, one from every server j < p.
+	for p := 1; p < n; p++ {
+		need := big.NewRat(1, int64(p)*int64(p+1))
+		for j := 0; j < p; j++ {
+			donor, err := pickDonor(owned[j], need)
+			if err != nil {
+				return nil, fmt.Errorf("core: placing server %d from donor %d: %w", p, j, err)
+			}
+			piece := &ratRange{
+				start: new(big.Rat).Set(donor.start),
+				len:   new(big.Rat).Set(need),
+				chain: appendChain(donor.chain, p),
+			}
+			donor.start = new(big.Rat).Add(donor.start, need)
+			donor.len = new(big.Rat).Sub(donor.len, need)
+			if donor.len.Sign() == 0 {
+				owned[j] = removeRange(owned[j], donor)
+			}
+			owned[p] = append(owned[p], piece)
+			all = append(all, piece)
+		}
+	}
+
+	return project(n, all)
+}
+
+// pickDonor implements Algorithm 1 line 6-13: scan the candidate's host
+// ranges for one longer than need. The paper requires a strictly longer
+// donor but its feasibility proof only guarantees >=, so an exactly
+// equal donor is accepted as a fallback (the emptied range is removed by
+// the caller).
+func pickDonor(ranges []*ratRange, need *big.Rat) (*ratRange, error) {
+	var equal *ratRange
+	for _, r := range ranges {
+		switch r.len.Cmp(need) {
+		case 1:
+			return r, nil
+		case 0:
+			if equal == nil {
+				equal = r
+			}
+		}
+	}
+	if equal != nil {
+		return equal, nil
+	}
+	return nil, errors.New("no feasible donor range")
+}
+
+func appendChain(chain []int, owner int) []int {
+	out := make([]int, len(chain)+1)
+	copy(out, chain)
+	out[len(chain)] = owner
+	return out
+}
+
+func removeRange(ranges []*ratRange, target *ratRange) []*ratRange {
+	for i, r := range ranges {
+		if r == target {
+			return append(ranges[:i], ranges[i+1:]...)
+		}
+	}
+	return ranges
+}
+
+// project converts the exact rational ranges to integer ring ranges.
+// Boundaries are floored onto the ring; a range whose projection is
+// empty (possible only when two rational boundaries fall within one ring
+// unit) is dropped, which is harmless because no integer point maps
+// into it.
+func project(n int, all []*ratRange) (*Placement, error) {
+	sort.Slice(all, func(i, j int) bool { return all[i].start.Cmp(all[j].start) < 0 })
+
+	ringSize := new(big.Int).SetUint64(RingSize)
+	starts := make([]uint64, 0, len(all))
+	chains := make([][]int, 0, len(all))
+	for _, r := range all {
+		// floor(start * RingSize): start = a/b, so floor(a*RingSize / b).
+		num := new(big.Int).Mul(r.start.Num(), ringSize)
+		num.Quo(num, r.start.Denom())
+		if !num.IsUint64() {
+			return nil, fmt.Errorf("core: projected boundary out of range for %v", r.start)
+		}
+		u := num.Uint64()
+		if len(starts) > 0 && u == starts[len(starts)-1] {
+			// Previous range projected to zero width; replace it.
+			chains[len(chains)-1] = r.chain
+			continue
+		}
+		starts = append(starts, u)
+		chains = append(chains, r.chain)
+	}
+	if len(starts) == 0 || starts[0] != 0 {
+		return nil, errors.New("core: projection lost the ring origin")
+	}
+	return &Placement{n: n, starts: starts, chains: chains}, nil
+}
+
+// Servers returns the provisioning-order length N.
+func (p *Placement) Servers() int { return p.n }
+
+// NumVirtualNodes returns the number of host ranges on the ring. It
+// equals Theorem 1's lower bound N(N-1)/2 + 1 except in the measure-zero
+// case where a projected range collapsed.
+func (p *Placement) NumVirtualNodes() int { return len(p.starts) }
+
+// VirtualNodeLowerBound returns Theorem 1's minimum number of virtual
+// nodes needed to satisfy the Balance Condition for n servers.
+func VirtualNodeLowerBound(n int) int {
+	return n*(n-1)/2 + 1
+}
+
+// rangeIndex locates the range containing the ring point.
+func (p *Placement) rangeIndex(point uint64) int {
+	// First start is always 0, so Search never returns 0 spuriously.
+	i := sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > point })
+	return i - 1
+}
+
+// Owner reports the server owning a ring point when the first `active`
+// servers in the provisioning order are on.
+func (p *Placement) Owner(point uint64, active int) int {
+	if active < 1 {
+		panic("core: active server count must be >= 1")
+	}
+	if active > p.n {
+		active = p.n
+	}
+	chain := p.chains[p.rangeIndex(point&(RingSize-1))]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i] < active {
+			return chain[i]
+		}
+	}
+	return 0 // unreachable: every chain begins with server 0
+}
+
+// Lookup maps a data key to its owning server at the given active-prefix
+// size. This is the routing decision every web server makes per request.
+func (p *Placement) Lookup(key string, active int) int {
+	return p.Owner(Point(key), active)
+}
+
+// Ranges returns a copy of the host ranges for inspection.
+func (p *Placement) Ranges() []Range {
+	out := make([]Range, len(p.starts))
+	for i := range p.starts {
+		out[i] = Range{Start: p.starts[i], Length: p.rangeLen(i), Chain: append([]int(nil), p.chains[i]...)}
+	}
+	return out
+}
+
+func (p *Placement) rangeLen(i int) uint64 {
+	if i == len(p.starts)-1 {
+		return RingSize - p.starts[i]
+	}
+	return p.starts[i+1] - p.starts[i]
+}
+
+// OwnedSpan returns the total ring span owned by server at the given
+// active-prefix size. The Balance Condition makes this RingSize/active
+// (up to projection rounding) for every active server.
+func (p *Placement) OwnedSpan(server, active int) uint64 {
+	var span uint64
+	for i := range p.starts {
+		if owner := p.ownerOfRange(i, active); owner == server {
+			span += p.rangeLen(i)
+		}
+	}
+	return span
+}
+
+// OwnedFraction is OwnedSpan as a fraction of the ring.
+func (p *Placement) OwnedFraction(server, active int) float64 {
+	return float64(p.OwnedSpan(server, active)) / float64(RingSize)
+}
+
+func (p *Placement) ownerOfRange(i, active int) int {
+	chain := p.chains[i]
+	for k := len(chain) - 1; k >= 0; k-- {
+		if chain[k] < active {
+			return chain[k]
+		}
+	}
+	return 0
+}
+
+// Movement describes one contiguous span of the key space that changes
+// owner between two active-prefix sizes.
+type Movement struct {
+	Start  uint64
+	Length uint64
+	From   int // owner at the source prefix size
+	To     int // owner at the destination prefix size
+}
+
+// Migrations enumerates every span whose owner differs between
+// fromActive and toActive servers. The paper's minimality guarantee is
+// that the summed length is |to-from|/max(to,from) of the ring.
+func (p *Placement) Migrations(fromActive, toActive int) []Movement {
+	var moves []Movement
+	for i := range p.starts {
+		a := p.ownerOfRange(i, fromActive)
+		b := p.ownerOfRange(i, toActive)
+		if a == b {
+			continue
+		}
+		m := Movement{Start: p.starts[i], Length: p.rangeLen(i), From: a, To: b}
+		// Merge with the previous movement when contiguous and same owners.
+		if len(moves) > 0 {
+			last := &moves[len(moves)-1]
+			if last.Start+last.Length == m.Start && last.From == m.From && last.To == m.To {
+				last.Length += m.Length
+				continue
+			}
+		}
+		moves = append(moves, m)
+	}
+	return moves
+}
+
+// MigratedFraction returns the fraction of the key space that changes
+// owner between the two active-prefix sizes.
+func (p *Placement) MigratedFraction(fromActive, toActive int) float64 {
+	var total uint64
+	for _, m := range p.Migrations(fromActive, toActive) {
+		total += m.Length
+	}
+	return float64(total) / float64(RingSize)
+}

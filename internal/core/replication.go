@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// Replicated realises Section III-E of the paper: r consistent-hashing
+// rings that share a single virtual-node placement but use r different
+// hash functions. A key is stored on the owner of its position on every
+// ring, giving up to r copies (fewer when two rings map the key to the
+// same server — the paper argues the collision probability is small,
+// Eq. 3).
+type Replicated struct {
+	placement *Placement
+	seeds     []uint64
+}
+
+// replicaSeedBase generates the per-ring hash seeds; any fixed distinct
+// constants work as long as every web server uses the same ones.
+const replicaSeedBase = 0x9e3779b97f4a7c15
+
+// NewReplicated builds an r-way replicated placement over n servers.
+// Ring 0 uses the unseeded hash, so Owners(key, active)[0] equals the
+// unreplicated Lookup result.
+func NewReplicated(n, r int) (*Replicated, error) {
+	if r < 1 {
+		r = 1
+	}
+	p, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	seeds := make([]uint64, r)
+	for i := 1; i < r; i++ {
+		seeds[i] = mix64(replicaSeedBase * uint64(i))
+	}
+	return &Replicated{placement: p, seeds: seeds}, nil
+}
+
+// Placement returns the shared virtual-node placement.
+func (r *Replicated) Placement() *Placement { return r.placement }
+
+// Replicas returns the replication factor r.
+func (r *Replicated) Replicas() int { return len(r.seeds) }
+
+// OwnerOnRing returns the server owning the key on one ring at the
+// given active-prefix size. Ring 0 is the unseeded (primary) ring.
+func (r *Replicated) OwnerOnRing(key string, ring, active int) int {
+	if ring < 0 || ring >= len(r.seeds) {
+		panic(fmt.Sprintf("core: ring %d out of range 0..%d", ring, len(r.seeds)-1))
+	}
+	var pt uint64
+	if seed := r.seeds[ring]; seed == 0 {
+		pt = Point(key)
+	} else {
+		pt = PointSeeded(key, seed)
+	}
+	return r.placement.Owner(pt, active)
+}
+
+// Owners returns the server owning the key on each of the r rings at
+// the given active-prefix size. Entries may repeat when rings collide.
+func (r *Replicated) Owners(key string, active int) []int {
+	out := make([]int, len(r.seeds))
+	for i, seed := range r.seeds {
+		var pt uint64
+		if seed == 0 {
+			pt = Point(key)
+		} else {
+			pt = PointSeeded(key, seed)
+		}
+		out[i] = r.placement.Owner(pt, active)
+	}
+	return out
+}
+
+// DistinctOwners returns Owners with duplicates removed, preserving ring
+// order; its length is the number of physical copies actually stored.
+func (r *Replicated) DistinctOwners(key string, active int) []int {
+	owners := r.Owners(key, active)
+	out := owners[:0]
+	for _, o := range owners {
+		dup := false
+		for _, seen := range out {
+			if seen == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// NoConflictProbability is Eq. 3 of the paper: the probability that r
+// independent uniform placements over active servers land on r distinct
+// servers, i.e. that a key really gets r copies.
+func NoConflictProbability(r, active int) float64 {
+	if r < 1 || active < 1 {
+		return 0
+	}
+	p := 1.0
+	for i := 0; i < r; i++ {
+		p *= float64(active-i) / float64(active)
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,173 @@
+package database
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proteus/internal/wiki"
+)
+
+func testCorpus(t *testing.T, pages int) *wiki.Corpus {
+	t.Helper()
+	c, err := wiki.New(pages, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func instantDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {}
+	}
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewValidation(t *testing.T) {
+	corpus := testCorpus(t, 10)
+	if _, err := New(Config{Shards: 0, Corpus: corpus}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := New(Config{Shards: 7}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := New(Config{Shards: 7, Corpus: corpus, ConcurrencyPerShard: -1}); err == nil {
+		t.Error("negative concurrency accepted")
+	}
+}
+
+func TestGetReturnsCorpusPage(t *testing.T) {
+	corpus := testCorpus(t, 100)
+	db := instantDB(t, Config{Shards: 7, Corpus: corpus})
+	for i := 0; i < 100; i += 13 {
+		body, err := db.Get(corpus.Key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, corpus.Page(i)) {
+			t.Fatalf("page %d body mismatch", i)
+		}
+	}
+	st := db.Stats()
+	if st.Queries != 8 || st.BytesRead == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	db := instantDB(t, Config{Shards: 3, Corpus: testCorpus(t, 10)})
+	_, err := db.Get("page:99999")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if db.Stats().NotFound != 1 {
+		t.Fatal("NotFound not counted")
+	}
+}
+
+func TestShardForPartitions(t *testing.T) {
+	corpus := testCorpus(t, 700)
+	db := instantDB(t, Config{Shards: 7, Corpus: corpus})
+	counts := make([]int, 7)
+	for i := 0; i < 700; i++ {
+		s, err := db.ShardFor(corpus.Key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != 100 {
+			t.Fatalf("shard %d holds %d pages, want 100", s, c)
+		}
+	}
+	if _, err := db.ShardFor("bogus"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ShardFor(bogus) err = %v", err)
+	}
+}
+
+func TestServiceTimeModel(t *testing.T) {
+	m := LatencyModel{Base: 10 * time.Millisecond, PerKB: time.Millisecond}
+	if got := m.ServiceTime(2048, nil); got != 12*time.Millisecond {
+		t.Fatalf("ServiceTime(2KB) = %v, want 12ms", got)
+	}
+	if got := m.ServiceTime(0, nil); got != 10*time.Millisecond {
+		t.Fatalf("ServiceTime(0) = %v, want 10ms", got)
+	}
+}
+
+// Concurrency beyond the per-shard bound must queue: with 1-deep
+// concurrency and a 20ms service time, 4 concurrent queries to the
+// same shard take >= ~80ms total.
+func TestPerShardConcurrencyBound(t *testing.T) {
+	corpus := testCorpus(t, 4)
+	var inFlight, maxInFlight int32
+	db, err := New(Config{
+		Shards:              1,
+		Corpus:              corpus,
+		ConcurrencyPerShard: 1,
+		Latency:             LatencyModel{Base: 5 * time.Millisecond},
+		Sleep: func(d time.Duration) {
+			cur := atomic.AddInt32(&inFlight, 1)
+			for {
+				old := atomic.LoadInt32(&maxInFlight)
+				if cur <= old || atomic.CompareAndSwapInt32(&maxInFlight, old, cur) {
+					break
+				}
+			}
+			time.Sleep(d)
+			atomic.AddInt32(&inFlight, -1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := db.Get(corpus.Key(i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&maxInFlight); got != 1 {
+		t.Fatalf("max in-flight = %d, want 1 (bounded)", got)
+	}
+	if db.Stats().MaxQueueDepth < 2 {
+		t.Fatalf("MaxQueueDepth = %d, want >= 2", db.Stats().MaxQueueDepth)
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	corpus := testCorpus(t, 1000)
+	db := instantDB(t, Config{Shards: 7, Corpus: corpus})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < 1000; i += 8 {
+				if _, err := db.Get(corpus.Key(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := db.Stats().Queries; got != 1000 {
+		t.Fatalf("Queries = %d, want 1000", got)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationDigestDecomposition(t *testing.T) {
+	res, err := AblationDigest(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Names))
+	}
+	byName := map[string]int{}
+	for i, n := range res.Names {
+		byName[n] = i
+	}
+	naive := res.WorstP999[byName["Naive"]]
+	noDigest := res.WorstP999[byName["Proteus-no-digest"]]
+	full := res.WorstP999[byName["Proteus"]]
+
+	// Placement alone (no digest) must already improve on Naive: it
+	// remaps the minimum instead of ~all keys.
+	if noDigest >= naive {
+		t.Errorf("placement-only (%v) not better than naive (%v)", noDigest, naive)
+	}
+	// The digest must improve further.
+	if full >= noDigest {
+		t.Errorf("full Proteus (%v) not better than placement-only (%v)", full, noDigest)
+	}
+	// Without digests there are no migrations; with them there are.
+	if res.Migrations[byName["Proteus-no-digest"]] != 0 {
+		t.Error("digestless variant recorded migrations")
+	}
+	if res.Migrations[byName["Proteus"]] == 0 {
+		t.Error("full Proteus recorded no migrations")
+	}
+	// Digestless Proteus hits the database more than full Proteus.
+	if res.DBQueries[byName["Proteus"]] >= res.DBQueries[byName["Proteus-no-digest"]] {
+		t.Error("digest did not reduce database traffic")
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestAblationTTLTradeoff(t *testing.T) {
+	res, err := AblationTTL(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TTLs) < 4 {
+		t.Fatalf("sweep too small: %d", len(res.TTLs))
+	}
+	for i := 1; i < len(res.TTLs); i++ {
+		if res.TTLs[i] <= res.TTLs[i-1] {
+			t.Fatal("TTL sweep not increasing")
+		}
+	}
+	// Tail latency at the shortest TTL must exceed the longest's.
+	first, last := res.WorstP999[0], res.WorstP999[len(res.WorstP999)-1]
+	if first <= last {
+		t.Errorf("short TTL tail (%v) not worse than long TTL tail (%v)", first, last)
+	}
+	// Energy at the longest TTL must be >= the shortest's (servers on
+	// longer).
+	if res.CacheWh[len(res.CacheWh)-1] < res.CacheWh[0]-0.5 {
+		t.Errorf("long TTL energy %.1f below short TTL %.1f", res.CacheWh[len(res.CacheWh)-1], res.CacheWh[0])
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestAblationControllerTracks(t *testing.T) {
+	res, err := AblationController(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Names))
+	}
+	for i, name := range res.Names {
+		if res.PlanMax[i] <= res.PlanMin[i] {
+			t.Errorf("%s: plan flat at %d", name, res.PlanMin[i])
+		}
+		if res.WorstP999[i] <= 0 || res.WorstP999[i] > 30*time.Second {
+			t.Errorf("%s: implausible tail %v", name, res.WorstP999[i])
+		}
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}

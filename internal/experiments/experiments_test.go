@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"proteus/internal/sim"
+)
+
+// tiny aliases the exported sub-second scale.
+func tiny() Scale { return Tiny() }
+
+func TestScaleValidate(t *testing.T) {
+	bad := Scale{}
+	if err := bad.validate(); err == nil {
+		t.Error("empty scale accepted")
+	}
+	if err := Quick().validate(); err != nil {
+		t.Errorf("Quick invalid: %v", err)
+	}
+	if err := Full().validate(); err != nil {
+		t.Errorf("Full invalid: %v", err)
+	}
+}
+
+func TestFig4ShapeAndProvisioning(t *testing.T) {
+	res, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 24 {
+		t.Fatalf("windows = %d, want 24", len(res.Requests))
+	}
+	if r := res.PeakToValley(); r < 1.5 || r > 2.6 {
+		t.Errorf("peak/valley = %.2f, paper sees ≈2", r)
+	}
+	min, max := res.Plan[0], res.Plan[0]
+	for _, n := range res.Plan {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max <= min {
+		t.Errorf("plan flat: min=%d max=%d", min, max)
+	}
+	if !strings.Contains(res.Render(), "Fig. 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5ProteusBalancesBest(t *testing.T) {
+	res, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Fig5Schemes() {
+		if len(res.Ratios[scheme]) != len(res.Plan) {
+			t.Fatalf("scheme %s has %d slots, want %d", scheme, len(res.Ratios[scheme]), len(res.Plan))
+		}
+	}
+	// The paper's conclusion: Proteus matches Static/Naive (hash-mod)
+	// and clearly beats random-vnode consistent hashing.
+	if res.Mean(SchemeProteus) < 0.55 {
+		t.Errorf("Proteus mean ratio %.3f; not balanced", res.Mean(SchemeProteus))
+	}
+	if res.Mean(SchemeConsistentLogN) >= res.Mean(SchemeProteus) {
+		t.Errorf("Consistent-logn (%.3f) should balance worse than Proteus (%.3f)",
+			res.Mean(SchemeConsistentLogN), res.Mean(SchemeProteus))
+	}
+	if res.Mean(SchemeConsistentN2) >= res.Mean(SchemeProteus) {
+		t.Errorf("Consistent-n2/2 (%.3f) should balance worse than Proteus (%.3f)",
+			res.Mean(SchemeConsistentN2), res.Mean(SchemeProteus))
+	}
+	// n^2/2 nodes beat O(log n) nodes (the paper's second observation).
+	if res.Mean(SchemeConsistentN2) <= res.Mean(SchemeConsistentLogN) {
+		t.Errorf("n2/2 (%.3f) should beat logn (%.3f)",
+			res.Mean(SchemeConsistentN2), res.Mean(SchemeConsistentLogN))
+	}
+	if len(res.Render()) < 200 {
+		t.Error("render too short")
+	}
+}
+
+func TestFig6HitRatioMonotone(t *testing.T) {
+	res, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HitRatio) < 4 {
+		t.Fatalf("sweep too small: %d points", len(res.HitRatio))
+	}
+	for i := 1; i < len(res.HitRatio); i++ {
+		if res.HitRatio[i]+0.02 < res.HitRatio[i-1] {
+			t.Errorf("hit ratio not increasing with size: %v", res.HitRatio)
+		}
+	}
+	// Biggest cache must reach the paper's >80% regime.
+	if last := res.HitRatio[len(res.HitRatio)-1]; last < 0.8 {
+		t.Errorf("hit ratio at largest size %.3f, want >= 0.8", last)
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestFig7FalsePositiveDropsWithSize(t *testing.T) {
+	res, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.KeyCounts {
+		first, last := res.Measured[k][0], res.Measured[k][len(res.SizesKB)-1]
+		if last > first {
+			t.Errorf("κ=%d: FP rate rose with size (%.4f -> %.4f)", res.KeyCounts[k], first, last)
+		}
+		if last > 0.01 {
+			t.Errorf("κ=%d: FP rate %.4f at largest size, want negligible", res.KeyCounts[k], last)
+		}
+		// Measurement must track Eq. 4 within a factor where the rate
+		// is observable.
+		for s := range res.SizesKB {
+			m, p := res.Measured[k][s], res.Predicted[k][s]
+			if p > 0.01 && (m > p*3 || m < p/3) {
+				t.Errorf("κ=%d size=%dKB: measured %.4f vs Eq.4 %.4f",
+					res.KeyCounts[k], res.SizesKB[s], m, p)
+			}
+		}
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestFig8FalseNegativeDropsWithSize(t *testing.T) {
+	res, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.KeyCounts {
+		first, last := res.Measured[k][0], res.Measured[k][len(res.Loads)-1]
+		if first == 0 {
+			t.Errorf("κ=%d: no false negatives at highest load; churn too weak", res.KeyCounts[k])
+		}
+		if last > 0.01 {
+			t.Errorf("κ=%d: FN rate %.4f at largest size, want negligible", res.KeyCounts[k], last)
+		}
+		if last > first {
+			t.Errorf("κ=%d: FN rate rose with size", res.KeyCounts[k])
+		}
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestScenarioRunsAndFigs91011(t *testing.T) {
+	runs, err := RunScenarios(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs.Results) != 4 {
+		t.Fatalf("runs = %d, want 4", len(runs.Results))
+	}
+
+	fig9 := Fig9(runs)
+	if f := fig9.SpikeFactor(sim.ScenarioNaive); f < 1.5 {
+		t.Errorf("Naive spike factor %.2f, want a visible spike", f)
+	}
+	if f := fig9.SpikeFactor(sim.ScenarioProteus); f > 1.5 {
+		t.Errorf("Proteus spike factor %.2f, want ≈1 (no spike)", f)
+	}
+
+	fig11 := Fig11(runs)
+	if s := fig11.CacheSaving(sim.ScenarioProteus); s < 0.08 {
+		t.Errorf("Proteus cache saving %.3f, want noticeable", s)
+	}
+	if s := fig11.TotalSaving(sim.ScenarioProteus); s <= 0 {
+		t.Errorf("Proteus total saving %.3f, want > 0", s)
+	}
+	// Proteus saves about as much as Naive.
+	if naive, proteus := fig11.CacheSaving(sim.ScenarioNaive), fig11.CacheSaving(sim.ScenarioProteus); proteus < naive-0.1 {
+		t.Errorf("Proteus saving %.3f far below Naive %.3f", proteus, naive)
+	}
+
+	fig10 := Fig10(runs)
+	times, watts := fig10.Series(sim.ScenarioStatic)
+	if len(times) == 0 || len(watts) != len(times) {
+		t.Fatal("empty power series")
+	}
+
+	for _, rendered := range []string{fig9.Render(), fig10.Render(), fig11.Render()} {
+		if len(rendered) < 100 {
+			t.Error("render too short")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proteus/internal/sim"
+)
+
+// Fig10Result is the paper's Fig. 10: total cluster power draw over
+// time for each scenario, sampled every 15 (virtual) seconds by the PDU
+// model. Static stays flat (dipping slightly with utilisation); the
+// dynamic scenarios track the provisioning plan.
+type Fig10Result struct {
+	Runs *ScenarioRuns
+}
+
+// Fig10 derives the power series from the shared runs.
+func Fig10(runs *ScenarioRuns) *Fig10Result { return &Fig10Result{Runs: runs} }
+
+// Series returns (times, total watts) for a scenario.
+func (r *Fig10Result) Series(s sim.Scenario) ([]time.Duration, []float64) {
+	return r.Runs.Result(s).Meter.TotalSeries()
+}
+
+// Render prints the power time series.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10 — cluster power draw over time (%s scale)\n", r.Runs.Scale.Name)
+	times, _ := r.Series(sim.ScenarioStatic)
+	cols := make(map[sim.Scenario][]float64, 4)
+	for _, s := range sim.Scenarios() {
+		_, cols[s] = r.Series(s)
+	}
+	fmt.Fprintf(&b, "%-10s", "t")
+	for _, s := range sim.Scenarios() {
+		fmt.Fprintf(&b, " %-12s", s)
+	}
+	b.WriteByte('\n')
+	for i := range times {
+		fmt.Fprintf(&b, "%-10s", times[i].Truncate(time.Second))
+		for _, s := range sim.Scenarios() {
+			fmt.Fprintf(&b, " %-12.0f", cols[s][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig11Result is the paper's Fig. 11: total energy per scenario, split
+// into the cache tier and the rest. The paper's headline: Proteus saves
+// ~10% of whole-cluster energy and ~23% of cache-tier energy versus
+// Static, matching Naive/Consistent while eliminating their delay
+// penalty.
+type Fig11Result struct {
+	Runs *ScenarioRuns
+}
+
+// Fig11 derives energy totals from the shared runs.
+func Fig11(runs *ScenarioRuns) *Fig11Result { return &Fig11Result{Runs: runs} }
+
+// CacheEnergyWh returns a scenario's cache-tier energy.
+func (r *Fig11Result) CacheEnergyWh(s sim.Scenario) float64 {
+	return r.Runs.Result(s).Meter.EnergyWh("cache")
+}
+
+// TotalEnergyWh returns a scenario's whole-cluster energy. Following
+// the paper, the cluster is "web servers, cache servers, and database
+// servers" — the RBE load generators are excluded.
+func (r *Fig11Result) TotalEnergyWh(s sim.Scenario) float64 {
+	return r.Runs.Result(s).Meter.TotalEnergyWh("web", "cache", "db")
+}
+
+// CacheSaving returns a scenario's cache-tier energy saving vs Static.
+func (r *Fig11Result) CacheSaving(s sim.Scenario) float64 {
+	static := r.CacheEnergyWh(sim.ScenarioStatic)
+	if static == 0 {
+		return 0
+	}
+	return 1 - r.CacheEnergyWh(s)/static
+}
+
+// TotalSaving returns a scenario's whole-cluster saving vs Static.
+func (r *Fig11Result) TotalSaving(s sim.Scenario) float64 {
+	static := r.TotalEnergyWh(sim.ScenarioStatic)
+	if static == 0 {
+		return 0
+	}
+	return 1 - r.TotalEnergyWh(s)/static
+}
+
+// Render prints the energy bars and savings.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11 — total energy (%s scale)\n", r.Runs.Scale.Name)
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %-14s %-14s\n",
+		"scenario", "cache(Wh)", "total(Wh)", "cache saving", "total saving")
+	for _, s := range sim.Scenarios() {
+		fmt.Fprintf(&b, "%-12v %-12.1f %-12.1f %-14s %-14s\n",
+			s, r.CacheEnergyWh(s), r.TotalEnergyWh(s),
+			fmt.Sprintf("%.1f%%", r.CacheSaving(s)*100),
+			fmt.Sprintf("%.1f%%", r.TotalSaving(s)*100))
+	}
+	b.WriteString("(paper: Proteus saves ~23% cache-tier, ~10% whole-cluster vs Static)\n")
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proteus/internal/sim"
+	"proteus/internal/workload"
+)
+
+// Fig4Result is the paper's Fig. 4: the Wikipedia-shaped workload curve
+// (requests per window) and the provisioning result n(t) derived from
+// it — the same provisioning result every dynamic scenario replays.
+type Fig4Result struct {
+	Scale Scale
+	// Window is the counting window (the paper's 1-hour bucket,
+	// compressed).
+	Window time.Duration
+	// Requests is the per-window request count.
+	Requests []uint64
+	// Plan is the per-slot active cache server count.
+	Plan []int
+	// SlotWidth is the provisioning slot width.
+	SlotWidth time.Duration
+}
+
+// Fig4 synthesises the trace and derives the provisioning plan.
+func Fig4(scale Scale) (*Fig4Result, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	corpus, err := scale.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	rate := workload.DefaultDiurnal(scale.MeanRPS, scale.Duration)
+	window := scale.Duration / 24 // the paper's 24 hourly buckets
+	counter := workload.HourlyCounts(scale.Duration, window)
+	err = workload.Generate(workload.GenConfig{
+		Duration: scale.Duration,
+		Rate:     rate,
+		Corpus:   corpus,
+		Seed:     scale.Seed,
+	}, func(e workload.Event) bool {
+		counter.Observe(e.At)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := sim.PlanProvisioning(rate, scale.Duration, scale.SlotWidth, scale.MeanRPS/7.5, 1, 10)
+	return &Fig4Result{
+		Scale:     scale,
+		Window:    window,
+		Requests:  counter.Counts(),
+		Plan:      plan,
+		SlotWidth: scale.SlotWidth,
+	}, nil
+}
+
+// PeakToValley returns the realised workload peak/valley ratio (the
+// paper observes ≈2 on the Wikipedia trace).
+func (r *Fig4Result) PeakToValley() float64 {
+	min, max := r.Requests[0], r.Requests[0]
+	for _, c := range r.Requests {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
+}
+
+// Render prints the two series the paper plots.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — workload and provisioning result (%s scale)\n", r.Scale.Name)
+	fmt.Fprintf(&b, "%-10s %-12s\n", "window", "requests")
+	for i, c := range r.Requests {
+		fmt.Fprintf(&b, "%-10.2f %-12d\n", float64(i)*r.Window.Hours(), c)
+	}
+	fmt.Fprintf(&b, "peak/valley ratio: %.2f (paper: ≈2)\n\n", r.PeakToValley())
+	fmt.Fprintf(&b, "%-10s %-8s\n", "slot", "servers")
+	for i, n := range r.Plan {
+		fmt.Fprintf(&b, "%-10d %-8d\n", i, n)
+	}
+	return b.String()
+}

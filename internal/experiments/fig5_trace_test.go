@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"proteus/internal/workload"
+)
+
+func TestFig5FromTraceMatchesSynthetic(t *testing.T) {
+	scale := tiny()
+	corpus, err := scale.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture the exact synthetic stream to a trace file, then replay
+	// the file: results must match the in-memory replay.
+	var buf bytes.Buffer
+	var events []workload.Event
+	err = workload.Generate(workload.GenConfig{
+		Duration: scale.Duration,
+		Rate:     workload.DefaultDiurnal(scale.MeanRPS, scale.Duration),
+		Corpus:   corpus,
+		Seed:     scale.Seed,
+	}, func(e workload.Event) bool {
+		events = append(events, e)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	fromFile, err := Fig5FromTrace(scale, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthetic, err := Fig5(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Fig5Schemes() {
+		a, b := fromFile.Ratios[scheme], synthetic.Ratios[scheme]
+		for s := range a {
+			if diff := a[s] - b[s]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s slot %d: trace-file %g vs synthetic %g", scheme, s, a[s], b[s])
+			}
+		}
+	}
+}
+
+func TestFig5FromTraceRejectsGarbage(t *testing.T) {
+	if _, err := Fig5FromTrace(tiny(), strings.NewReader("not a trace line\n")); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

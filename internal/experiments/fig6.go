@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proteus/internal/cache"
+	"proteus/internal/core"
+	"proteus/internal/workload"
+)
+
+// Fig6Result is the paper's Fig. 6: cluster cache hit ratio as a
+// function of per-server cache size. The paper replays the Wikipedia
+// trace against 10 memcached servers and reports >80% hit ratio at 1 GB
+// per server (4 KB pages, i.e. ~256k pages per server).
+type Fig6Result struct {
+	Scale Scale
+	// PagesPerServer is the swept per-server capacity.
+	PagesPerServer []int
+	// SizeGB converts each sweep point to the paper's units (4 KB
+	// pages).
+	SizeGB []float64
+	// HitRatio is the measured cluster hit ratio at each point.
+	HitRatio []float64
+}
+
+// Fig6 sweeps cache sizes and replays the trace through a 10-server
+// cluster routed by the Proteus placement (all servers active; routing
+// scheme does not matter for aggregate hit ratio).
+func Fig6(scale Scale) (*Fig6Result, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	corpus, err := scale.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	const servers = 10
+	placement, err := core.New(servers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sweep from 1/64 to 1/2 of the corpus per server.
+	sweep := []int{
+		corpus.Pages() / 64, corpus.Pages() / 32, corpus.Pages() / 16,
+		corpus.Pages() / 8, corpus.Pages() / 4, corpus.Pages() / 2,
+	}
+
+	// Materialise the trace once (hit ratio replays must see identical
+	// request streams). The hit ratio only converges once the trace is
+	// long relative to the page population, so size the stream to ~12
+	// requests per corpus page.
+	targetEvents := 12 * corpus.Pages()
+	duration := time.Duration(float64(targetEvents) / scale.MeanRPS * float64(time.Second))
+	events := make([]workload.Event, 0, targetEvents+targetEvents/4)
+	err = workload.Generate(workload.GenConfig{
+		Duration: duration,
+		Rate:     workload.DefaultDiurnal(scale.MeanRPS, duration),
+		Corpus:   corpus,
+		Seed:     scale.Seed,
+	}, func(e workload.Event) bool {
+		events = append(events, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &Fig6Result{Scale: scale}
+	for _, pages := range sweep {
+		if pages < 1 {
+			continue
+		}
+		caches := make([]*cache.Cache, servers)
+		keyOverhead := int64(len(corpus.Key(corpus.Pages()-1))) + 48
+		for i := range caches {
+			caches[i] = cache.New(cache.Config{MaxBytes: int64(pages) * keyOverhead})
+		}
+		var hits, total uint64
+		warm := len(events) / 4 // measure after the caches fill
+		for i, e := range events {
+			c := caches[placement.Lookup(e.Key, servers)]
+			if _, ok := c.Get(e.Key); ok {
+				if i >= warm {
+					hits++
+				}
+			} else {
+				c.Set(e.Key, nil, 0)
+			}
+			if i >= warm {
+				total++
+			}
+		}
+		result.PagesPerServer = append(result.PagesPerServer, pages)
+		result.SizeGB = append(result.SizeGB, float64(pages)*4096/float64(1<<30))
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(hits) / float64(total)
+		}
+		result.HitRatio = append(result.HitRatio, ratio)
+	}
+	return result, nil
+}
+
+// Render prints the hit-ratio curve.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — hit ratio vs cache size (%s scale)\n", r.Scale.Name)
+	fmt.Fprintf(&b, "%-16s %-10s %-10s\n", "pages/server", "size(GB)", "hit ratio")
+	for i := range r.PagesPerServer {
+		fmt.Fprintf(&b, "%-16d %-10.3f %-10.3f\n", r.PagesPerServer[i], r.SizeGB[i], r.HitRatio[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"proteus/internal/bloom"
+)
+
+// Fig7Result is the paper's Fig. 7: measured false-positive rate vs
+// Bloom filter size, one curve per inserted-key count. Fig8Result is
+// Fig. 8: measured false-negative rate vs size under insert/delete
+// churn with wrapping counters (counter overflow then underflow — the
+// only false-negative mechanism in Proteus). The paper concludes that
+// 512 KB per digest makes both rates negligible.
+type Fig7Result struct {
+	Scale Scale
+	// SizesKB is the swept filter memory.
+	SizesKB []int
+	// KeyCounts is the swept κ (one curve each).
+	KeyCounts []int
+	// Measured[k][s] is the empirical FP rate for KeyCounts[k] at
+	// SizesKB[s]; Predicted holds Eq. 4's value.
+	Measured  [][]float64
+	Predicted [][]float64
+}
+
+// Fig8Result mirrors Fig7Result for false negatives (Eq. 5 bound). The
+// size sweep is expressed relative to each curve's key count (the
+// filter load κh/l), because counter overflow — the false-negative
+// mechanism — is governed by that ratio; SizesKB[k][s] reports the
+// resulting absolute memory per point.
+type Fig8Result struct {
+	Scale     Scale
+	Loads     []float64 // κh/l per sweep point, decreasing
+	SizesKB   [][]float64
+	KeyCounts []int
+	Measured  [][]float64
+	Predicted [][]float64
+}
+
+const (
+	digestHashes      = 4 // the paper's 4 non-cryptographic hashes
+	digestCounterBits = 4
+)
+
+func digestSweepSizes() []int { return []int{32, 64, 128, 256, 512, 1024} }
+
+func digestSweepKeys(scale Scale) []int {
+	base := scale.CorpusPages / 10
+	return []int{base / 4, base / 2, base, base * 2}
+}
+
+// Fig7 measures false positives: insert κ keys, probe absent keys.
+func Fig7(scale Scale) (*Fig7Result, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	result := &Fig7Result{Scale: scale, SizesKB: digestSweepSizes(), KeyCounts: digestSweepKeys(scale)}
+	for _, keys := range result.KeyCounts {
+		var measured, predicted []float64
+		for _, sizeKB := range result.SizesKB {
+			counters := sizeKB * 1024 * 8 / digestCounterBits
+			f, err := bloom.NewCounting(bloom.Params{
+				Counters: counters, CounterBits: digestCounterBits, Hashes: digestHashes,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < keys; i++ {
+				f.Insert(fmt.Sprintf("page:%d", i))
+			}
+			probes := 20000
+			fp := 0
+			for i := 0; i < probes; i++ {
+				if f.Contains(fmt.Sprintf("absent:%d", i)) {
+					fp++
+				}
+			}
+			measured = append(measured, float64(fp)/float64(probes))
+			predicted = append(predicted, bloom.FalsePositiveRate(counters, digestHashes, keys))
+		}
+		result.Measured = append(result.Measured, measured)
+		result.Predicted = append(result.Predicted, predicted)
+	}
+	return result, nil
+}
+
+// Fig8 measures false negatives: wrapping counters under heavy churn.
+// Counter overflow during inserts corrupts counts; subsequent deletes
+// underflow, and present keys start reading as absent.
+func Fig8(scale Scale) (*Fig8Result, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	// Narrow counters make overflow observable, like the paper's
+	// under-provisioned configurations.
+	const bits = 2
+	result := &Fig8Result{
+		Scale:     scale,
+		Loads:     []float64{2, 1, 0.5, 0.25, 0.125, 0.0625},
+		KeyCounts: digestSweepKeys(scale),
+	}
+	for _, keys := range result.KeyCounts {
+		var measured, predicted, sizes []float64
+		for _, load := range result.Loads {
+			counters := int(float64(2*keys*digestHashes) / load)
+			f, err := bloom.NewCounting(bloom.Params{
+				Counters: counters, CounterBits: bits, Hashes: digestHashes, Mode: bloom.Wrap,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Insert a churn set plus the resident set, then delete the
+			// churn set: any overflowed counter underflows on delete.
+			for i := 0; i < keys; i++ {
+				f.Insert(fmt.Sprintf("churn:%d", i))
+			}
+			for i := 0; i < keys; i++ {
+				f.Insert(fmt.Sprintf("page:%d", i))
+			}
+			for i := 0; i < keys; i++ {
+				f.Delete(fmt.Sprintf("churn:%d", i))
+			}
+			fn := 0
+			for i := 0; i < keys; i++ {
+				if !f.Contains(fmt.Sprintf("page:%d", i)) {
+					fn++
+				}
+			}
+			measured = append(measured, float64(fn)/float64(keys))
+			predicted = append(predicted, clampRate(bloom.FalseNegativeBound(counters, bits, digestHashes, 2*keys)))
+			sizes = append(sizes, float64(counters)*bits/8/1024)
+		}
+		result.Measured = append(result.Measured, measured)
+		result.Predicted = append(result.Predicted, predicted)
+		result.SizesKB = append(result.SizesKB, sizes)
+	}
+	return result, nil
+}
+
+func clampRate(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func renderRates(title string, sizesKB, keyCounts []int, measured, predicted [][]float64) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-10s", "size(KB)")
+	for _, keys := range keyCounts {
+		fmt.Fprintf(&b, " κ=%-9d (theory)   ", keys)
+	}
+	b.WriteByte('\n')
+	for s, size := range sizesKB {
+		fmt.Fprintf(&b, "%-10d", size)
+		for k := range keyCounts {
+			fmt.Fprintf(&b, " %-11.5f (%.5f)  ", measured[k][s], predicted[k][s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints measured and Eq. 4 predicted FP rates.
+func (r *Fig7Result) Render() string {
+	return renderRates(
+		fmt.Sprintf("Fig. 7 — false positive rate vs Bloom filter size (%s scale, b=%d, h=%d)",
+			r.Scale.Name, digestCounterBits, digestHashes),
+		r.SizesKB, r.KeyCounts, r.Measured, r.Predicted)
+}
+
+// Render prints measured and Eq. 5 bounded FN rates.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 — false negative rate vs Bloom filter size (%s scale, wrap mode, b=2, h=%d)\n",
+		r.Scale.Name, digestHashes)
+	fmt.Fprintf(&b, "%-10s", "load κh/l")
+	for _, keys := range r.KeyCounts {
+		fmt.Fprintf(&b, " κ=%-8d size(KB)/rate/(Eq.5)   ", keys)
+	}
+	b.WriteByte('\n')
+	for s, load := range r.Loads {
+		fmt.Fprintf(&b, "%-10.4f", load)
+		for k := range r.KeyCounts {
+			fmt.Fprintf(&b, " %8.1fKB %-8.5f (%.5f) ", r.SizesKB[k][s], r.Measured[k][s], r.Predicted[k][s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

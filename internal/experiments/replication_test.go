@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestAblationReplicationAbsorbsCrash(t *testing.T) {
+	res, err := AblationReplication(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replicas) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Replicas))
+	}
+	// r=1 crash must cost database traffic; r=2 must absorb most of it.
+	if res.ExtraDB[0] == 0 {
+		t.Fatal("r=1 crash cost zero database queries")
+	}
+	if res.ExtraDB[1] >= res.ExtraDB[0] {
+		t.Fatalf("r=2 crash cost %d not below r=1 cost %d", res.ExtraDB[1], res.ExtraDB[0])
+	}
+	if res.ReplicaHits[0] != 0 {
+		t.Fatal("r=1 recorded replica hits")
+	}
+	if res.ReplicaHits[1] == 0 {
+		t.Fatal("r=2 recorded no replica hits")
+	}
+	// Eq. 3 decreases with r.
+	if !(res.NoConflict[0] == 1 && res.NoConflict[1] > res.NoConflict[2]) {
+		t.Fatalf("Eq.3 sequence wrong: %v", res.NoConflict)
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}

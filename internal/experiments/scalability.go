@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proteus/internal/core"
+)
+
+// ScalabilityResult characterises the placement's cost as the fleet
+// grows — the trade the paper buys with Theorem 1's N(N-1)/2+1 virtual
+// nodes. Lookup stays logarithmic and the table stays small; only the
+// one-time exact construction grows superlinearly (and can be cached
+// via MarshalBinary).
+type ScalabilityResult struct {
+	Servers      []int
+	VirtualNodes []int
+	Construct    []time.Duration
+	LookupNs     []float64
+	EncodedBytes []int
+}
+
+// Scalability measures construction and lookup across fleet sizes.
+func Scalability(sizes []int) (*ScalabilityResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 40, 128, 256}
+	}
+	out := &ScalabilityResult{}
+	for _, n := range sizes {
+		start := time.Now()
+		p, err := core.New(n)
+		if err != nil {
+			return nil, err
+		}
+		construct := time.Since(start)
+
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+
+		const lookups = 200000
+		start = time.Now()
+		var sink int
+		for i := 0; i < lookups; i++ {
+			pt := uint64(i) * 0x9e3779b97f4a7c15 & (core.RingSize - 1)
+			sink += p.Owner(pt, n/2+1)
+		}
+		perLookup := float64(time.Since(start).Nanoseconds()) / lookups
+		_ = sink
+
+		out.Servers = append(out.Servers, n)
+		out.VirtualNodes = append(out.VirtualNodes, p.NumVirtualNodes())
+		out.Construct = append(out.Construct, construct)
+		out.LookupNs = append(out.LookupNs, perLookup)
+		out.EncodedBytes = append(out.EncodedBytes, len(data))
+	}
+	return out, nil
+}
+
+// Render prints the scalability table.
+func (r *ScalabilityResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Scalability — Algorithm 1 cost vs fleet size\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-14s %-12s %-12s\n",
+		"servers", "vnodes", "construct", "lookup", "encoded")
+	for i := range r.Servers {
+		fmt.Fprintf(&b, "%-8d %-10d %-14s %-12s %-12s\n",
+			r.Servers[i], r.VirtualNodes[i],
+			r.Construct[i].Truncate(time.Microsecond).String(),
+			fmt.Sprintf("%.0fns", r.LookupNs[i]),
+			fmt.Sprintf("%dB", r.EncodedBytes[i]))
+	}
+	b.WriteString("(construction is one-time and cacheable via MarshalBinary; lookup is\n" +
+		" a binary search over the host ranges plus a short chain scan)\n")
+	return b.String()
+}

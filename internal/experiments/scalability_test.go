@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"proteus/internal/core"
+)
+
+func TestScalabilityTable(t *testing.T) {
+	res, err := Scalability([]int{4, 10, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Servers) != 3 {
+		t.Fatalf("rows = %d", len(res.Servers))
+	}
+	for i, n := range res.Servers {
+		if res.VirtualNodes[i] != core.VirtualNodeLowerBound(n) {
+			t.Errorf("n=%d: vnodes %d != Theorem 1 bound", n, res.VirtualNodes[i])
+		}
+		if res.LookupNs[i] <= 0 || res.LookupNs[i] > 1e5 {
+			t.Errorf("n=%d: implausible lookup %f ns", n, res.LookupNs[i])
+		}
+		if res.EncodedBytes[i] < 8 {
+			t.Errorf("n=%d: encoding too small", n)
+		}
+	}
+	// Construction grows with n.
+	if res.Construct[2] <= res.Construct[0] {
+		t.Errorf("construction not growing: %v", res.Construct)
+	}
+	if len(res.Render()) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestScalabilityDefaultsApplied(t *testing.T) {
+	res, err := Scalability(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Servers) < 4 || res.Servers[0] != 10 {
+		t.Fatalf("default sizes = %v", res.Servers)
+	}
+}

@@ -1,0 +1,44 @@
+package hashring
+
+import "proteus/internal/core"
+
+// Jump implements Lamping & Veach's jump consistent hash (2014) — a
+// successor technique to the problem Proteus solved in 2013: balancing
+// keys over exactly the first n servers of a fixed order with minimal
+// movement as n changes, using O(1) memory instead of Proteus's
+// N(N-1)/2+1 explicit virtual nodes. It is included as a comparison
+// baseline (see the DESIGN.md ablation notes), not as part of the
+// paper's evaluation.
+//
+// Like the Proteus placement (and unlike random-vnode consistent
+// hashing), Jump satisfies the Balance Condition: every active prefix
+// is uniformly balanced in expectation, and a step n -> n+1 moves
+// exactly 1/(n+1) of keys. What it cannot do is weighted ranges or
+// arbitrary (non-prefix) active sets — the same restriction Proteus
+// accepts by fixing the provisioning order.
+type Jump struct{}
+
+// jumpSeed decorrelates Jump's key stream from the ring position hash.
+const jumpSeed = 0x6a756d7068617368 // "jumphash"
+
+// Route implements Router.
+func (Jump) Route(key string, active int) int {
+	if active < 1 {
+		panic("hashring: active server count must be >= 1")
+	}
+	return jumpHash(core.PointSeeded(key, jumpSeed), active)
+}
+
+// jumpHash is the published algorithm: a sequence of deterministic
+// "jumps" whose last landing below n is the bucket.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(1<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+var _ Router = Jump{}

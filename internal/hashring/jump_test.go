@@ -1,0 +1,80 @@
+package hashring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJumpRoutesInRange(t *testing.T) {
+	for _, active := range []int{1, 2, 7, 100} {
+		for _, k := range keys(1000) {
+			if s := (Jump{}).Route(k, active); s < 0 || s >= active {
+				t.Fatalf("Route(%q, %d) = %d", k, active, s)
+			}
+		}
+	}
+}
+
+func TestJumpBalanced(t *testing.T) {
+	ks := keys(200000)
+	for _, active := range []int{3, 10} {
+		counts := make([]int, active)
+		for _, k := range ks {
+			counts[(Jump{}).Route(k, active)]++
+		}
+		want := float64(len(ks)) / float64(active)
+		for s, c := range counts {
+			if math.Abs(float64(c)-want) > 0.05*want {
+				t.Errorf("active=%d server %d got %d keys, want ≈%g", active, s, c, want)
+			}
+		}
+	}
+}
+
+// Jump's defining property — the same one Proteus proves for its
+// placement: a step n -> n+1 moves exactly 1/(n+1) of keys, and only
+// to the new server.
+func TestJumpMinimalDisruption(t *testing.T) {
+	ks := keys(100000)
+	for _, n := range []int{2, 5, 9} {
+		moved := 0
+		for _, k := range ks {
+			a := (Jump{}).Route(k, n)
+			b := (Jump{}).Route(k, n+1)
+			if a != b {
+				if b != n {
+					t.Fatalf("key %q moved to %d, not the new server %d", k, b, n)
+				}
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(ks))
+		want := 1.0 / float64(n+1)
+		if math.Abs(frac-want) > 0.01 {
+			t.Errorf("n=%d: moved %.4f, want ≈%.4f", n, frac, want)
+		}
+	}
+}
+
+// Jump and the Proteus placement solve the same problem: compare their
+// worst-case balance over active prefixes. Both should be far above
+// random-vnode consistent hashing.
+func TestJumpComparableToProteusBalance(t *testing.T) {
+	ks := keys(200000)
+	jumpWorst, proteusWorst := 1.0, 1.0
+	p := newTestPlacement(t, 10)
+	for active := 2; active <= 10; active++ {
+		if r := loadRatio(Jump{}, active, ks); r < jumpWorst {
+			jumpWorst = r
+		}
+		if r := loadRatio(Adapter{Placement: p}, active, ks); r < proteusWorst {
+			proteusWorst = r
+		}
+	}
+	if jumpWorst < 0.9 || proteusWorst < 0.9 {
+		t.Errorf("worst ratios: jump=%.3f proteus=%.3f; both should be >= 0.9", jumpWorst, proteusWorst)
+	}
+	if math.Abs(jumpWorst-proteusWorst) > 0.08 {
+		t.Errorf("jump (%.3f) and proteus (%.3f) should balance comparably", jumpWorst, proteusWorst)
+	}
+}

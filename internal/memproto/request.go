@@ -1,0 +1,312 @@
+package memproto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed client command.
+type Request struct {
+	Command Command
+	Keys    []string // get/gets key list; single-key commands use Keys[0]
+	Flags   uint32   // storage commands
+	Exptime int64    // seconds, memcached semantics (0 = never)
+	Data    []byte   // storage payload
+	CAS     uint64   // cas command token
+	Delta   uint64   // incr/decr amount
+	NoReply bool
+}
+
+// Key returns the first key, or "" for keyless commands.
+func (r *Request) Key() string {
+	if len(r.Keys) == 0 {
+		return ""
+	}
+	return r.Keys[0]
+}
+
+// ReadRequest parses one command from the stream. io.EOF is returned
+// unwrapped when the connection closes cleanly between commands.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%w: empty command line", ErrProtocol)
+	}
+	switch fields[0] {
+	case "get", "gets":
+		return parseGet(fields)
+	case "set", "add", "replace", "cas", "append", "prepend":
+		return parseStore(br, fields)
+	case "incr", "decr":
+		return parseArith(fields)
+	case "delete":
+		return parseDelete(fields)
+	case "touch":
+		return parseTouch(fields)
+	case "stats":
+		return &Request{Command: CmdStats}, nil
+	case "flush_all":
+		req := &Request{Command: CmdFlushAll}
+		req.NoReply = hasNoReply(fields[1:])
+		return req, nil
+	case "version":
+		return &Request{Command: CmdVersion}, nil
+	case "quit":
+		return &Request{Command: CmdQuit}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
+	}
+}
+
+func parseGet(fields []string) (*Request, error) {
+	cmd := CmdGet
+	if fields[0] == "gets" {
+		cmd = CmdGets
+	}
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("%w: %s needs at least one key", ErrProtocol, fields[0])
+	}
+	keys := fields[1:]
+	for _, k := range keys {
+		if !ValidKey(k) {
+			return nil, fmt.Errorf("%w: %q", ErrBadKey, k)
+		}
+	}
+	return &Request{Command: cmd, Keys: keys}, nil
+}
+
+func parseStore(br *bufio.Reader, fields []string) (*Request, error) {
+	// <cmd> <key> <flags> <exptime> <bytes> [cas] [noreply]
+	var cmd Command
+	switch fields[0] {
+	case "set":
+		cmd = CmdSet
+	case "add":
+		cmd = CmdAdd
+	case "replace":
+		cmd = CmdReplace
+	case "cas":
+		cmd = CmdCas
+	case "append":
+		cmd = CmdAppend
+	case "prepend":
+		cmd = CmdPrepend
+	}
+	minFields, maxFields := 5, 6
+	if cmd == CmdCas {
+		minFields, maxFields = 6, 7
+	}
+	if len(fields) < minFields || len(fields) > maxFields {
+		return nil, fmt.Errorf("%w: bad %s syntax", ErrProtocol, fields[0])
+	}
+	key := fields[1]
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	flags, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad flags %q", ErrProtocol, fields[2])
+	}
+	exptime, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad exptime %q", ErrProtocol, fields[3])
+	}
+	size, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil || size < 0 {
+		return nil, fmt.Errorf("%w: bad bytes %q", ErrProtocol, fields[4])
+	}
+	if size > MaxValueLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+	}
+	var cas uint64
+	rest := fields[5:]
+	if cmd == CmdCas {
+		cas, err = strconv.ParseUint(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad cas token %q", ErrProtocol, fields[5])
+		}
+		rest = fields[6:]
+	}
+	noReply := hasNoReply(rest)
+	data := make([]byte, size)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, fmt.Errorf("%w: short data block: %v", ErrProtocol, err)
+	}
+	if err := expectCRLF(br); err != nil {
+		return nil, err
+	}
+	return &Request{
+		Command: cmd, Keys: []string{key}, Flags: uint32(flags),
+		Exptime: exptime, Data: data, CAS: cas, NoReply: noReply,
+	}, nil
+}
+
+// parseArith handles incr/decr: <cmd> <key> <delta> [noreply].
+func parseArith(fields []string) (*Request, error) {
+	if len(fields) < 3 || len(fields) > 4 {
+		return nil, fmt.Errorf("%w: bad %s syntax", ErrProtocol, fields[0])
+	}
+	cmd := CmdIncr
+	if fields[0] == "decr" {
+		cmd = CmdDecr
+	}
+	if !ValidKey(fields[1]) {
+		return nil, fmt.Errorf("%w: %q", ErrBadKey, fields[1])
+	}
+	delta, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad delta %q", ErrProtocol, fields[2])
+	}
+	return &Request{Command: cmd, Keys: []string{fields[1]}, Delta: delta, NoReply: hasNoReply(fields[3:])}, nil
+}
+
+func parseDelete(fields []string) (*Request, error) {
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("%w: bad delete syntax", ErrProtocol)
+	}
+	if !ValidKey(fields[1]) {
+		return nil, fmt.Errorf("%w: %q", ErrBadKey, fields[1])
+	}
+	return &Request{Command: CmdDelete, Keys: []string{fields[1]}, NoReply: hasNoReply(fields[2:])}, nil
+}
+
+func parseTouch(fields []string) (*Request, error) {
+	if len(fields) < 3 || len(fields) > 4 {
+		return nil, fmt.Errorf("%w: bad touch syntax", ErrProtocol)
+	}
+	if !ValidKey(fields[1]) {
+		return nil, fmt.Errorf("%w: %q", ErrBadKey, fields[1])
+	}
+	exptime, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad exptime %q", ErrProtocol, fields[2])
+	}
+	return &Request{Command: CmdTouch, Keys: []string{fields[1]}, Exptime: exptime, NoReply: hasNoReply(fields[3:])}, nil
+}
+
+func hasNoReply(rest []string) bool {
+	return len(rest) == 1 && rest[0] == "noreply"
+}
+
+// WriteTo encodes the request for the client side of the connection.
+func (r *Request) WriteTo(bw *bufio.Writer) error {
+	switch r.Command {
+	case CmdGet, CmdGets:
+		if _, err := bw.WriteString(r.Command.String()); err != nil {
+			return err
+		}
+		for _, k := range r.Keys {
+			if !ValidKey(k) {
+				return fmt.Errorf("%w: %q", ErrBadKey, k)
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(k); err != nil {
+				return err
+			}
+		}
+		_, err := bw.WriteString("\r\n")
+		return err
+	case CmdSet, CmdAdd, CmdReplace, CmdCas, CmdAppend, CmdPrepend:
+		if !ValidKey(r.Key()) {
+			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
+		}
+		if len(r.Data) > MaxValueLen {
+			return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(r.Data))
+		}
+		casField := ""
+		if r.Command == CmdCas {
+			casField = fmt.Sprintf(" %d", r.CAS)
+		}
+		suffix := ""
+		if r.NoReply {
+			suffix = " noreply"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s %d %d %d%s%s\r\n",
+			r.Command, r.Key(), r.Flags, r.Exptime, len(r.Data), casField, suffix); err != nil {
+			return err
+		}
+		if _, err := bw.Write(r.Data); err != nil {
+			return err
+		}
+		_, err := bw.WriteString("\r\n")
+		return err
+	case CmdIncr, CmdDecr:
+		if !ValidKey(r.Key()) {
+			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
+		}
+		suffix := ""
+		if r.NoReply {
+			suffix = " noreply"
+		}
+		_, err := fmt.Fprintf(bw, "%s %s %d%s\r\n", r.Command, r.Key(), r.Delta, suffix)
+		return err
+	case CmdDelete:
+		if !ValidKey(r.Key()) {
+			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
+		}
+		suffix := ""
+		if r.NoReply {
+			suffix = " noreply"
+		}
+		_, err := fmt.Fprintf(bw, "delete %s%s\r\n", r.Key(), suffix)
+		return err
+	case CmdTouch:
+		if !ValidKey(r.Key()) {
+			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
+		}
+		suffix := ""
+		if r.NoReply {
+			suffix = " noreply"
+		}
+		_, err := fmt.Fprintf(bw, "touch %s %d%s\r\n", r.Key(), r.Exptime, suffix)
+		return err
+	case CmdStats, CmdFlushAll, CmdVersion, CmdQuit:
+		_, err := fmt.Fprintf(bw, "%s\r\n", r.Command)
+		return err
+	default:
+		return fmt.Errorf("%w: cannot encode %v", ErrProtocol, r.Command)
+	}
+}
+
+// readLine reads one CRLF- (or LF-) terminated line without the
+// terminator, rejecting oversized lines.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return "", io.EOF
+		}
+		return "", fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("%w: line too long", ErrProtocol)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+func expectCRLF(br *bufio.Reader) error {
+	b, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: missing data terminator", ErrProtocol)
+	}
+	if b == '\r' {
+		b, err = br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: missing data terminator", ErrProtocol)
+		}
+	}
+	if b != '\n' {
+		return fmt.Errorf("%w: data block not terminated by CRLF", ErrProtocol)
+	}
+	return nil
+}

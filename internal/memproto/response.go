@@ -1,0 +1,188 @@
+package memproto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Server-side response writers.
+
+// WriteValue emits one VALUE block of a retrieval response. When
+// v.HasCAS is set the CAS token is appended ("gets" responses).
+func WriteValue(bw *bufio.Writer, v Value) error {
+	var err error
+	if v.HasCAS {
+		_, err = fmt.Fprintf(bw, "VALUE %s %d %d %d\r\n", v.Key, v.Flags, len(v.Data), v.CAS)
+	} else {
+		_, err = fmt.Fprintf(bw, "VALUE %s %d %d\r\n", v.Key, v.Flags, len(v.Data))
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(v.Data); err != nil {
+		return err
+	}
+	_, err = bw.WriteString("\r\n")
+	return err
+}
+
+// WriteNumber emits an incr/decr result line.
+func WriteNumber(bw *bufio.Writer, n uint64) error {
+	_, err := fmt.Fprintf(bw, "%d\r\n", n)
+	return err
+}
+
+// WriteEnd terminates a retrieval or stats response.
+func WriteEnd(bw *bufio.Writer) error {
+	_, err := bw.WriteString(ReplyEnd + "\r\n")
+	return err
+}
+
+// WriteReply emits a single reply line such as STORED or NOT_FOUND.
+func WriteReply(bw *bufio.Writer, reply string) error {
+	_, err := bw.WriteString(reply + "\r\n")
+	return err
+}
+
+// WriteStats emits STAT lines (sorted for determinism) followed by END.
+func WriteStats(bw *bufio.Writer, stats map[string]string) error {
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(bw, "STAT %s %s\r\n", name, stats[name]); err != nil {
+			return err
+		}
+	}
+	return WriteEnd(bw)
+}
+
+// WriteClientError emits a CLIENT_ERROR line (bad request syntax).
+func WriteClientError(bw *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(bw, "CLIENT_ERROR %s\r\n", msg)
+	return err
+}
+
+// WriteServerError emits a SERVER_ERROR line (server-side failure).
+func WriteServerError(bw *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(bw, "SERVER_ERROR %s\r\n", msg)
+	return err
+}
+
+// Client-side response readers.
+
+// ServerError is a SERVER_ERROR or CLIENT_ERROR reply surfaced as a Go
+// error by the client readers.
+type ServerError struct {
+	Kind    string // "SERVER_ERROR", "CLIENT_ERROR" or "ERROR"
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	if e.Message == "" {
+		return "memproto: " + e.Kind
+	}
+	return "memproto: " + e.Kind + ": " + e.Message
+}
+
+// errorReply converts an error reply line to a *ServerError, or nil if
+// the line is not an error reply.
+func errorReply(line string) *ServerError {
+	switch {
+	case line == ReplyError:
+		return &ServerError{Kind: ReplyError}
+	case strings.HasPrefix(line, "CLIENT_ERROR"):
+		return &ServerError{Kind: "CLIENT_ERROR", Message: strings.TrimSpace(strings.TrimPrefix(line, "CLIENT_ERROR"))}
+	case strings.HasPrefix(line, "SERVER_ERROR"):
+		return &ServerError{Kind: "SERVER_ERROR", Message: strings.TrimSpace(strings.TrimPrefix(line, "SERVER_ERROR"))}
+	}
+	return nil
+}
+
+// ReadValues consumes a retrieval response: zero or more VALUE blocks
+// terminated by END.
+func ReadValues(br *bufio.Reader) ([]Value, error) {
+	var values []Value
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == ReplyEnd {
+			return values, nil
+		}
+		if se := errorReply(line); se != nil {
+			return nil, se
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields) > 5 || fields[0] != "VALUE" {
+			return nil, fmt.Errorf("%w: unexpected retrieval line %q", ErrProtocol, line)
+		}
+		flags, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad flags in %q", ErrProtocol, line)
+		}
+		size, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || size < 0 || size > MaxValueLen {
+			return nil, fmt.Errorf("%w: bad size in %q", ErrProtocol, line)
+		}
+		value := Value{Key: fields[1], Flags: uint32(flags)}
+		if len(fields) == 5 {
+			cas, err := strconv.ParseUint(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad cas in %q", ErrProtocol, line)
+			}
+			value.CAS, value.HasCAS = cas, true
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("%w: short value body: %v", ErrProtocol, err)
+		}
+		if err := expectCRLF(br); err != nil {
+			return nil, err
+		}
+		value.Data = data
+		values = append(values, value)
+	}
+}
+
+// ReadReply consumes one reply line (STORED, DELETED, ...), converting
+// error replies into *ServerError.
+func ReadReply(br *bufio.Reader) (string, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return "", err
+	}
+	if se := errorReply(line); se != nil {
+		return "", se
+	}
+	return line, nil
+}
+
+// ReadStats consumes a stats response into a map.
+func ReadStats(br *bufio.Reader) (map[string]string, error) {
+	stats := make(map[string]string)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == ReplyEnd {
+			return stats, nil
+		}
+		if se := errorReply(line); se != nil {
+			return nil, se
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, fmt.Errorf("%w: unexpected stats line %q", ErrProtocol, line)
+		}
+		stats[fields[1]] = fields[2]
+	}
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.999) != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zero: %v", h.String())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestBucketForInvariant(t *testing.T) {
+	for _, d := range []time.Duration{
+		0, minLatency, minLatency + 1, time.Millisecond, 17 * time.Millisecond,
+		time.Second, 40 * time.Second, 500 * time.Second,
+	} {
+		i := bucketFor(d)
+		if i < 0 || i >= bucketCount {
+			t.Fatalf("bucketFor(%v) = %d out of range", d, i)
+		}
+		if d > minLatency && i < bucketCount-1 {
+			if bucketBounds[i] > d || bucketBounds[i+1] <= d {
+				t.Fatalf("bucketFor(%v) = %d but bounds are [%v, %v)", d, i, bucketBounds[i], bucketBounds[i+1])
+			}
+		}
+	}
+}
+
+// Quantile estimates must be within one bucket (~4.2%) of the exact
+// value, and never underestimate.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]time.Duration, 50000)
+	for i := range samples {
+		// Log-uniform latencies between 100µs and 1s.
+		d := time.Duration(float64(100*time.Microsecond) *
+			float64(uint64(1)<<uint(rng.Intn(14))) * (0.5 + rng.Float64()))
+		samples[i] = d
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%g: estimate %v below exact %v", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.1 {
+			t.Errorf("q=%g: estimate %v more than 10%% above exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileNeverExceedsMax(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		var h Histogram
+		for _, r := range raw {
+			h.Observe(time.Duration(r) * time.Microsecond)
+		}
+		if len(raw) == 0 {
+			return h.Quantile(0.999) == 0
+		}
+		return h.Quantile(1) <= h.Max() && h.Quantile(0.001) <= h.Quantile(0.999)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() != time.Second {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+	if q := a.Quantile(0.999); q < time.Second {
+		t.Fatalf("merged p99.9 = %v, want >= 1s", q)
+	}
+}
+
+func TestLatencySeriesSlotting(t *testing.T) {
+	s := NewLatencySeries(time.Hour, time.Minute)
+	if s.Slots() != 60 {
+		t.Fatalf("Slots = %d, want 60", s.Slots())
+	}
+	s.Observe(30*time.Second, time.Millisecond)   // slot 0
+	s.Observe(61*time.Second, 2*time.Millisecond) // slot 1
+	s.Observe(2*time.Hour, 3*time.Millisecond)    // clamps to last
+	s.Observe(-time.Second, 4*time.Millisecond)   // clamps to first
+	if s.Slot(0).Count() != 2 {
+		t.Fatalf("slot 0 count = %d, want 2", s.Slot(0).Count())
+	}
+	if s.Slot(1).Count() != 1 {
+		t.Fatalf("slot 1 count = %d, want 1", s.Slot(1).Count())
+	}
+	if s.Slot(59).Count() != 1 {
+		t.Fatalf("slot 59 count = %d, want 1", s.Slot(59).Count())
+	}
+	if got := s.Total().Count(); got != 4 {
+		t.Fatalf("total count = %d, want 4", got)
+	}
+	if qs := s.Quantiles(0.999); len(qs) != 60 || qs[2] != 0 {
+		t.Fatalf("Quantiles misbehaved: len=%d qs[2]=%v", len(qs), qs[2])
+	}
+}
+
+func TestLoadSeriesRatio(t *testing.T) {
+	s := NewLoadSeries(time.Hour, 30*time.Minute, 4)
+	// Slot 0: perfectly balanced across 4.
+	for server := 0; server < 4; server++ {
+		for i := 0; i < 100; i++ {
+			s.Observe(time.Minute, server)
+		}
+	}
+	// Slot 1: skewed 100 vs 50 across 2 active.
+	for i := 0; i < 100; i++ {
+		s.Observe(31*time.Minute, 0)
+	}
+	for i := 0; i < 50; i++ {
+		s.Observe(31*time.Minute, 1)
+	}
+	if r := s.MinMaxRatio(0, 4); r != 1 {
+		t.Fatalf("slot 0 ratio = %g, want 1", r)
+	}
+	if r := s.MinMaxRatio(1, 2); r != 0.5 {
+		t.Fatalf("slot 1 ratio = %g, want 0.5", r)
+	}
+	if got := s.SlotTotal(0); got != 400 {
+		t.Fatalf("slot 0 total = %d", got)
+	}
+	if counts := s.SlotCounts(1); counts[0] != 100 || counts[1] != 50 {
+		t.Fatalf("slot 1 counts = %v", counts)
+	}
+}
+
+func TestLoadSeriesIdleSlotRatioIsOne(t *testing.T) {
+	s := NewLoadSeries(time.Hour, 30*time.Minute, 4)
+	if r := s.MinMaxRatio(0, 4); r != 1 {
+		t.Fatalf("idle slot ratio = %g, want 1", r)
+	}
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencySeries buckets latency samples into fixed-width time slots —
+// the paper groups response times "into 480 slots according to
+// physical time" for Fig. 9.
+type LatencySeries struct {
+	slotWidth time.Duration
+	slots     []*Histogram
+}
+
+// NewLatencySeries covers [0, duration) with slots of the given width.
+func NewLatencySeries(duration, slotWidth time.Duration) *LatencySeries {
+	if slotWidth <= 0 {
+		panic("metrics: slot width must be positive")
+	}
+	n := int((duration + slotWidth - 1) / slotWidth)
+	if n < 1 {
+		n = 1
+	}
+	slots := make([]*Histogram, n)
+	for i := range slots {
+		slots[i] = &Histogram{}
+	}
+	return &LatencySeries{slotWidth: slotWidth, slots: slots}
+}
+
+// Observe records a sample at experiment-relative time t. Out-of-range
+// times clamp to the first/last slot.
+func (s *LatencySeries) Observe(t time.Duration, latency time.Duration) {
+	s.slots[s.slotIndex(t)].Observe(latency)
+}
+
+func (s *LatencySeries) slotIndex(t time.Duration) int {
+	i := int(t / s.slotWidth)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(s.slots) {
+		return len(s.slots) - 1
+	}
+	return i
+}
+
+// Slots returns the number of slots.
+func (s *LatencySeries) Slots() int { return len(s.slots) }
+
+// SlotWidth returns the slot duration.
+func (s *LatencySeries) SlotWidth() time.Duration { return s.slotWidth }
+
+// Slot returns the histogram for slot i.
+func (s *LatencySeries) Slot(i int) *Histogram { return s.slots[i] }
+
+// Quantiles returns the q-quantile of every slot (0 for empty slots).
+func (s *LatencySeries) Quantiles(q float64) []time.Duration {
+	out := make([]time.Duration, len(s.slots))
+	for i, h := range s.slots {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// Total merges all slots into one histogram.
+func (s *LatencySeries) Total() *Histogram {
+	var total Histogram
+	for _, h := range s.slots {
+		total.Merge(h)
+	}
+	return &total
+}
+
+// LoadSeries counts requests per (slot, server) — the raw data behind
+// the paper's Fig. 5 min/max load-balance ratio.
+type LoadSeries struct {
+	slotWidth time.Duration
+	servers   int
+	counts    [][]uint64 // [slot][server]
+}
+
+// NewLoadSeries covers [0, duration) with the given slot width across
+// the given number of servers.
+func NewLoadSeries(duration, slotWidth time.Duration, servers int) *LoadSeries {
+	if slotWidth <= 0 || servers < 1 {
+		panic("metrics: invalid load series shape")
+	}
+	n := int((duration + slotWidth - 1) / slotWidth)
+	if n < 1 {
+		n = 1
+	}
+	counts := make([][]uint64, n)
+	for i := range counts {
+		counts[i] = make([]uint64, servers)
+	}
+	return &LoadSeries{slotWidth: slotWidth, servers: servers, counts: counts}
+}
+
+// Observe counts one request handled by server at time t.
+func (s *LoadSeries) Observe(t time.Duration, server int) {
+	i := int(t / s.slotWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.counts) {
+		i = len(s.counts) - 1
+	}
+	s.counts[i][server]++
+}
+
+// Slots returns the number of slots.
+func (s *LoadSeries) Slots() int { return len(s.counts) }
+
+// SlotCounts returns per-server counts for slot i (a copy).
+func (s *LoadSeries) SlotCounts(i int) []uint64 {
+	return append([]uint64(nil), s.counts[i]...)
+}
+
+// MinMaxRatio returns min(load)/max(load) over the first `active`
+// servers in slot i — the paper's Fig. 5 metric. It returns 1 for an
+// idle slot.
+func (s *LoadSeries) MinMaxRatio(i, active int) float64 {
+	if active < 1 || active > s.servers {
+		panic(fmt.Sprintf("metrics: active %d out of range (servers=%d)", active, s.servers))
+	}
+	lo, hi := s.counts[i][0], s.counts[i][0]
+	for _, c := range s.counts[i][1:active] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi == 0 {
+		return 1
+	}
+	return float64(lo) / float64(hi)
+}
+
+// SlotTotal returns the summed request count of slot i.
+func (s *LoadSeries) SlotTotal(i int) uint64 {
+	var total uint64
+	for _, c := range s.counts[i] {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+// Package power models the measurement side of the paper's evaluation
+// hardware: per-server power draw (a linear utilisation model standard
+// for commodity servers like the paper's Dell PowerEdge R210s) and a
+// PDU-style meter that records per-tier watt readings on a fixed
+// sampling interval (the paper's Avocent PM3000 samples every 15 s) and
+// integrates them into energy for the Fig. 10 curves and Fig. 11 bars.
+package power
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Model is a per-server power model.
+type Model struct {
+	// OffWatts is drawn when the server is powered off but still
+	// plugged into the PDU (standby).
+	OffWatts float64
+	// IdleWatts is drawn at zero utilisation.
+	IdleWatts float64
+	// PeakWatts is drawn at full utilisation.
+	PeakWatts float64
+}
+
+// DefaultServer approximates the paper's Dell PowerEdge R210.
+var DefaultServer = Model{OffWatts: 6, IdleWatts: 55, PeakWatts: 105}
+
+// Watts returns the draw for a power state and utilisation in [0,1].
+func (m Model) Watts(on bool, utilization float64) float64 {
+	if !on {
+		return m.OffWatts
+	}
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return m.IdleWatts + utilization*(m.PeakWatts-m.IdleWatts)
+}
+
+// SampleInterval is the paper's PDU sampling period.
+const SampleInterval = 15 * time.Second
+
+// Meter accumulates timestamped per-tier watt readings and integrates
+// them into energy. Samples must be added in nondecreasing time order.
+type Meter struct {
+	times   []time.Duration
+	byTier  map[string][]float64
+	tierSet []string
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{byTier: make(map[string][]float64)}
+}
+
+// Record appends one sampling instant with per-tier watt readings.
+// Tiers absent from a sample are recorded as 0 for that instant.
+func (m *Meter) Record(at time.Duration, watts map[string]float64) error {
+	if n := len(m.times); n > 0 && at < m.times[n-1] {
+		return fmt.Errorf("power: sample at %v precedes last sample %v", at, m.times[n-1])
+	}
+	for tier := range watts {
+		if _, ok := m.byTier[tier]; !ok {
+			// Backfill zeros for instants before this tier appeared.
+			m.byTier[tier] = make([]float64, len(m.times))
+			m.tierSet = append(m.tierSet, tier)
+			sort.Strings(m.tierSet)
+		}
+	}
+	m.times = append(m.times, at)
+	for tier, series := range m.byTier {
+		series = append(series, watts[tier])
+		m.byTier[tier] = series
+	}
+	return nil
+}
+
+// Tiers returns the tier names seen so far, sorted.
+func (m *Meter) Tiers() []string { return append([]string(nil), m.tierSet...) }
+
+// Samples returns the sampling count.
+func (m *Meter) Samples() int { return len(m.times) }
+
+// Series returns the (time, watts) series for a tier. The slices are
+// copies.
+func (m *Meter) Series(tier string) ([]time.Duration, []float64) {
+	series, ok := m.byTier[tier]
+	if !ok {
+		return nil, nil
+	}
+	return append([]time.Duration(nil), m.times...), append([]float64(nil), series...)
+}
+
+// TotalSeries returns the summed watts across all tiers per instant.
+func (m *Meter) TotalSeries() ([]time.Duration, []float64) {
+	total := make([]float64, len(m.times))
+	for _, series := range m.byTier {
+		for i, w := range series {
+			total[i] += w
+		}
+	}
+	return append([]time.Duration(nil), m.times...), total
+}
+
+// EnergyWh integrates a tier's power over time (trapezoidal rule) and
+// returns watt-hours. Unknown tiers integrate to 0.
+func (m *Meter) EnergyWh(tier string) float64 {
+	return integrateWh(m.times, m.byTier[tier])
+}
+
+// TotalEnergyWh integrates the summed draw of the given tiers (all
+// tiers when none are given).
+func (m *Meter) TotalEnergyWh(tiers ...string) float64 {
+	if len(tiers) == 0 {
+		tiers = m.tierSet
+	}
+	total := 0.0
+	for _, tier := range tiers {
+		total += m.EnergyWh(tier)
+	}
+	return total
+}
+
+func integrateWh(times []time.Duration, watts []float64) float64 {
+	if len(times) < 2 || len(watts) < 2 {
+		return 0
+	}
+	joules := 0.0
+	for i := 1; i < len(times); i++ {
+		dt := (times[i] - times[i-1]).Seconds()
+		joules += dt * (watts[i] + watts[i-1]) / 2
+	}
+	return joules / 3600
+}

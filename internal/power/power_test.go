@@ -1,0 +1,139 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestModelWatts(t *testing.T) {
+	m := Model{OffWatts: 5, IdleWatts: 50, PeakWatts: 100}
+	cases := []struct {
+		on   bool
+		util float64
+		want float64
+	}{
+		{false, 0, 5},
+		{false, 1, 5},
+		{true, 0, 50},
+		{true, 1, 100},
+		{true, 0.5, 75},
+		{true, -1, 50}, // clamped
+		{true, 2, 100}, // clamped
+	}
+	for _, c := range cases {
+		if got := m.Watts(c.on, c.util); got != c.want {
+			t.Errorf("Watts(%v, %g) = %g, want %g", c.on, c.util, got, c.want)
+		}
+	}
+}
+
+func TestMeterRejectsTimeTravel(t *testing.T) {
+	m := NewMeter()
+	if err := m.Record(time.Minute, map[string]float64{"cache": 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record(time.Second, map[string]float64{"cache": 100}); err == nil {
+		t.Fatal("out-of-order sample accepted")
+	}
+}
+
+func TestMeterEnergyConstantLoad(t *testing.T) {
+	m := NewMeter()
+	// 100 W for exactly one hour sampled every 15s => 100 Wh.
+	for at := time.Duration(0); at <= time.Hour; at += SampleInterval {
+		if err := m.Record(at, map[string]float64{"cache": 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.EnergyWh("cache"); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("EnergyWh = %g, want 100", got)
+	}
+	if got := m.TotalEnergyWh(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("TotalEnergyWh = %g, want 100", got)
+	}
+}
+
+func TestMeterTrapezoidalRamp(t *testing.T) {
+	m := NewMeter()
+	// Linear ramp 0..100 W over 1h => average 50 W => 50 Wh.
+	for at := time.Duration(0); at <= time.Hour; at += time.Minute {
+		w := 100 * at.Seconds() / 3600
+		if err := m.Record(at, map[string]float64{"web": w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.EnergyWh("web"); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("EnergyWh = %g, want 50", got)
+	}
+}
+
+func TestMeterMultiTier(t *testing.T) {
+	m := NewMeter()
+	for at := time.Duration(0); at <= time.Hour; at += SampleInterval {
+		watts := map[string]float64{"cache": 60, "db": 40}
+		if at >= 30*time.Minute {
+			watts["web"] = 20 // tier appears mid-run
+		}
+		if err := m.Record(at, watts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Tiers(); len(got) != 3 || got[0] != "cache" || got[1] != "db" || got[2] != "web" {
+		t.Fatalf("Tiers = %v", got)
+	}
+	if got := m.EnergyWh("cache"); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("cache = %g Wh, want 60", got)
+	}
+	// web ran half the time at 20 W => ≈10 Wh (trapezoid smears one
+	// interval at the step).
+	if got := m.EnergyWh("web"); math.Abs(got-10) > 0.1 {
+		t.Fatalf("web = %g Wh, want ≈10", got)
+	}
+	// Total series sums tiers per instant.
+	_, total := m.TotalSeries()
+	if total[0] != 100 {
+		t.Fatalf("total[0] = %g, want 100", total[0])
+	}
+	if last := total[len(total)-1]; last != 120 {
+		t.Fatalf("total[last] = %g, want 120", last)
+	}
+	if got, want := m.TotalEnergyWh("cache", "db"), 100.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TotalEnergyWh(cache,db) = %g, want %g", got, want)
+	}
+}
+
+func TestMeterEmptyAndUnknownTier(t *testing.T) {
+	m := NewMeter()
+	if got := m.EnergyWh("nope"); got != 0 {
+		t.Fatalf("empty meter energy = %g", got)
+	}
+	if times, watts := m.Series("nope"); times != nil || watts != nil {
+		t.Fatal("unknown tier returned data")
+	}
+	if m.Samples() != 0 {
+		t.Fatal("empty meter has samples")
+	}
+}
+
+// Shutting servers off must reduce integrated energy by the modelled
+// gap — the mechanism behind the paper's Fig. 11 savings.
+func TestEnergySavingFromPoweringOff(t *testing.T) {
+	static, dynamic := NewMeter(), NewMeter()
+	model := DefaultServer
+	const servers = 10
+	for at := time.Duration(0); at <= 2*time.Hour; at += SampleInterval {
+		staticW := float64(servers) * model.Watts(true, 0.3)
+		on := servers
+		if at >= time.Hour {
+			on = servers / 2
+		}
+		dynW := float64(on)*model.Watts(true, 0.6) + float64(servers-on)*model.Watts(false, 0)
+		static.Record(at, map[string]float64{"cache": staticW})
+		dynamic.Record(at, map[string]float64{"cache": dynW})
+	}
+	if static.EnergyWh("cache") <= dynamic.EnergyWh("cache") {
+		t.Fatalf("static %g Wh <= dynamic %g Wh; provisioning saved nothing",
+			static.EnergyWh("cache"), dynamic.EnergyWh("cache"))
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cache"
+	"proteus/internal/database"
+	"proteus/internal/wiki"
+)
+
+// serviceQueue models a component with c parallel executors and FCFS
+// queueing in virtual time: a request arriving at `now` starts when the
+// earliest executor frees up and holds it for `service`.
+type serviceQueue struct {
+	freeAt []time.Duration
+	busy   time.Duration // total service time executed (for utilisation)
+}
+
+func newServiceQueue(concurrency int) *serviceQueue {
+	return &serviceQueue{freeAt: make([]time.Duration, concurrency)}
+}
+
+// schedule books a job and returns its completion time.
+func (q *serviceQueue) schedule(now, service time.Duration) time.Duration {
+	best := 0
+	for i, f := range q.freeAt {
+		if f < q.freeAt[best] {
+			best = i
+		}
+	}
+	start := now
+	if q.freeAt[best] > start {
+		start = q.freeAt[best]
+	}
+	done := start + service
+	q.freeAt[best] = done
+	q.busy += service
+	return done
+}
+
+// takeBusy returns the service time accumulated since the last call —
+// the numerator of a utilisation sample.
+func (q *serviceQueue) takeBusy() time.Duration {
+	b := q.busy
+	q.busy = 0
+	return b
+}
+
+// nodeState is a cache server's power state.
+type nodeState int
+
+const (
+	nodeOff nodeState = iota
+	nodeBooting
+	nodeOn
+)
+
+// cacheNode is one simulated cache server: a real cache.Cache (LRU +
+// TTL under the virtual clock) with the paper's counting Bloom filter
+// digest wired to item link/unlink, plus a service-time model.
+type cacheNode struct {
+	id     int
+	store  *cache.Cache
+	digest *bloom.CountingFilter
+	queue  *serviceQueue
+	state  nodeState
+}
+
+func newCacheNode(eng *Engine, id int, capacityBytes int64, ttl time.Duration, digestParams bloom.Params, concurrency int) (*cacheNode, error) {
+	digest, err := bloom.NewCounting(digestParams)
+	if err != nil {
+		return nil, err
+	}
+	n := &cacheNode{id: id, digest: digest, queue: newServiceQueue(concurrency), state: nodeOff}
+	n.store = cache.New(cache.Config{
+		MaxBytes:   capacityBytes,
+		DefaultTTL: ttl,
+		Clock:      eng.Clock(),
+		OnLink:     func(key string) { n.digest.Insert(key) },
+		OnUnlink:   func(key string) { n.digest.Delete(key) },
+	})
+	return n, nil
+}
+
+// powerOff drops the node's in-memory data — the paper's "if we turn
+// off the Memcached servers brutally, we will lose a considerable
+// amount of in-cache data".
+func (n *cacheNode) powerOff() {
+	n.store.FlushAll()
+	n.state = nodeOff
+}
+
+// snapshotDigest is the transition-start broadcast.
+func (n *cacheNode) snapshotDigest() *bloom.Filter {
+	return n.digest.Snapshot()
+}
+
+// dbModel is the database tier in virtual time: per-shard bounded
+// concurrency with FCFS queueing, reusing the real tier's latency
+// model. Saturating these queues is what turns a re-mapping storm into
+// the paper's Fig. 9 delay spike.
+type dbModel struct {
+	corpus  *wiki.Corpus
+	shards  []*serviceQueue
+	latency database.LatencyModel
+	rng     *rand.Rand
+	queries uint64
+}
+
+func newDBModel(corpus *wiki.Corpus, shards, concurrencyPerShard int, latency database.LatencyModel, seed int64) *dbModel {
+	m := &dbModel{
+		corpus:  corpus,
+		shards:  make([]*serviceQueue, shards),
+		latency: latency,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	for i := range m.shards {
+		m.shards[i] = newServiceQueue(concurrencyPerShard)
+	}
+	return m
+}
+
+// fetch books a query for the page and returns its completion time.
+func (m *dbModel) fetch(now time.Duration, pageIndex int) time.Duration {
+	shard := m.shards[pageIndex%len(m.shards)]
+	service := m.latency.ServiceTime(m.corpus.Size(pageIndex), m.rng)
+	m.queries++
+	return shard.schedule(now, service)
+}

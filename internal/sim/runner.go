@@ -1,0 +1,619 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/core"
+	"proteus/internal/hashring"
+	"proteus/internal/metrics"
+	"proteus/internal/power"
+	"proteus/internal/workload"
+)
+
+// Run executes one scenario and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.run()
+}
+
+// transition is the Proteus smooth-transition window (Section IV).
+type transition struct {
+	fromN    int
+	toN      int
+	digests  []*bloom.Filter // indexed by server id; nil where not snapshotted
+	deadline time.Duration
+}
+
+type runner struct {
+	cfg Config
+	eng *Engine
+	rng *rand.Rand
+
+	nodes []*cacheNode
+	db    *dbModel
+
+	placement  *core.Placement      // Proteus routing
+	replicated *core.Replicated     // Proteus routing with Section III-E replication
+	consistent *hashring.Consistent // Consistent routing
+
+	provisionedN int // plan level currently being executed
+	routingN     int // active-prefix size used for routing
+	trans        *transition
+	provGen      int // invalidates superseded boot/deadline callbacks
+
+	users      []*simUser
+	aliveUsers int
+	nextUserID int
+
+	latency    *metrics.LatencySeries
+	bySource   [3]*metrics.Histogram
+	load       *metrics.LoadSeries
+	meter      *power.Meter
+	reqCounter *workload.Counter
+	stats      Stats
+	activeLog  []int
+
+	// controller mode: per-slot measurement window
+	slotHist     metrics.Histogram
+	slotRequests uint64
+	realisedPlan []int
+
+	// per-power-sample accounting
+	webRequests uint64
+
+	horizon time.Duration // Warmup + Duration
+}
+
+type simUser struct {
+	user  *workload.User
+	alive bool
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	eng := NewEngine()
+	r := &runner{
+		cfg:        cfg,
+		eng:        eng,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		db:         newDBModel(cfg.Corpus, cfg.DBShards, cfg.DBConcurrency, cfg.DBLatency, cfg.Seed+101),
+		latency:    metrics.NewLatencySeries(cfg.Duration, cfg.Duration/time.Duration(cfg.LatencySlots)),
+		load:       metrics.NewLoadSeries(cfg.Duration, cfg.SlotWidth, cfg.CacheServers),
+		meter:      power.NewMeter(),
+		reqCounter: workload.HourlyCounts(cfg.Duration, cfg.Duration/24),
+		horizon:    cfg.Warmup + cfg.Duration,
+	}
+	for i := range r.bySource {
+		r.bySource[i] = &metrics.Histogram{}
+	}
+
+	capacityBytes := int64(cfg.CachePagesPerServer) * (int64(len(cfg.Corpus.Key(cfg.Corpus.Pages()-1))) + 48)
+	for i := 0; i < cfg.CacheServers; i++ {
+		// Per-item TTL is zero: like memcached, items live until
+		// evicted. The config TTL is the hot-data window that bounds
+		// the smooth-transition deadline, not an item lifetime.
+		node, err := newCacheNode(eng, i, capacityBytes, 0, cfg.DigestParams, cfg.CacheConcurrency)
+		if err != nil {
+			return nil, err
+		}
+		r.nodes = append(r.nodes, node)
+	}
+
+	switch cfg.Scenario {
+	case ScenarioProteus:
+		if cfg.Replicas > 1 {
+			rep, err := core.NewReplicated(cfg.CacheServers, cfg.Replicas)
+			if err != nil {
+				return nil, err
+			}
+			r.replicated = rep
+			r.placement = rep.Placement()
+		} else {
+			p, err := core.New(cfg.CacheServers)
+			if err != nil {
+				return nil, err
+			}
+			r.placement = p
+		}
+	case ScenarioConsistent:
+		c, err := hashring.NewConsistentHalfSquare(cfg.CacheServers)
+		if err != nil {
+			return nil, err
+		}
+		r.consistent = c
+	}
+	return r, nil
+}
+
+// route maps a key to its owner at the given active-prefix size under
+// the scenario's scheme.
+func (r *runner) route(key string, active int) int {
+	switch r.cfg.Scenario {
+	case ScenarioProteus:
+		return r.placement.Lookup(key, active)
+	case ScenarioConsistent:
+		return r.consistent.Route(key, active)
+	default: // Static, Naive: hash + modulo
+		return hashring.Naive{}.Route(key, active)
+	}
+}
+
+// routeRing is route on one replication ring (always ring 0 unless
+// Proteus replication is enabled).
+func (r *runner) routeRing(key string, ring, active int) int {
+	if r.replicated != nil {
+		return r.replicated.OwnerOnRing(key, ring, active)
+	}
+	return r.route(key, active)
+}
+
+// rings returns the number of replication rings to read through.
+func (r *runner) rings() int {
+	if r.replicated != nil {
+		return r.replicated.Replicas()
+	}
+	return 1
+}
+
+func (r *runner) run() (*Result, error) {
+	// Bring up the initial fleet.
+	initial := r.cfg.Plan[0]
+	if r.cfg.Controller != nil {
+		r.realisedPlan = append(r.realisedPlan, initial)
+	}
+	for i := 0; i < initial; i++ {
+		r.nodes[i].state = nodeOn
+	}
+	r.provisionedN = initial
+	r.routingN = initial
+
+	// Slot boundaries (plan applies from Warmup onward; the warmup
+	// period runs at Plan[0]).
+	slots := len(r.cfg.Plan)
+	for s := 1; s < slots; s++ {
+		slot := s
+		r.eng.At(r.cfg.Warmup+time.Duration(slot)*r.cfg.SlotWidth, func() {
+			r.applyPlan(slot)
+		})
+	}
+
+	// Unplanned failure injection.
+	if r.cfg.CrashAt > 0 && r.cfg.CrashServer >= 0 && r.cfg.CrashServer < r.cfg.CacheServers {
+		r.eng.At(r.cfg.Warmup+r.cfg.CrashAt, func() {
+			node := r.nodes[r.cfg.CrashServer]
+			if node.state == nodeOn {
+				node.powerOff()
+			}
+		})
+	}
+
+	// Power sampling.
+	for t := time.Duration(0); t <= r.horizon; t += r.cfg.PowerEvery {
+		at := t
+		r.eng.At(at, func() { r.samplePower(at) })
+	}
+
+	if len(r.cfg.Trace) > 0 {
+		// Open-loop trace replay: arrivals come from the trace, not a
+		// closed user loop.
+		r.scheduleTraceBatch(0)
+	} else {
+		// User population control: retarget every slot and at start.
+		r.retargetUsers()
+		for s := 1; s < slots; s++ {
+			slot := s
+			r.eng.At(r.cfg.Warmup+time.Duration(slot)*r.cfg.SlotWidth, func() { _ = slot; r.retargetUsers() })
+		}
+		// Also retarget during warmup-to-measurement handoff.
+		r.eng.At(r.cfg.Warmup, r.retargetUsers)
+	}
+
+	r.eng.Run(r.horizon)
+
+	r.activeLog = append(r.activeLog, r.routingN)
+	plan := r.cfg.Plan
+	if r.cfg.Controller != nil {
+		plan = r.realisedPlan
+	}
+	return &Result{
+		Scenario:      r.cfg.Scenario,
+		Config:        r.cfg,
+		Plan:          plan,
+		Latency:       r.latency,
+		BySource:      r.bySource,
+		Load:          r.load,
+		Meter:         r.meter,
+		Requests:      r.reqCounter,
+		Stats:         r.stats,
+		ActivePerSlot: r.activeLog,
+	}, nil
+}
+
+// applyPlan executes the provisioning decision for a slot boundary.
+func (r *runner) applyPlan(slot int) {
+	r.activeLog = append(r.activeLog, r.routingN)
+	target := r.cfg.Plan[slot]
+	if ctrl := r.cfg.Controller; ctrl != nil {
+		// Closed loop: decide from the ending slot's measurements, as
+		// the paper's feedback experiment does.
+		delay := r.slotHist.Quantile(r.cfg.ControllerQuantile)
+		rate := float64(r.slotRequests) / r.cfg.SlotWidth.Seconds()
+		r.slotHist.Reset()
+		r.slotRequests = 0
+		target = ctrl.Decide(r.provisionedN, delay, rate)
+		r.realisedPlan = append(r.realisedPlan, target)
+	}
+	if target == r.provisionedN {
+		return
+	}
+	// A new decision supersedes any in-flight transition: finalize it
+	// first so state is consistent.
+	r.finalizeTransition()
+	r.provGen++
+	gen := r.provGen
+
+	if target > r.provisionedN {
+		r.scaleUp(target, gen)
+	} else {
+		r.scaleDown(target)
+	}
+	r.provisionedN = target
+}
+
+func (r *runner) scaleUp(target, gen int) {
+	fromN := r.routingN
+	for i := fromN; i < target; i++ {
+		r.nodes[i].state = nodeBooting
+	}
+	r.eng.After(r.cfg.BootDelay, func() {
+		if r.provGen != gen {
+			return // superseded
+		}
+		for i := fromN; i < target; i++ {
+			r.nodes[i].state = nodeOn
+		}
+		switch r.cfg.Scenario {
+		case ScenarioProteus:
+			r.beginTransition(fromN, target, gen)
+		default:
+			r.routingN = target // brutal remap
+		}
+	})
+}
+
+func (r *runner) scaleDown(target int) {
+	fromN := r.routingN
+	switch r.cfg.Scenario {
+	case ScenarioProteus:
+		// Dying servers keep serving hot data for TTL while requests
+		// migrate it on demand (Section IV).
+		r.beginTransition(fromN, target, r.provGen)
+	default:
+		for i := target; i < fromN; i++ {
+			r.nodes[i].powerOff()
+		}
+		r.routingN = target
+	}
+}
+
+// beginTransition broadcasts digests and switches routing to the new
+// prefix; Algorithm 2 covers the window until the deadline.
+func (r *runner) beginTransition(fromN, toN, gen int) {
+	digests := make([]*bloom.Filter, r.cfg.CacheServers)
+	if !r.cfg.DisableDigest {
+		for i := 0; i < fromN; i++ {
+			if r.nodes[i].state == nodeOn {
+				digests[i] = r.nodes[i].snapshotDigest()
+			}
+		}
+	}
+	r.trans = &transition{fromN: fromN, toN: toN, digests: digests, deadline: r.eng.Now() + r.cfg.TTL}
+	r.routingN = toN
+	r.stats.Transitions++
+	r.eng.After(r.cfg.TTL, func() {
+		if r.provGen != gen || r.trans == nil || r.trans.toN != toN {
+			return // superseded
+		}
+		r.finalizeTransition()
+	})
+}
+
+// finalizeTransition ends the smooth-transition window: after TTL every
+// still-hot item has been migrated on demand, so dying servers are
+// safe to power off (Section IV's safety argument).
+func (r *runner) finalizeTransition() {
+	if r.trans == nil {
+		return
+	}
+	if r.trans.toN < r.trans.fromN {
+		for i := r.trans.toN; i < r.trans.fromN; i++ {
+			r.nodes[i].powerOff()
+		}
+	}
+	r.trans = nil
+}
+
+// traceBatchSize bounds how many trace arrivals sit in the event heap
+// at once.
+const traceBatchSize = 4096
+
+// scheduleTraceBatch feeds the next slice of open-loop arrivals into
+// the engine, rescheduling itself when the batch is drained.
+func (r *runner) scheduleTraceBatch(start int) {
+	trace := r.cfg.Trace
+	end := start + traceBatchSize
+	if end > len(trace) {
+		end = len(trace)
+	}
+	for i := start; i < end; i++ {
+		ev := trace[i]
+		r.eng.At(ev.At, func() {
+			issued := r.eng.Now()
+			r.startRequest(ev.Key, func(finish time.Duration) {
+				if rel := issued - r.cfg.Warmup; rel >= 0 {
+					r.latency.Observe(rel, finish-issued)
+				}
+				if r.cfg.Controller != nil {
+					r.slotHist.Observe(finish - issued)
+					r.slotRequests++
+				}
+			})
+		})
+	}
+	if end < len(trace) {
+		// The trace is time-ordered, so scheduling the next batch when
+		// the last event of this one fires keeps the heap bounded.
+		r.eng.At(trace[end-1].At, func() { r.scheduleTraceBatch(end) })
+	}
+}
+
+// retargetUsers matches the closed-loop population to the rate curve.
+func (r *runner) retargetUsers() {
+	t := r.eng.Now() - r.cfg.Warmup
+	if t < 0 {
+		t = 0
+	}
+	target := workload.ActiveUsers(r.cfg.Rate.Rate(t), r.cfg.NominalResponse)
+	for r.aliveUsers < target {
+		r.spawnUser()
+	}
+	// Excess users are retired lazily: mark newest-first as dead.
+	excess := r.aliveUsers - target
+	for i := len(r.users) - 1; i >= 0 && excess > 0; i-- {
+		if r.users[i].alive {
+			r.users[i].alive = false
+			r.aliveUsers--
+			excess--
+		}
+	}
+}
+
+func (r *runner) spawnUser() {
+	u := &simUser{user: r.cfg.Users.User(r.nextUserID), alive: true}
+	r.nextUserID++
+	r.users = append(r.users, u)
+	r.aliveUsers++
+	// Desynchronise first requests across one think period.
+	delay := time.Duration(r.rng.Int63n(int64(workload.ThinkTime) + 1))
+	r.eng.After(delay, func() { r.userTurn(u) })
+}
+
+// userTurn issues one request and reschedules the user after think time.
+func (r *runner) userTurn(u *simUser) {
+	if !u.alive || r.eng.Now() >= r.horizon {
+		return
+	}
+	key := u.user.NextPage()
+	issued := r.eng.Now()
+	r.startRequest(key, func(finish time.Duration) {
+		if rel := issued - r.cfg.Warmup; rel >= 0 {
+			r.latency.Observe(rel, finish-issued)
+		}
+		if r.cfg.Controller != nil {
+			r.slotHist.Observe(finish - issued)
+			r.slotRequests++
+		}
+		r.eng.At(finish+u.user.NextThink(), func() { r.userTurn(u) })
+	})
+}
+
+// startRequest models Algorithm 2 (data retrieval) in virtual time and
+// calls done with the response completion time. With replication the
+// rings are read in order; a crashed or powered-off owner degrades to
+// the next ring, then to the database.
+func (r *runner) startRequest(key string, done func(finish time.Duration)) {
+	now := r.eng.Now()
+	rel := now - r.cfg.Warmup
+	measured := rel >= 0
+	if measured {
+		r.reqCounter.Observe(rel)
+	}
+	r.stats.Requests++
+	r.webRequests++
+
+	t := now + r.cfg.WebOverhead
+
+	primary := r.routeRing(key, 0, r.routingN)
+	if measured {
+		r.load.Observe(rel, primary)
+	}
+
+	var tried [8]int
+	nTried := 0
+	missCounted := false
+	for ring := 0; ring < r.rings(); ring++ {
+		owner := r.routeRing(key, ring, r.routingN)
+		dup := false
+		for i := 0; i < nTried; i++ {
+			if tried[i] == owner {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if nTried < len(tried) {
+			tried[nTried] = owner
+			nTried++
+		}
+		node := r.nodes[owner]
+		if node.state != nodeOn {
+			continue // crashed or powered off: fall through
+		}
+
+		// Algorithm 2 line 2: the ring's new owner.
+		t = node.queue.schedule(t, r.cfg.CacheService) + r.cfg.CacheRTT
+		if _, ok := node.store.Get(key); ok {
+			r.stats.CacheHits++
+			if ring > 0 {
+				r.stats.ReplicaHits++
+			}
+			if measured {
+				r.bySource[SourceHit].Observe(t - now)
+			}
+			done(t)
+			return
+		}
+		if ring == 0 {
+			r.stats.CacheMisses++
+			missCounted = true
+		}
+
+		// Lines 6-8: during a Proteus transition, consult the ring's
+		// old owner's digest before paying the database price.
+		if tr := r.trans; tr != nil && r.cfg.Scenario == ScenarioProteus && !r.cfg.DisableDigest {
+			oldOwner := r.routeRing(key, ring, tr.fromN)
+			if oldOwner != owner && tr.digests[oldOwner] != nil && tr.digests[oldOwner].Contains(key) {
+				oldNode := r.nodes[oldOwner]
+				if oldNode.state == nodeOn {
+					t = oldNode.queue.schedule(t, r.cfg.CacheService) + r.cfg.CacheRTT
+					if value, ok := oldNode.store.Get(key); ok {
+						// Hot data: migrate on demand (line 12 put, then reply).
+						r.stats.MigratedOnDemand++
+						tPut := node.queue.schedule(t, r.cfg.CacheService) + r.cfg.CacheRTT
+						if measured {
+							r.bySource[SourceMigrated].Observe(tPut - now)
+						}
+						val, at := value, t
+						r.eng.At(at, func() { node.store.Set(key, val, 0) })
+						done(tPut)
+						return
+					}
+					r.stats.DigestFalsePos++
+				}
+			} else if ring == 0 {
+				r.stats.DigestMisses++
+			}
+		}
+	}
+	if !missCounted {
+		r.stats.CacheMisses++
+	}
+
+	issued := now
+	r.finishViaDB(key, t, func(finish time.Duration) {
+		if measured {
+			r.bySource[SourceDB].Observe(finish - issued)
+		}
+		done(finish)
+	})
+}
+
+// finishViaDB fetches from the database tier and writes through to
+// every distinct running owner (Algorithm 2 lines 10-12; with
+// replication the key regains its full copy set).
+func (r *runner) finishViaDB(key string, from time.Duration, done func(time.Duration)) {
+	idx, ok := r.cfg.Corpus.Index(key)
+	if !ok {
+		done(from) // foreign key: nothing to fetch
+		return
+	}
+	r.stats.DBQueries++
+	dbDone := r.db.fetch(from, idx)
+	finish := dbDone
+
+	owners := r.writeOwners(key)
+	for i, owner := range owners {
+		node := r.nodes[owner]
+		if node.state != nodeOn {
+			continue
+		}
+		setDone := node.queue.schedule(dbDone, r.cfg.CacheService) + r.cfg.CacheRTT
+		if i == 0 {
+			// The primary write-through is on the response path
+			// (Algorithm 2 puts before returning); replicas fill
+			// asynchronously.
+			finish = setDone
+		}
+		n := node
+		r.eng.At(dbDone, func() {
+			if n.state == nodeOn {
+				// Values are zero-length in simulation: cache capacity
+				// is accounted in pages (key + per-item overhead).
+				n.store.Set(key, nil, 0)
+			}
+		})
+	}
+	done(finish)
+}
+
+// writeOwners returns the distinct owners that should store the key at
+// the current routing prefix (one per ring).
+func (r *runner) writeOwners(key string) []int {
+	if r.replicated == nil {
+		return []int{r.routeRing(key, 0, r.routingN)}
+	}
+	return r.replicated.DistinctOwners(key, r.routingN)
+}
+
+// samplePower records one PDU sample across the four tiers.
+func (r *runner) samplePower(at time.Duration) {
+	interval := r.cfg.PowerEvery
+	model := r.cfg.PowerModel
+
+	cacheW := 0.0
+	for _, n := range r.nodes {
+		switch n.state {
+		case nodeOff:
+			cacheW += model.Watts(false, 0)
+		case nodeBooting:
+			cacheW += model.Watts(true, 0.5) // boot burn
+		default:
+			util := float64(n.queue.takeBusy()) / float64(interval) / float64(r.cfg.CacheConcurrency)
+			cacheW += model.Watts(true, util)
+		}
+	}
+
+	dbW := 0.0
+	for _, sh := range r.db.shards {
+		util := float64(sh.takeBusy()) / float64(interval) / float64(r.cfg.DBConcurrency)
+		dbW += model.Watts(true, util)
+	}
+
+	// Web and RBE tiers: utilisation follows the request rate.
+	reqs := float64(r.webRequests)
+	r.webRequests = 0
+	perServerRPS := reqs / interval.Seconds() / float64(r.cfg.WebServers)
+	webUtil := perServerRPS / 150 // nominal 150 req/s per web server at full tilt
+	webW := float64(r.cfg.WebServers) * model.Watts(true, webUtil)
+	rbeW := float64(r.cfg.RBEServers) * model.Watts(true, webUtil/2)
+
+	rel := at - r.cfg.Warmup
+	if rel < 0 {
+		return
+	}
+	_ = r.meter.Record(rel, map[string]float64{
+		"cache": cacheW,
+		"db":    dbW,
+		"web":   webW,
+		"rbe":   rbeW,
+	})
+}

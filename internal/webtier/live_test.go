@@ -1,0 +1,87 @@
+package webtier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// End-to-end under concurrency: RBE-style load hammers the front end
+// while a scale-down and, after its TTL completes, a scale-up execute.
+// No request may fail, and both transitions must stay (nearly)
+// invisible to the database tier.
+func TestTransitionUnderConcurrentLoad(t *testing.T) {
+	e := newEnv(t, 3, 3)
+
+	// Warm everything first.
+	for i := 0; i < e.corpus.Pages(); i++ {
+		if _, _, err := e.front.Fetch(e.corpus.Key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// loadPhase sweeps the whole corpus from several goroutines twice,
+	// so every key is touched during the phase.
+	loadPhase := func() {
+		const workers = 8
+		var (
+			wg       sync.WaitGroup
+			failures atomic.Uint64
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < 2*e.corpus.Pages(); i += workers {
+					key := e.corpus.Key(i % e.corpus.Pages())
+					if _, _, err := e.front.Fetch(key); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if failures.Load() != 0 {
+			t.Fatalf("%d requests failed during transition load", failures.Load())
+		}
+	}
+
+	budget := uint64(e.corpus.Pages() / 20)
+
+	// Phase 1: scale down 3 -> 2 under load. Every key that lived on
+	// the dying server is touched, so it migrates on demand.
+	before := e.front.Stats().DBFetches
+	if err := e.coord.SetActive(2); err != nil {
+		t.Fatal(err)
+	}
+	loadPhase()
+	if leaked := e.front.Stats().DBFetches - before; leaked > budget {
+		t.Fatalf("scale-down leaked %d fetches to the database (budget %d)", leaked, budget)
+	}
+	if e.front.Stats().Migrated == 0 {
+		t.Fatal("no on-demand migrations during scale-down")
+	}
+
+	// TTL elapses: the dying server powers off; its data has migrated.
+	e.timer.fire()
+
+	// Phase 2: scale back up 2 -> 3 under load. The re-mapped keys'
+	// old owners (the survivors) hold every hot item, so the digest
+	// routes their first request there, not to the database.
+	before = e.front.Stats().DBFetches
+	migratedBefore := e.front.Stats().Migrated
+	if err := e.coord.SetActive(3); err != nil {
+		t.Fatal(err)
+	}
+	loadPhase()
+	if leaked := e.front.Stats().DBFetches - before; leaked > budget {
+		t.Fatalf("scale-up leaked %d fetches to the database (budget %d)", leaked, budget)
+	}
+	if e.front.Stats().Migrated == migratedBefore {
+		t.Fatal("no on-demand migrations during scale-up")
+	}
+	if errs := e.front.Stats().Errors; errs != 0 {
+		t.Fatalf("front end recorded %d errors", errs)
+	}
+}

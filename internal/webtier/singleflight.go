@@ -1,0 +1,47 @@
+package webtier
+
+import "sync"
+
+// The paper motivates cache clusters with Facebook's "break up the
+// memcache dog pile" problem: when a hot key misses, every concurrent
+// request for it stampedes the database. singleflight collapses
+// concurrent fetches of one key into a single database query; the
+// paper's amortized migration already prevents transition stampedes,
+// and this guards the residual cold-miss path.
+
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// do executes fn once per concurrent set of callers for key; every
+// caller receives the same result. shared reports whether the result
+// came from another caller's flight.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (data []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.data, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.data, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.data, f.err, false
+}

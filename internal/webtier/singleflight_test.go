@@ -1,0 +1,104 @@
+package webtier
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCollapses(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	shared := atomic.Int32{}
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err, wasShared := g.do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-release
+				return []byte("v"), nil
+			})
+			if err != nil || string(data) != "v" {
+				t.Errorf("do = %q, %v", data, err)
+			}
+			if wasShared {
+				shared.Add(1)
+			}
+		}()
+	}
+	// Give all goroutines time to join the flight, then release.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn called %d times, want 1", got)
+	}
+	if got := shared.Load(); got != 9 {
+		t.Fatalf("shared count = %d, want 9", got)
+	}
+}
+
+func TestFlightGroupPropagatesErrors(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, err, _ := g.do("k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The flight is cleared: a later call runs fn again.
+	data, err, _ := g.do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("second do = %q, %v", data, err)
+	}
+}
+
+func TestFlightGroupDistinctKeysRunConcurrently(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		key := string(rune('a' + i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.do(key, func() ([]byte, error) {
+				calls.Add(1)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("fn called %d times, want 4", got)
+	}
+}
+
+// End to end: a cold hot-key stampede reaches the database exactly once.
+func TestDogPileProtection(t *testing.T) {
+	e := newEnv(t, 2, 2)
+	key := e.corpus.Key(5)
+	const stampede = 16
+	var wg sync.WaitGroup
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := e.front.Fetch(key); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := e.front.Stats()
+	if s.DBFetches != 1 {
+		t.Fatalf("stampede reached the database %d times, want 1", s.DBFetches)
+	}
+	if s.Collapsed == 0 {
+		t.Fatal("no collapsed fetches recorded")
+	}
+}

@@ -1,0 +1,320 @@
+// Package webtier is the web-server tier of the paper's Fig. 1: it
+// terminates user requests, routes data keys to cache servers through
+// the cluster coordinator's deterministic placement, and implements
+// Algorithm 2 (data retrieval) against live memcached-protocol servers
+// — try the new owner, consult the old owner's digest during a
+// transition, fall back to the database, and write through so only the
+// first request for a hot key pays the migration cost.
+package webtier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"proteus/internal/chunk"
+	"proteus/internal/cluster"
+)
+
+// Backing is the database tier interface (satisfied by *database.DB).
+type Backing interface {
+	Get(key string) ([]byte, error)
+}
+
+// Source reports where a fetch was satisfied.
+type Source int
+
+const (
+	// SourceNewCache is a hit on the key's current owner.
+	SourceNewCache Source = iota + 1
+	// SourceOldCache is an Algorithm 2 on-demand migration from the
+	// previous owner during a transition.
+	SourceOldCache
+	// SourceDatabase is a full miss served by the database tier.
+	SourceDatabase
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceNewCache:
+		return "cache"
+	case SourceOldCache:
+		return "old-cache"
+	case SourceDatabase:
+		return "database"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Stats counts fetch outcomes.
+type Stats struct {
+	Hits           uint64 // new-owner hits (any ring)
+	ReplicaHits    uint64 // of Hits, those served by ring > 0
+	Migrated       uint64 // served and migrated from the old owner
+	DigestFalsePos uint64 // digest said hot, old owner missed
+	DBFetches      uint64
+	PieceRepairs   uint64 // chunked object rebuilt after losing a piece
+	Collapsed      uint64 // concurrent misses collapsed into one DB query
+	Errors         uint64
+}
+
+// Config configures a Frontend.
+type Config struct {
+	// Coordinator supplies routing and per-node clients (required).
+	Coordinator *cluster.Coordinator
+	// DB is the backing store (required).
+	DB Backing
+	// CacheExpiry is the exptime (seconds) for write-through sets;
+	// 0 stores without expiry.
+	CacheExpiry int64
+	// PieceSize enables the paper's fixed-size-piece model: values
+	// longer than this are split into PieceSize-byte pieces, each
+	// cached under its own key (and therefore on its own server), with
+	// a manifest under the original key. 0 stores whole objects.
+	PieceSize int
+}
+
+// Frontend answers data requests. It is safe for concurrent use.
+type Frontend struct {
+	coord     *cluster.Coordinator
+	db        Backing
+	expiry    int64
+	pieceSize int
+
+	hits        atomic.Uint64
+	replicaHits atomic.Uint64
+	migrated    atomic.Uint64
+	falsePos    atomic.Uint64
+	dbGets      atomic.Uint64
+	repairs     atomic.Uint64
+	collapsed   atomic.Uint64
+	errs        atomic.Uint64
+
+	flights flightGroup
+}
+
+// New builds a Frontend.
+func New(cfg Config) (*Frontend, error) {
+	if cfg.Coordinator == nil {
+		return nil, errors.New("webtier: coordinator required")
+	}
+	if cfg.DB == nil {
+		return nil, errors.New("webtier: backing store required")
+	}
+	if cfg.PieceSize < 0 {
+		return nil, errors.New("webtier: PieceSize must be >= 0")
+	}
+	return &Frontend{coord: cfg.Coordinator, db: cfg.DB, expiry: cfg.CacheExpiry, pieceSize: cfg.PieceSize}, nil
+}
+
+// Fetch implements Algorithm 2 for one key. With replication enabled
+// (Section III-E) the rings are read in order: a hit on any replica
+// serves the request, and an unreachable server simply degrades to the
+// next ring — the fault-tolerance behaviour the paper describes. With
+// PieceSize set, large values are stored as fixed-size pieces under
+// derived keys (the paper's basic-unit assumption) and reassembled
+// here.
+func (f *Frontend) Fetch(key string) ([]byte, Source, error) {
+	if raw, src, ok := f.cacheFetch(key); ok {
+		if f.pieceSize > 0 && chunk.IsManifest(raw) {
+			if data, ok := f.gatherPieces(key, raw); ok {
+				return data, src, nil
+			}
+			// A piece went missing (evicted or lost to a crash):
+			// rebuild the whole object from the database.
+			f.repairs.Add(1)
+		} else {
+			return raw, src, nil
+		}
+	}
+
+	// Lines 9-12: the database tier; concurrent misses for one key
+	// collapse into a single query (dog-pile protection), and the
+	// winner writes through so the key regains its full copy (and
+	// piece) set.
+	data, err, shared := f.flights.do(key, func() ([]byte, error) {
+		data, err := f.db.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		f.dbGets.Add(1)
+		f.writeThrough(key, data)
+		return data, nil
+	})
+	if shared {
+		f.collapsed.Add(1)
+	}
+	if err != nil {
+		f.errs.Add(1)
+		return nil, SourceDatabase, fmt.Errorf("webtier: fetch %q: %w", key, err)
+	}
+	return data, SourceDatabase, nil
+}
+
+// cacheFetch runs Algorithm 2 against the cache tier only (lines 2-8),
+// reporting whether any server produced the value.
+func (f *Frontend) cacheFetch(key string) ([]byte, Source, bool) {
+	tried := make([]int, 0, 4)
+	for ring := 0; ring < f.coord.Replicas(); ring++ {
+		newOwner, oldOwner, tryOld := f.coord.RouteRing(key, ring)
+		if containsInt(tried, newOwner) {
+			continue // ring collision: same owner as an earlier ring
+		}
+		tried = append(tried, newOwner)
+		newClient := f.coord.Client(newOwner)
+
+		// Line 2: the ring's new owner.
+		if data, ok, err := newClient.Get(key); err == nil && ok {
+			f.hits.Add(1)
+			if ring > 0 {
+				f.replicaHits.Add(1)
+			}
+			return data, SourceNewCache, true
+		}
+
+		// Lines 6-8: hot data still on the ring's old owner.
+		if tryOld {
+			if data, ok, err := f.coord.Client(oldOwner).Get(key); err == nil && ok {
+				f.migrated.Add(1)
+				// Line 12: amortized migration — install on the new
+				// owner so every subsequent request hits there.
+				if err := newClient.Set(key, data, f.expiry); err != nil {
+					f.errs.Add(1)
+				}
+				return data, SourceOldCache, true
+			}
+			f.falsePos.Add(1)
+		}
+	}
+	return nil, SourceDatabase, false
+}
+
+// gatherPieces fetches and reassembles a chunked object.
+func (f *Frontend) gatherPieces(key string, rawManifest []byte) ([]byte, bool) {
+	m, err := chunk.DecodeManifest(rawManifest)
+	if err != nil {
+		return nil, false
+	}
+	pieces := make([][]byte, m.Pieces())
+	for i := range pieces {
+		p, _, ok := f.cacheFetch(chunk.PieceKey(key, i))
+		if !ok {
+			return nil, false
+		}
+		pieces[i] = p
+	}
+	data, err := chunk.Reassemble(m, pieces)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// writeThrough installs a value on every distinct owner, splitting into
+// pieces when the chunk layer is enabled.
+func (f *Frontend) writeThrough(key string, data []byte) {
+	if f.pieceSize > 0 && len(data) > f.pieceSize {
+		m, pieces := chunk.Split(data, f.pieceSize)
+		for i, p := range pieces {
+			f.storeAll(chunk.PieceKey(key, i), p)
+		}
+		f.storeAll(key, m.Encode())
+		return
+	}
+	f.storeAll(key, data)
+}
+
+// storeAll writes one key to every distinct owner across the rings.
+func (f *Frontend) storeAll(key string, data []byte) {
+	for _, owner := range f.coord.WriteOwners(key) {
+		if err := f.coord.Client(owner).Set(key, data, f.expiry); err != nil {
+			f.errs.Add(1)
+		}
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of outcome counters.
+func (f *Frontend) Stats() Stats {
+	return Stats{
+		Hits:           f.hits.Load(),
+		ReplicaHits:    f.replicaHits.Load(),
+		Migrated:       f.migrated.Load(),
+		DigestFalsePos: f.falsePos.Load(),
+		DBFetches:      f.dbGets.Load(),
+		PieceRepairs:   f.repairs.Load(),
+		Collapsed:      f.collapsed.Load(),
+		Errors:         f.errs.Load(),
+	}
+}
+
+// pagePrefix is the HTTP route for page fetches.
+const pagePrefix = "/page/"
+
+// ServeHTTP exposes the frontend as the paper's servlet layer:
+// GET /page/<key> returns the page body; /stats returns counters.
+func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, pagePrefix):
+		key := strings.TrimPrefix(r.URL.Path, pagePrefix)
+		if key == "" {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			data, source, err := f.Fetch(key)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			w.Header().Set("X-Proteus-Source", source.String())
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write(data)
+		case http.MethodPut:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := f.Update(key, body); err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			removed, err := f.Invalidate(key)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			if !removed {
+				http.Error(w, "not cached", http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	case r.URL.Path == "/stats":
+		s := f.Stats()
+		fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\nerrors %d\n",
+			s.Hits, s.ReplicaHits, s.Migrated, s.DigestFalsePos, s.DBFetches, s.PieceRepairs, s.Errors)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+var _ http.Handler = (*Frontend)(nil)

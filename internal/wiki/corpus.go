@@ -1,0 +1,129 @@
+// Package wiki provides a deterministic synthetic Wikipedia corpus,
+// substituting for the 70 GB 2011-12-01 English dump the paper loads
+// into MySQL. Page keys play the paper's page-title role; page bodies
+// are generated pseudo-text around the paper's 4 KB-per-page figure.
+// Generation is a pure function of (seed, index), so every component —
+// database shards, workload generators, verification code — sees the
+// same corpus without storing it.
+package wiki
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultPageSize is the paper's nominal page size (Fig. 6 assumes
+// "4KB data per page").
+const DefaultPageSize = 4096
+
+// Corpus describes a synthetic page collection.
+type Corpus struct {
+	pages    int
+	meanSize int
+	seed     uint64
+}
+
+// New creates a corpus of n pages with the given mean body size in
+// bytes (0 selects DefaultPageSize).
+func New(n, meanSize int) (*Corpus, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wiki: corpus needs at least 1 page, got %d", n)
+	}
+	if meanSize == 0 {
+		meanSize = DefaultPageSize
+	}
+	if meanSize < 16 {
+		return nil, fmt.Errorf("wiki: mean page size %d too small", meanSize)
+	}
+	return &Corpus{pages: n, meanSize: meanSize, seed: 0x77696b69 /* "wiki" */}, nil
+}
+
+// Pages returns the corpus size.
+func (c *Corpus) Pages() int { return c.pages }
+
+// MeanSize returns the configured mean body size.
+func (c *Corpus) MeanSize() int { return c.meanSize }
+
+const keyPrefix = "page:"
+
+// Key returns the data key of page i (the paper's keyd, "a page title
+// in Wikipedia").
+func (c *Corpus) Key(i int) string {
+	return keyPrefix + strconv.Itoa(i)
+}
+
+// Index parses a key back to its page index, reporting whether the key
+// belongs to this corpus.
+func (c *Corpus) Index(key string) (int, bool) {
+	if !strings.HasPrefix(key, keyPrefix) {
+		return 0, false
+	}
+	i, err := strconv.Atoi(key[len(keyPrefix):])
+	if err != nil || i < 0 || i >= c.pages {
+		return 0, false
+	}
+	return i, true
+}
+
+// Size returns the body size of page i without generating it. Sizes
+// vary deterministically in [meanSize/2, 3*meanSize/2).
+func (c *Corpus) Size(i int) int {
+	span := c.meanSize // width of the size range
+	return c.meanSize/2 + int(mix(c.seed^uint64(i))%uint64(span))
+}
+
+// Page generates the body of page i. The body is wiki-markup-flavoured
+// pseudo-text of exactly Size(i) bytes, stable across calls.
+func (c *Corpus) Page(i int) []byte {
+	size := c.Size(i)
+	var b strings.Builder
+	b.Grow(size + 64)
+	fmt.Fprintf(&b, "= Article %d =\n", i)
+	state := mix(c.seed ^ uint64(i) ^ 0xa5a5a5a5)
+	for b.Len() < size {
+		state = mix(state)
+		word := vocabulary[state%uint64(len(vocabulary))]
+		if b.Len() > 0 && (state>>32)%13 == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+		b.WriteString(word)
+	}
+	return []byte(b.String()[:size])
+}
+
+// PageByKey generates the body for a key, reporting whether the key is
+// in the corpus.
+func (c *Corpus) PageByKey(key string) ([]byte, bool) {
+	i, ok := c.Index(key)
+	if !ok {
+		return nil, false
+	}
+	return c.Page(i), true
+}
+
+// TotalBytes estimates the whole corpus size (sum of mean sizes).
+func (c *Corpus) TotalBytes() int64 {
+	return int64(c.pages) * int64(c.meanSize)
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// vocabulary supplies the pseudo-text tokens.
+var vocabulary = []string{
+	"the", "of", "and", "in", "was", "history", "article", "category",
+	"reference", "external", "link", "page", "wikipedia", "encyclopedia",
+	"infobox", "citation", "needed", "section", "revision", "template",
+	"population", "government", "university", "science", "culture",
+	"music", "geography", "language", "century", "world", "national",
+	"system", "theory", "development", "international", "community",
+}

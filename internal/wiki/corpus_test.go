@@ -1,0 +1,130 @@
+package wiki
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Error("New(0,0) accepted")
+	}
+	if _, err := New(10, 4); err == nil {
+		t.Error("tiny page size accepted")
+	}
+	c, err := New(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanSize() != DefaultPageSize {
+		t.Errorf("default mean size = %d", c.MeanSize())
+	}
+}
+
+func TestKeyIndexRoundTrip(t *testing.T) {
+	c, err := New(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 500, 999} {
+		key := c.Key(i)
+		got, ok := c.Index(key)
+		if !ok || got != i {
+			t.Fatalf("Index(Key(%d)) = %d,%v", i, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "page:", "page:abc", "page:-1", "page:1000", "user:5"} {
+		if _, ok := c.Index(bad); ok {
+			t.Errorf("Index(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPageDeterministicAndSized(t *testing.T) {
+	c, err := New(100, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 7 {
+		a := c.Page(i)
+		b := c.Page(i)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("page %d not deterministic", i)
+		}
+		if len(a) != c.Size(i) {
+			t.Fatalf("page %d: len=%d Size=%d", i, len(a), c.Size(i))
+		}
+		if c.Size(i) < 2048 || c.Size(i) >= 6144 {
+			t.Fatalf("page %d size %d outside [mean/2, 3*mean/2)", i, c.Size(i))
+		}
+	}
+}
+
+func TestPagesDiffer(t *testing.T) {
+	c, err := New(10, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.Page(1), c.Page(2)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if bytes.Equal(a[:n], b[:n]) {
+		t.Error("adjacent pages identical")
+	}
+}
+
+func TestPageByKey(t *testing.T) {
+	c, err := New(10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ok := c.PageByKey(c.Key(3))
+	if !ok || !bytes.Equal(body, c.Page(3)) {
+		t.Fatal("PageByKey mismatch")
+	}
+	if _, ok := c.PageByKey("nope"); ok {
+		t.Fatal("PageByKey accepted foreign key")
+	}
+}
+
+func TestMeanSizeApproximation(t *testing.T) {
+	c, err := New(5000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < c.Pages(); i++ {
+		total += int64(c.Size(i))
+	}
+	mean := float64(total) / float64(c.Pages())
+	if mean < 3800 || mean > 4400 {
+		t.Errorf("empirical mean size %.0f, want ≈4096", mean)
+	}
+	if got, want := c.TotalBytes(), int64(5000*4096); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+// Property: every valid index round-trips and sizes are in range.
+func TestQuickCorpusInvariants(t *testing.T) {
+	c, err := New(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(raw uint32) bool {
+		i := int(raw % (1 << 20))
+		key := c.Key(i)
+		j, ok := c.Index(key)
+		if !ok || j != i {
+			return false
+		}
+		s := c.Size(i)
+		return s >= 2048 && s < 6144
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

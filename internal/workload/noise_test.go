@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDiurnalNoiseDeterministicAndBounded(t *testing.T) {
+	d := DefaultDiurnal(100, 24*time.Hour)
+	d.Noise = 0.15
+	for i := 0; i < 500; i++ {
+		at := time.Duration(i) * 3 * time.Minute
+		a, b := d.Rate(at), d.Rate(at)
+		if a != b {
+			t.Fatalf("noisy rate not deterministic at %v", at)
+		}
+		clean := DefaultDiurnal(100, 24*time.Hour).Rate(at)
+		if a < clean*0.84 || a > clean*1.16 {
+			t.Fatalf("noise excursion out of bounds at %v: %g vs clean %g", at, a, clean)
+		}
+	}
+}
+
+func TestDiurnalNoiseVariesAcrossWindows(t *testing.T) {
+	d := DefaultDiurnal(100, 24*time.Hour)
+	d.Noise = 0.15
+	d.NoiseWindow = 10 * time.Minute
+	distinct := map[int64]bool{}
+	for i := 0; i < 24; i++ {
+		at := time.Duration(i) * 10 * time.Minute
+		ratio := d.Rate(at) / DefaultDiurnal(100, 24*time.Hour).Rate(at)
+		distinct[int64(ratio*1e6)] = true
+	}
+	if len(distinct) < 12 {
+		t.Fatalf("only %d distinct noise levels over 24 windows", len(distinct))
+	}
+}
+
+func TestDiurnalNoiseMeanPreserved(t *testing.T) {
+	d := DefaultDiurnal(100, 24*time.Hour)
+	d.Noise = 0.2
+	sum := 0.0
+	const steps = 5000
+	for i := 0; i < steps; i++ {
+		sum += d.Rate(time.Duration(i) * d.Period / steps)
+	}
+	if mean := sum / steps; math.Abs(mean-100) > 3 {
+		t.Fatalf("noisy mean = %g, want ≈100", mean)
+	}
+}
+
+func TestDiurnalNoiseNeverNegative(t *testing.T) {
+	d := Diurnal{Mean: 1, PeakToValley: 10, Period: time.Hour, Noise: 0.9}
+	for i := 0; i < 1000; i++ {
+		if r := d.Rate(time.Duration(i) * time.Minute); r < 0 {
+			t.Fatalf("negative rate %g", r)
+		}
+	}
+}
+
+func TestGenerateWithNoise(t *testing.T) {
+	corpus := testCorpus(t, 500)
+	rate := DefaultDiurnal(100, time.Hour)
+	rate.Noise = 0.2
+	n := 0
+	err := Generate(GenConfig{
+		Duration: time.Hour,
+		Rate:     rate,
+		Corpus:   corpus,
+		Seed:     3,
+	}, func(Event) bool { n++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * 3600
+	if math.Abs(float64(n-want)) > 0.1*float64(want) {
+		t.Fatalf("generated %d events, want ≈%d", n, want)
+	}
+}

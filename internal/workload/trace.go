@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements the on-disk trace format, a minimal analogue of
+// the wikibench trace the paper replays: one request per line,
+// "<seconds-since-start> <key>", e.g. "37.254193 page:1234".
+
+// WriteTrace streams events to w in the text format.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if err := WriteTraceEvent(bw, e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceEvent writes a single record.
+func WriteTraceEvent(w io.Writer, e Event) error {
+	_, err := fmt.Fprintf(w, "%.6f %s\n", e.At.Seconds(), e.Key)
+	return err
+}
+
+// ReadTrace parses records from r in order, invoking emit for each.
+// Parsing stops early if emit returns false. Blank lines and lines
+// starting with '#' are skipped.
+func ReadTrace(r io.Reader, emit func(Event) bool) error {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for br.Scan() {
+		lineNo++
+		line := strings.TrimSpace(br.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sep := strings.IndexByte(line, ' ')
+		if sep < 0 {
+			return fmt.Errorf("workload: trace line %d: missing key: %q", lineNo, line)
+		}
+		secs, err := strconv.ParseFloat(line[:sep], 64)
+		if err != nil || secs < 0 {
+			return fmt.Errorf("workload: trace line %d: bad timestamp %q", lineNo, line[:sep])
+		}
+		key := strings.TrimSpace(line[sep+1:])
+		if key == "" {
+			return fmt.Errorf("workload: trace line %d: empty key", lineNo)
+		}
+		if !emit(Event{At: time.Duration(secs * float64(time.Second)), Key: key}) {
+			return nil
+		}
+	}
+	return br.Err()
+}

@@ -1,0 +1,247 @@
+// Package workload reproduces the paper's two workload sources:
+//
+//   - A Wikipedia-trace-shaped open-loop request stream (Fig. 4): a
+//     diurnal rate curve whose peak is about twice its valley, with
+//     Zipf-distributed page popularity. The paper replays the public
+//     wikibench trace; we synthesise a stream with the same statistical
+//     structure and support the same timestamped-key text format for
+//     replaying captured traces.
+//   - The RBE (remote browser emulator) closed-loop user model used for
+//     the response-time experiments: independent users with a fixed
+//     0.5 s think time, each owning an independent 50-page working set,
+//     with the active user count following the diurnal curve.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"proteus/internal/wiki"
+)
+
+// DefaultZipfAlpha is the popularity skew used when none is given;
+// studies of the Wikipedia trace report a Zipf exponent around 0.8.
+const DefaultZipfAlpha = 0.8
+
+// ThinkTime is the paper's per-user think time.
+const ThinkTime = 500 * time.Millisecond
+
+// PagesPerUser is the paper's per-user working set ("each user has an
+// independent page set of 50 pages").
+const PagesPerUser = 50
+
+// Diurnal is the time-varying request rate model. The paper's Fig. 4
+// trace oscillates daily with peak ≈ 2× valley.
+type Diurnal struct {
+	// Mean is the average rate in requests per second.
+	Mean float64
+	// PeakToValley is the peak:valley ratio (the paper observes ≈2).
+	PeakToValley float64
+	// Period is the cycle length (24h in the paper; compressed runs
+	// use shorter periods).
+	Period time.Duration
+	// PeakAt positions the peak within the cycle.
+	PeakAt time.Duration
+	// Noise adds deterministic per-window rate jitter (relative, e.g.
+	// 0.1 = ±10%), mimicking the raggedness of the real Wikipedia
+	// curve. 0 disables. The jitter is a pure function of the window
+	// index, so all consumers see the same curve.
+	Noise float64
+	// NoiseWindow is the jitter granularity (default Period/96).
+	NoiseWindow time.Duration
+}
+
+// DefaultDiurnal returns the paper-shaped curve for the given mean rate
+// and period.
+func DefaultDiurnal(mean float64, period time.Duration) Diurnal {
+	return Diurnal{Mean: mean, PeakToValley: 2.0, Period: period, PeakAt: period / 2}
+}
+
+// amplitude converts the peak:valley ratio to a relative sine
+// amplitude: (1+a)/(1-a) = r  =>  a = (r-1)/(r+1).
+func (d Diurnal) amplitude() float64 {
+	r := d.PeakToValley
+	if r <= 1 {
+		return 0
+	}
+	return (r - 1) / (r + 1)
+}
+
+// Rate returns the instantaneous rate (requests/second) at time t.
+func (d Diurnal) Rate(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Mean
+	}
+	phase := 2 * math.Pi * float64(t-d.PeakAt) / float64(d.Period)
+	rate := d.Mean * (1 + d.amplitude()*math.Cos(phase))
+	if d.Noise > 0 {
+		rate *= 1 + d.Noise*d.jitter(t)
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+// jitter returns a deterministic value in [-1, 1) for t's noise window.
+func (d Diurnal) jitter(t time.Duration) float64 {
+	window := d.NoiseWindow
+	if window <= 0 {
+		window = d.Period / 96
+	}
+	if window <= 0 {
+		return 0
+	}
+	idx := uint64(t / window)
+	h := idx * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h&0xffffffff)/float64(1<<31) - 1
+}
+
+// Peak returns the maximum instantaneous rate (excluding noise
+// excursions, which are bounded by the Noise fraction).
+func (d Diurnal) Peak() float64 { return d.Mean * (1 + d.amplitude()) * (1 + d.Noise) }
+
+// Valley returns the minimum instantaneous rate.
+func (d Diurnal) Valley() float64 { return d.Mean * (1 - d.amplitude()) }
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^alpha. Unlike math/rand's Zipf it supports alpha <= 1 (the
+// Wikipedia regime) by precomputing the CDF.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with the given skew.
+func NewZipf(rng *rand.Rand, alpha float64, n int) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs n >= 1, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("workload: zipf alpha must be >= 0, got %g", alpha)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}, nil
+}
+
+// Next draws a rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the rank count.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Event is one trace record: a request for Key at experiment-relative
+// time At (the wikibench trace's timestamp + URL pair).
+type Event struct {
+	At  time.Duration
+	Key string
+}
+
+// GenConfig configures trace synthesis.
+type GenConfig struct {
+	// Duration is the trace length.
+	Duration time.Duration
+	// Rate is the arrival rate curve.
+	Rate Diurnal
+	// Corpus supplies the key population.
+	Corpus *wiki.Corpus
+	// ZipfAlpha is the popularity skew (0 selects DefaultZipfAlpha;
+	// use a negative value for uniform popularity).
+	ZipfAlpha float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Generate synthesises a trace as a non-homogeneous Poisson process
+// (thinning against the curve's peak rate), invoking emit for each
+// event in time order. Generation stops early if emit returns false.
+func Generate(cfg GenConfig, emit func(Event) bool) error {
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("workload: duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Corpus == nil {
+		return fmt.Errorf("workload: corpus is required")
+	}
+	if cfg.Rate.Mean <= 0 {
+		return fmt.Errorf("workload: mean rate must be positive, got %g", cfg.Rate.Mean)
+	}
+	alpha := cfg.ZipfAlpha
+	if alpha == 0 {
+		alpha = DefaultZipfAlpha
+	}
+	if alpha < 0 {
+		alpha = 0 // uniform
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf, err := NewZipf(rng, alpha, cfg.Corpus.Pages())
+	if err != nil {
+		return err
+	}
+	peak := cfg.Rate.Peak()
+	t := time.Duration(0)
+	for {
+		// Exponential inter-arrival at the peak rate...
+		t += time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+		if t >= cfg.Duration {
+			return nil
+		}
+		// ...thinned down to the instantaneous rate.
+		if rng.Float64()*peak > cfg.Rate.Rate(t) {
+			continue
+		}
+		if !emit(Event{At: t, Key: cfg.Corpus.Key(zipf.Next())}) {
+			return nil
+		}
+	}
+}
+
+// HourlyCounts buckets events into fixed windows and returns the count
+// per window — the Fig. 4 "requests per 1-hour window" curve.
+func HourlyCounts(duration, window time.Duration) *Counter {
+	n := int((duration + window - 1) / window)
+	if n < 1 {
+		n = 1
+	}
+	return &Counter{window: window, counts: make([]uint64, n)}
+}
+
+// Counter counts events per fixed time window.
+type Counter struct {
+	window time.Duration
+	counts []uint64
+}
+
+// Observe counts one event at time t.
+func (c *Counter) Observe(t time.Duration) {
+	i := int(t / c.window)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.counts) {
+		i = len(c.counts) - 1
+	}
+	c.counts[i]++
+}
+
+// Counts returns the per-window totals.
+func (c *Counter) Counts() []uint64 { return append([]uint64(nil), c.counts...) }
+
+// Window returns the bucket width.
+func (c *Counter) Window() time.Duration { return c.window }
