@@ -9,7 +9,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"proteus/internal/bloom"
@@ -18,6 +21,18 @@ import (
 
 // ErrClosed is returned by calls made after Close.
 var ErrClosed = errors.New("cacheclient: client closed")
+
+// ErrCircuitOpen is returned without touching the network while the
+// per-server circuit breaker is open: the server failed repeatedly and
+// is being given a cooldown before the next probe. Callers (the web
+// tier) treat it like any transport error — skip to the next replica
+// ring or the database — but pay no dial or timeout cost, which is what
+// keeps a dead server from inflating tail latency.
+var ErrCircuitOpen = errors.New("cacheclient: circuit open")
+
+// DialFunc dials one cache server; installable for fault injection and
+// custom transports.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
 
 // Option customises a Client.
 type Option func(*Client)
@@ -41,12 +56,89 @@ func WithTimeout(d time.Duration) Option {
 	}
 }
 
+// WithDialer replaces the TCP dialer (default net.DialTimeout). The
+// fault injector's Injector.Dial slots in here.
+func WithDialer(dial DialFunc) Option {
+	return func(c *Client) {
+		if dial != nil {
+			c.dial = dial
+		}
+	}
+}
+
+// WithMaxRetries bounds transport-error retries per operation beyond
+// the free immediate retry a stale pooled connection gets (default 2;
+// 0 disables). Protocol-level error replies are never retried.
+func WithMaxRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.maxRetries = n
+		}
+	}
+}
+
+// WithBackoff sets the exponential backoff window between retries:
+// the k-th retry sleeps base<<k capped at max, jittered to 50-100% of
+// that value (defaults 2ms..100ms).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max >= base {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithBreaker configures the circuit breaker: after threshold
+// consecutive transport failures the breaker opens for cooldown, during
+// which every call fails fast with ErrCircuitOpen; the first call after
+// cooldown is a single probe that closes the breaker on success.
+// threshold <= 0 disables the breaker. Defaults: 8 failures, 250ms.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		c.breaker.threshold = threshold
+		if cooldown > 0 {
+			c.breaker.cooldown = cooldown
+		}
+	}
+}
+
+// WithJitterSeed seeds the backoff jitter RNG for deterministic retry
+// schedules in tests. The default seed is derived from the server
+// address, so a fleet of clients jitters decorrelated but reproducibly.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.jitterSeed = &seed }
+}
+
+// WithSleep replaces the backoff sleeper (tests pass a no-op or a
+// recorder; default time.Sleep).
+func WithSleep(sleep func(time.Duration)) Option {
+	return func(c *Client) {
+		if sleep != nil {
+			c.sleep = sleep
+		}
+	}
+}
+
 // Client is a pooled connection to one cache server. It is safe for
 // concurrent use.
 type Client struct {
-	addr     string
-	maxConns int
-	timeout  time.Duration
+	addr        string
+	maxConns    int
+	timeout     time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dial        DialFunc
+	sleep       func(time.Duration)
+	jitterSeed  *int64
+
+	jmu  sync.Mutex
+	jrng *rand.Rand
+
+	breaker breaker
 
 	pool   chan *conn
 	tokens chan struct{} // limits total live connections
@@ -59,18 +151,107 @@ type conn struct {
 	bw *bufio.Writer
 }
 
+// breaker is a per-server circuit breaker. It trips after threshold
+// consecutive transport failures, fails fast for cooldown, then lets a
+// single probe through (half-open) to test recovery.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// allow reports whether a call may proceed; ErrCircuitOpen otherwise.
+func (b *breaker) allow() error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return nil
+	}
+	if b.now().Before(b.openUntil) {
+		return ErrCircuitOpen
+	}
+	if b.probing {
+		return ErrCircuitOpen // one half-open probe at a time
+	}
+	b.probing = true
+	return nil
+}
+
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records one transport failure; the bool reports whether this
+// failure opened (or re-opened) the breaker.
+func (b *breaker) failure() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.fails >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
 // New builds a client for the server at addr.
 func New(addr string, opts ...Option) *Client {
-	c := &Client{addr: addr, maxConns: 4, timeout: 5 * time.Second, closed: make(chan struct{})}
+	c := &Client{
+		addr:        addr,
+		maxConns:    4,
+		timeout:     5 * time.Second,
+		maxRetries:  2,
+		backoffBase: 2 * time.Millisecond,
+		backoffMax:  100 * time.Millisecond,
+		sleep:       time.Sleep,
+		closed:      make(chan struct{}),
+		breaker:     breaker{threshold: 8, cooldown: 250 * time.Millisecond, now: time.Now},
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.dial == nil {
+		c.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	seed := addrSeed(addr)
+	if c.jitterSeed != nil {
+		seed = *c.jitterSeed
+	}
+	c.jrng = rand.New(rand.NewSource(seed))
 	c.pool = make(chan *conn, c.maxConns)
 	c.tokens = make(chan struct{}, c.maxConns)
 	for i := 0; i < c.maxConns; i++ {
 		c.tokens <- struct{}{}
 	}
 	return c
+}
+
+// addrSeed derives a stable per-address jitter seed, so retries are
+// reproducible yet decorrelated across a fleet of clients.
+func addrSeed(addr string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return int64(h.Sum64())
 }
 
 // Addr returns the server address this client targets.
@@ -108,7 +289,7 @@ func (c *Client) getConn() (*conn, bool, error) {
 	case cn := <-c.pool:
 		return cn, true, nil
 	case <-c.tokens:
-		nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		nc, err := c.dial(c.addr, c.timeout)
 		if err != nil {
 			c.tokens <- struct{}{}
 			return nil, false, fmt.Errorf("cacheclient: dial %s: %w", c.addr, err)
@@ -116,6 +297,22 @@ func (c *Client) getConn() (*conn, bool, error) {
 		return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, false, nil
 	case <-c.closed:
 		return nil, false, ErrClosed
+	}
+}
+
+// evictPool discards every idle pooled connection. Called when the
+// circuit breaker opens: pooled connections to a failing server are
+// almost certainly dead, and holding them would waste the first call
+// after recovery on a stale-connection retry.
+func (c *Client) evictPool() {
+	for {
+		select {
+		case cn := <-c.pool:
+			cn.nc.Close()
+			c.tokens <- struct{}{}
+		default:
+			return
+		}
 	}
 }
 
@@ -133,25 +330,71 @@ func (c *Client) putConn(cn *conn, broken bool) {
 	}
 }
 
-// roundTrip sends one request and parses the reply with fn. A
-// transport failure on a pooled connection (e.g. the server was power
-// cycled since the connection was cached) is retried once on a fresh
-// connection, the standard memcached-client behaviour.
+// roundTrip sends one request and parses the reply with fn, riding out
+// transport faults:
+//
+//   - a stale pooled connection (e.g. the server was power cycled since
+//     the connection was cached) gets one free immediate retry on a
+//     fresh dial, the standard memcached-client behaviour;
+//   - further transport failures retry up to maxRetries times with
+//     jittered exponential backoff;
+//   - the circuit breaker fails fast with ErrCircuitOpen while the
+//     server is in cooldown, and evicts the (dead) pooled connections
+//     when it opens.
+//
+// Protocol-level error replies and ErrClosed are terminal: the server
+// answered (or the client is gone), so retrying cannot help.
 func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
+	freeRetry := true
 	for attempt := 0; ; attempt++ {
+		if err := c.breaker.allow(); err != nil {
+			return err
+		}
 		pooled, err := c.roundTripOnce(req, fn)
 		if err == nil {
+			c.breaker.success()
 			return nil
 		}
 		var se *memproto.ServerError
 		if errors.As(err, &se) || errors.Is(err, ErrClosed) {
 			return err // protocol-level or terminal: no retry
 		}
-		if !pooled || attempt > 0 {
+		if c.breaker.failure() {
+			c.evictPool()
+		}
+		if pooled && freeRetry {
+			// Stale pooled connection: retry immediately on a fresh
+			// dial without consuming the retry budget.
+			freeRetry = false
+			attempt--
+			continue
+		}
+		if attempt >= c.maxRetries {
 			return err
 		}
-		// Stale pooled connection: retry once on a fresh dial.
+		c.sleep(c.backoff(attempt))
 	}
+}
+
+// backoff returns the sleep before retry attempt k (0-based): an
+// exponentially growing window, jittered to 50-100% so synchronized
+// clients decorrelate.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.backoffBase
+	for i := 0; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	c.jmu.Lock()
+	j := c.jrng.Int63n(half + 1)
+	c.jmu.Unlock()
+	return d/2 + time.Duration(j)
 }
 
 func (c *Client) roundTripOnce(req *memproto.Request, fn func(*bufio.Reader) error) (pooled bool, err error) {
@@ -177,14 +420,22 @@ func (c *Client) roundTripOnce(req *memproto.Request, fn func(*bufio.Reader) err
 		return pooled, nil
 	}
 	if err := fn(cn.br); err != nil {
-		// Protocol-level error replies leave the stream aligned.
+		// A protocol-level error reply normally leaves the stream
+		// aligned, so the connection is reusable — but only if nothing
+		// is left buffered. A reply like "SERVER_ERROR ...\r\nEND\r\n"
+		// (a per-key failure inside a multi-line response) aborts fn at
+		// the error line with the trailing END unread; returning that
+		// connection to the pool would serve the leftover bytes as the
+		// next request's response. Discard unless the buffer is clean.
 		var se *memproto.ServerError
-		if errors.As(err, &se) {
+		if errors.As(err, &se) && cn.br.Buffered() == 0 {
 			broken = false
 		}
 		return pooled, err
 	}
-	broken = false
+	// Defensive: a fully parsed response must consume exactly the
+	// buffered bytes; anything left means the reader lost alignment.
+	broken = cn.br.Buffered() != 0
 	return pooled, nil
 }
 

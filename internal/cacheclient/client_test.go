@@ -63,7 +63,9 @@ func TestPoolBoundsConnectionsAndTimesOut(t *testing.T) {
 		}
 	}()
 
-	c := New(ln.Addr().String(), WithMaxConns(2), WithTimeout(300*time.Millisecond))
+	// Retries are disabled so the accepted-connection count measures
+	// pool bounding alone.
+	c := New(ln.Addr().String(), WithMaxConns(2), WithTimeout(300*time.Millisecond), WithMaxRetries(0))
 	defer c.Close()
 
 	var wg sync.WaitGroup

@@ -55,13 +55,18 @@ type Config struct {
 	Digest bloom.Params
 	// Logger receives connection errors; nil disables logging.
 	Logger *log.Logger
+	// WrapConn, when non-nil, wraps every accepted connection before it
+	// is served. The fault injector installs its server-side fault
+	// points here (faultinject.Injector.WrapConn).
+	WrapConn func(net.Conn) net.Conn
 }
 
 // Server is one cache node. Create with New, start with Serve or
 // ListenAndServe, stop with Close.
 type Server struct {
-	cache  *cache.Cache
-	logger *log.Logger
+	cache    *cache.Cache
+	logger   *log.Logger
+	wrapConn func(net.Conn) net.Conn
 
 	digestMu sync.Mutex
 	digest   *bloom.CountingFilter
@@ -93,6 +98,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		digest:    digest,
 		logger:    cfg.Logger,
+		wrapConn:  cfg.WrapConn,
 		conns:     make(map[net.Conn]struct{}),
 		startTime: time.Now(),
 	}
@@ -171,6 +177,9 @@ func (s *Server) Serve(ln net.Listener) error {
 				return nil
 			}
 			return fmt.Errorf("cacheserver: accept: %w", err)
+		}
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
 		}
 		s.mu.Lock()
 		if s.closed {

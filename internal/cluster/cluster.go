@@ -17,6 +17,7 @@ import (
 	"proteus/internal/bloom"
 	"proteus/internal/cacheclient"
 	"proteus/internal/core"
+	"proteus/internal/faultinject"
 )
 
 // Node abstracts one controllable cache server in the fixed
@@ -49,6 +50,12 @@ type Config struct {
 	// After schedules delayed work (the TTL expiry); nil uses
 	// time.AfterFunc. Tests inject a manual trigger.
 	After func(d time.Duration, fn func()) (cancel func())
+	// Faults, when non-nil, hooks the fault injector into the control
+	// plane: KindCrash rules power nodes off via the injector's OnCrash
+	// hook, and every SetActive transition is reported through
+	// TransitionStarted so OpTransition rules fire at the same ordinals
+	// in the live cluster as in the simulator.
+	Faults *faultinject.Injector
 }
 
 // Coordinator executes provisioning decisions over a live fleet. It is
@@ -61,6 +68,7 @@ type Coordinator struct {
 	clients    []*cacheclient.Client
 	ttl        time.Duration
 	after      func(time.Duration, func()) func()
+	faults     *faultinject.Injector
 
 	mu     sync.RWMutex
 	active int
@@ -119,7 +127,15 @@ func New(cfg Config) (*Coordinator, error) {
 		nodes:      cfg.Nodes,
 		ttl:        cfg.TTL,
 		after:      after,
+		faults:     cfg.Faults,
 		active:     cfg.InitialActive,
+	}
+	if c.faults != nil {
+		c.faults.OnCrash(func(server int) {
+			if server >= 0 && server < len(c.nodes) {
+				_ = c.nodes[server].PowerOff()
+			}
+		})
 	}
 	for i := 0; i < cfg.InitialActive; i++ {
 		if err := cfg.Nodes[i].PowerOn(); err != nil {
@@ -270,6 +286,12 @@ func (c *Coordinator) SetActive(n int) error {
 	c.active = n
 	c.cancel = c.after(c.ttl, c.expireTransition)
 	c.mu.Unlock()
+	if c.faults != nil {
+		// Fire OpTransition rules (crash/partition at this transition
+		// ordinal) after the new routing table is installed, so a crash
+		// here lands mid-transition, the hardest point for correctness.
+		c.faults.TransitionStarted()
+	}
 	return firstErr
 }
 

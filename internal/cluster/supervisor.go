@@ -4,6 +4,8 @@ import (
 	"errors"
 	"log"
 	"time"
+
+	"proteus/internal/faultinject"
 )
 
 // Sample is one provisioning-slot measurement: the high-percentile
@@ -23,6 +25,7 @@ type Supervisor struct {
 	sample func() Sample
 	every  time.Duration
 	logger *log.Logger
+	faults *faultinject.Injector
 	// onDecision, when set, observes every slot decision (tests).
 	onDecision func(from, to int)
 
@@ -43,6 +46,10 @@ type SupervisorConfig struct {
 	Every time.Duration
 	// Logger receives decision logs; nil disables.
 	Logger *log.Logger
+	// Faults, when non-nil, lets OpTick rules perturb the control loop:
+	// KindError/KindDrop skip the slot's decision (a lost measurement),
+	// KindDelay stalls it.
+	Faults *faultinject.Injector
 	// OnDecision observes decisions (tests); may be nil.
 	OnDecision func(from, to int)
 }
@@ -61,6 +68,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		sample:     cfg.Sample,
 		every:      cfg.Every,
 		logger:     cfg.Logger,
+		faults:     cfg.Faults,
 		onDecision: cfg.OnDecision,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -100,6 +108,17 @@ func (s *Supervisor) loop() {
 
 // tick executes one slot decision.
 func (s *Supervisor) tick() {
+	if s.faults != nil {
+		switch d := s.faults.Decide(faultinject.AnyServer, faultinject.OpTick); d.Kind {
+		case faultinject.KindError, faultinject.KindDrop:
+			if s.logger != nil {
+				s.logger.Printf("supervisor: slot decision dropped (injected fault)")
+			}
+			return
+		case faultinject.KindDelay, faultinject.KindSlowRead:
+			time.Sleep(d.Delay)
+		}
+	}
 	m := s.sample()
 	current := s.coord.Active()
 	next := s.ctrl.Decide(current, m.Delay, m.Rate)

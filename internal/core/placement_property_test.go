@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property sweep to N=256 (2^5 times the paper's tier): along seeded
+// random prefix walks, every visited prefix satisfies the Balance
+// Condition, every step moves exactly the Theorem-1-minimal fraction,
+// and the virtual-node count stays at the Theorem 1 lower bound.
+// Spans are computed in one pass over the cached ranges per prefix, so
+// the walk cost is O(steps * N^2), dwarfed by the O(N^3) construction.
+func TestPropertyPrefixWalks(t *testing.T) {
+	sizes := []int{64, 96, 128}
+	if !testing.Short() {
+		sizes = append(sizes, 256) // ~400 ms construction
+	}
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			start := time.Now()
+			p, err := New(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("N=%d: constructed in %v, %d virtual nodes", n, time.Since(start), p.NumVirtualNodes())
+
+			if got, want := p.NumVirtualNodes(), VirtualNodeLowerBound(n); got != want {
+				t.Errorf("NumVirtualNodes = %d, want Theorem-1 bound %d", got, want)
+			}
+
+			ranges := p.Ranges()
+			// spans computes every server's owned span at one prefix in
+			// a single pass.
+			spans := func(active int) []uint64 {
+				out := make([]uint64, n)
+				for i, r := range ranges {
+					length := RingSize - r.Start
+					if i+1 < len(ranges) {
+						length = ranges[i+1].Start - r.Start
+					}
+					out[r.Owner(active)] += length
+				}
+				return out
+			}
+
+			rng := rand.New(rand.NewSource(int64(n)*7919 + 1))
+			const steps = 40
+			active := 1 + rng.Intn(n)
+			for step := 0; step < steps; step++ {
+				// Balance Condition at the current prefix: every active
+				// server owns RingSize/active up to projection rounding;
+				// inactive servers own nothing.
+				owned := spans(active)
+				want := RingSize / uint64(active)
+				for s := 0; s < n; s++ {
+					if s < active {
+						if diff(owned[s], want) > spanTolerance(n) {
+							t.Fatalf("active=%d: server %d owns %d, want≈%d", active, s, owned[s], want)
+						}
+					} else if owned[s] != 0 {
+						t.Fatalf("active=%d: inactive server %d owns %d", active, s, owned[s])
+					}
+				}
+
+				// Theorem-1 migration bound for the next walk step:
+				// moving n1 -> n2 relocates exactly |n2-n1|/max of the
+				// ring, and every span moves between the right servers.
+				next := 1 + rng.Intn(n)
+				hi := active
+				if next > hi {
+					hi = next
+				}
+				wantFrac := math.Abs(float64(next-active)) / float64(hi)
+				if got := p.MigratedFraction(active, next); math.Abs(got-wantFrac) > 1e-9 {
+					t.Fatalf("MigratedFraction(%d,%d) = %g, want %g", active, next, got, wantFrac)
+				}
+				for _, m := range p.Migrations(active, next) {
+					if next > active {
+						// Growth: spans move only from old-prefix servers
+						// onto newly activated ones.
+						if m.From >= active || m.To < active || m.To >= next {
+							t.Fatalf("grow %d->%d: span moved %d->%d", active, next, m.From, m.To)
+						}
+					} else {
+						// Shrink: spans move only off dying servers onto
+						// survivors.
+						if m.From < next || m.From >= active || m.To >= next {
+							t.Fatalf("shrink %d->%d: span moved %d->%d", active, next, m.From, m.To)
+						}
+					}
+				}
+				active = next
+			}
+		})
+	}
+}

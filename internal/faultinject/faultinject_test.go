@@ -1,0 +1,243 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Same seed, same per-rule event sequence -> identical schedules.
+func TestProbabilisticScheduleDeterministic(t *testing.T) {
+	run := func() []int {
+		in := New(42, Rule{Server: AnyServer, Op: OpGet, Kind: KindError, P: 0.05})
+		var fired []int
+		for i := 0; i < 2000; i++ {
+			if d := in.Decide(i%4, OpGet); d.Kind != KindNone {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("p=0.05 over 2000 events never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// ~5% of 2000 = 100 firings; allow generous slack but catch
+	// degenerate always/never behaviour.
+	if len(a) < 50 || len(a) > 200 {
+		t.Fatalf("p=0.05 fired %d/2000 times", len(a))
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	fires := func(seed int64) []int {
+		in := New(seed, Rule{Server: AnyServer, Op: OpGet, Kind: KindError, P: 0.1})
+		var out []int
+		for i := 0; i < 500; i++ {
+			if in.Decide(0, OpGet).Kind != KindNone {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := fires(1), fires(2)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestEveryAtAfterLimit(t *testing.T) {
+	in := New(1,
+		Rule{Server: 0, Op: OpGet, Kind: KindError, Every: 3},
+		Rule{Server: 1, Op: OpGet, Kind: KindDrop, At: 2},
+		Rule{Server: 2, Op: OpGet, Kind: KindError, After: 4, Every: 1, Limit: 2},
+	)
+	var s0, s1, s2 []int
+	for i := 1; i <= 9; i++ {
+		if in.Decide(0, OpGet).Kind != KindNone {
+			s0 = append(s0, i)
+		}
+		if in.Decide(1, OpGet).Kind != KindNone {
+			s1 = append(s1, i)
+		}
+		if in.Decide(2, OpGet).Kind != KindNone {
+			s2 = append(s2, i)
+		}
+	}
+	if len(s0) != 3 || s0[0] != 3 || s0[1] != 6 || s0[2] != 9 {
+		t.Errorf("Every=3 fired at %v, want [3 6 9]", s0)
+	}
+	if len(s1) != 1 || s1[0] != 2 {
+		t.Errorf("At=2 fired at %v, want [2]", s1)
+	}
+	if len(s2) != 2 || s2[0] != 5 || s2[1] != 6 {
+		t.Errorf("After=4 Every=1 Limit=2 fired at %v, want [5 6]", s2)
+	}
+}
+
+func TestRuleScopesByServerAndOp(t *testing.T) {
+	in := New(1, Rule{Server: 1, Op: OpRead, Kind: KindError, Every: 1})
+	if d := in.Decide(0, OpRead); d.Kind != KindNone {
+		t.Errorf("server 0 matched a server-1 rule: %v", d.Kind)
+	}
+	if d := in.Decide(1, OpWrite); d.Kind != KindNone {
+		t.Errorf("write matched a read rule: %v", d.Kind)
+	}
+	if d := in.Decide(1, OpRead); d.Kind != KindError {
+		t.Errorf("server 1 read not faulted: %v", d.Kind)
+	}
+}
+
+// OpAny must not swallow control-plane events.
+func TestOpAnyExcludesControlPlane(t *testing.T) {
+	in := New(1, Rule{Server: AnyServer, Op: OpAny, Kind: KindError, Every: 1})
+	if d := in.Decide(0, OpTick); d.Kind != KindNone {
+		t.Errorf("OpAny matched OpTick: %v", d.Kind)
+	}
+	if d := in.Decide(0, OpDial); d.Kind != KindError {
+		t.Errorf("OpAny missed OpDial: %v", d.Kind)
+	}
+}
+
+func TestPartitionBlackholesServer(t *testing.T) {
+	in := New(1)
+	in.Partition(2)
+	if !in.Partitioned(2) {
+		t.Fatal("Partitioned(2) = false")
+	}
+	if d := in.Decide(2, OpDial); d.Kind != KindError {
+		t.Errorf("dial to partitioned server: %v", d.Kind)
+	}
+	if d := in.Decide(1, OpDial); d.Kind != KindNone {
+		t.Errorf("dial to healthy server faulted: %v", d.Kind)
+	}
+	in.Heal(2)
+	if d := in.Decide(2, OpDial); d.Kind != KindNone {
+		t.Errorf("dial after Heal faulted: %v", d.Kind)
+	}
+}
+
+func TestTransitionCrashAndPartitionHooks(t *testing.T) {
+	in := New(7,
+		Rule{Server: 2, Op: OpTransition, Kind: KindCrash, At: 2},
+		Rule{Server: 3, Op: OpTransition, Kind: KindPartition, At: 1},
+	)
+	var crashed []int
+	in.OnCrash(func(s int) { crashed = append(crashed, s) })
+
+	in.TransitionStarted()
+	if len(crashed) != 0 {
+		t.Fatalf("crash fired at transition 1: %v", crashed)
+	}
+	if !in.Partitioned(3) {
+		t.Fatal("partition rule at transition 1 did not fire")
+	}
+	in.TransitionStarted()
+	if len(crashed) != 1 || crashed[0] != 2 {
+		t.Fatalf("crashed = %v, want [2]", crashed)
+	}
+	in.TransitionStarted()
+	if len(crashed) != 1 {
+		t.Fatalf("crash refired: %v", crashed)
+	}
+	if in.Transitions() != 3 {
+		t.Fatalf("Transitions = %d", in.Transitions())
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	in := New(1, Rule{Server: 0, Op: OpGet, Kind: KindError, At: 1})
+	in.Decide(0, OpGet)
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Server != 0 || ev[0].Kind != KindError || ev[0].Op != OpGet {
+		t.Fatalf("Events = %v", ev)
+	}
+	if ev[0].String() == "" {
+		t.Fatal("empty event string")
+	}
+}
+
+// Conn wrapping: an injected read error surfaces as ErrInjected; a drop
+// also kills the underlying conn.
+func TestWrapConnFaults(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	in := New(1, Rule{Server: 0, Op: OpRead, Kind: KindError, At: 1})
+	fc := in.WrapConn(0, client)
+	defer fc.Close()
+
+	buf := make([]byte, 8)
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error = %v, want ErrInjected", err)
+	}
+
+	// Second read passes through to the pipe.
+	go func() {
+		server.Write([]byte("hi"))
+	}()
+	n, err := fc.Read(buf)
+	if err != nil || string(buf[:n]) != "hi" {
+		t.Fatalf("clean read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestWrapConnDropClosesUnderlying(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	in := New(1, Rule{Server: 0, Op: OpWrite, Kind: KindDrop, At: 1})
+	fc := in.WrapConn(0, client)
+
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	// The underlying conn is closed: the peer sees EOF.
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("peer read after drop = %v, want EOF", err)
+	}
+}
+
+func TestDialFaultAndPartition(t *testing.T) {
+	in := New(1, Rule{Server: 0, Op: OpDial, Kind: KindError, At: 1})
+	if _, err := in.Dial(0, "127.0.0.1:1", 100*time.Millisecond); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected dial error = %v", err)
+	}
+	// Subsequent dial reaches the network (refused port -> real error,
+	// not ErrInjected).
+	if _, err := in.Dial(0, "127.0.0.1:1", 100*time.Millisecond); errors.Is(err, ErrInjected) || err == nil {
+		t.Fatalf("second dial = %v, want organic network error", err)
+	}
+}
+
+func TestSlowReadDribbles(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	in := New(1, Rule{Server: 0, Op: OpRead, Kind: KindSlowRead, Every: 1})
+	fc := in.WrapConn(0, client)
+	defer fc.Close()
+	go server.Write([]byte("abc"))
+	buf := make([]byte, 8)
+	n, err := fc.Read(buf)
+	if err != nil || n != 1 {
+		t.Fatalf("slow read returned n=%d err=%v, want 1 byte", n, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"proteus/internal/bloom"
 	"proteus/internal/core"
+	"proteus/internal/faultinject"
 	"proteus/internal/hashring"
 	"proteus/internal/metrics"
 	"proteus/internal/power"
@@ -92,6 +93,16 @@ func newRunner(cfg Config) (*runner, error) {
 	}
 	for i := range r.bySource {
 		r.bySource[i] = &metrics.Histogram{}
+	}
+	if cfg.Faults != nil {
+		// Crash hooks run synchronously inside the engine event that
+		// fired them (TransitionStarted from beginTransition), so the
+		// power-off lands at a deterministic virtual time.
+		cfg.Faults.OnCrash(func(server int) {
+			if server >= 0 && server < len(r.nodes) && r.nodes[server].state == nodeOn {
+				r.nodes[server].powerOff()
+			}
+		})
 	}
 
 	capacityBytes := int64(cfg.CachePagesPerServer) * (int64(len(cfg.Corpus.Key(cfg.Corpus.Pages()-1))) + 48)
@@ -317,6 +328,12 @@ func (r *runner) beginTransition(fromN, toN, gen int) {
 	r.trans = &transition{fromN: fromN, toN: toN, digests: digests, deadline: r.eng.Now() + r.cfg.TTL}
 	r.routingN = toN
 	r.stats.Transitions++
+	if r.cfg.Faults != nil {
+		// Same ordinal as cluster.Coordinator.SetActive: fire after the
+		// new routing table is installed, so OpTransition crash and
+		// partition rules land mid-transition in both planes.
+		r.cfg.Faults.TransitionStarted()
+	}
 	r.eng.After(r.cfg.TTL, func() {
 		if r.provGen != gen || r.trans == nil || r.trans.toN != toN {
 			return // superseded
@@ -468,6 +485,12 @@ func (r *runner) startRequest(key string, done func(finish time.Duration)) {
 		if node.state != nodeOn {
 			continue // crashed or powered off: fall through
 		}
+		switch d := r.fault(owner, faultinject.OpGet); d.Kind {
+		case faultinject.KindError, faultinject.KindDrop:
+			continue // unreachable owner: degrade to the next ring / DB
+		case faultinject.KindDelay, faultinject.KindSlowRead:
+			t += d.Delay
+		}
 
 		// Algorithm 2 line 2: the ring's new owner.
 		t = node.queue.schedule(t, r.cfg.CacheService) + r.cfg.CacheRTT
@@ -493,7 +516,18 @@ func (r *runner) startRequest(key string, done func(finish time.Duration)) {
 			oldOwner := r.routeRing(key, ring, tr.fromN)
 			if oldOwner != owner && tr.digests[oldOwner] != nil && tr.digests[oldOwner].Contains(key) {
 				oldNode := r.nodes[oldOwner]
-				if oldNode.state == nodeOn {
+				oldOK := oldNode.state == nodeOn
+				if oldOK {
+					switch d := r.fault(oldOwner, faultinject.OpGet); d.Kind {
+					case faultinject.KindError, faultinject.KindDrop:
+						// Faulted old owner: fall through to the DB path,
+						// mirroring the web tier's degradation.
+						oldOK = false
+					case faultinject.KindDelay, faultinject.KindSlowRead:
+						t += d.Delay
+					}
+				}
+				if oldOK {
 					t = oldNode.queue.schedule(t, r.cfg.CacheService) + r.cfg.CacheRTT
 					if value, ok := oldNode.store.Get(key); ok {
 						// Hot data: migrate on demand (line 12 put, then reply).
@@ -546,7 +580,14 @@ func (r *runner) finishViaDB(key string, from time.Duration, done func(time.Dura
 		if node.state != nodeOn {
 			continue
 		}
-		setDone := node.queue.schedule(dbDone, r.cfg.CacheService) + r.cfg.CacheRTT
+		at := dbDone
+		switch d := r.fault(owner, faultinject.OpSet); d.Kind {
+		case faultinject.KindError, faultinject.KindDrop:
+			continue // failed write-through: the owner stays cold, not wrong
+		case faultinject.KindDelay, faultinject.KindSlowRead:
+			at += d.Delay
+		}
+		setDone := node.queue.schedule(at, r.cfg.CacheService) + r.cfg.CacheRTT
 		if i == 0 {
 			// The primary write-through is on the response path
 			// (Algorithm 2 puts before returning); replicas fill
@@ -554,7 +595,7 @@ func (r *runner) finishViaDB(key string, from time.Duration, done func(time.Dura
 			finish = setDone
 		}
 		n := node
-		r.eng.At(dbDone, func() {
+		r.eng.At(at, func() {
 			if n.state == nodeOn {
 				// Values are zero-length in simulation: cache capacity
 				// is accounted in pages (key + per-item overhead).
@@ -563,6 +604,15 @@ func (r *runner) finishViaDB(key string, from time.Duration, done func(time.Dura
 		})
 	}
 	done(finish)
+}
+
+// fault consults the injector for one virtual-time operation; the zero
+// Decision means proceed.
+func (r *runner) fault(server int, op faultinject.Op) faultinject.Decision {
+	if r.cfg.Faults == nil {
+		return faultinject.Decision{}
+	}
+	return r.cfg.Faults.Decide(server, op)
 }
 
 // writeOwners returns the distinct owners that should store the key at

@@ -9,6 +9,7 @@ import (
 	"proteus/internal/bloom"
 	"proteus/internal/cluster"
 	"proteus/internal/database"
+	"proteus/internal/faultinject"
 	"proteus/internal/metrics"
 	"proteus/internal/power"
 	"proteus/internal/wiki"
@@ -125,6 +126,13 @@ type Config struct {
 	// failure. With replication, surviving copies absorb it.
 	CrashAt     time.Duration
 	CrashServer int
+	// Faults, when non-nil, applies the same rule-based fault schedule
+	// the live TCP plane uses: per-operation OpGet/OpSet decisions are
+	// consulted in virtual time (errors degrade like a crashed node,
+	// delays stretch service time), and OpTransition rules fire from
+	// beginTransition so crash/partition ordinals line up across both
+	// execution planes.
+	Faults *faultinject.Injector
 
 	// DigestParams sizes the per-server counting Bloom filter.
 	DigestParams bloom.Params

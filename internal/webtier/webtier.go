@@ -59,7 +59,14 @@ type Stats struct {
 	DBFetches      uint64
 	PieceRepairs   uint64 // chunked object rebuilt after losing a piece
 	Collapsed      uint64 // concurrent misses collapsed into one DB query
-	Errors         uint64
+	// CacheErrors counts cache-tier faults the frontend absorbed by
+	// degrading (skipped write-through, failed migration install, ring
+	// fallthrough to the DB). They cost latency or a future miss, never
+	// a wrong answer.
+	CacheErrors uint64
+	// Errors counts client-visible failures: the database path failed,
+	// so the request itself errored.
+	Errors uint64
 }
 
 // Config configures a Frontend.
@@ -92,6 +99,7 @@ type Frontend struct {
 	dbGets      atomic.Uint64
 	repairs     atomic.Uint64
 	collapsed   atomic.Uint64
+	cacheErrs   atomic.Uint64
 	errs        atomic.Uint64
 
 	flights flightGroup
@@ -167,13 +175,17 @@ func (f *Frontend) cacheFetch(key string) ([]byte, Source, bool) {
 		tried = append(tried, newOwner)
 		newClient := f.coord.Client(newOwner)
 
-		// Line 2: the ring's new owner.
+		// Line 2: the ring's new owner. A transport error (crashed or
+		// partitioned server, open circuit breaker) degrades to the next
+		// ring and ultimately the database — never to a client error.
 		if data, ok, err := newClient.Get(key); err == nil && ok {
 			f.hits.Add(1)
 			if ring > 0 {
 				f.replicaHits.Add(1)
 			}
 			return data, SourceNewCache, true
+		} else if err != nil {
+			f.cacheErrs.Add(1)
 		}
 
 		// Lines 6-8: hot data still on the ring's old owner.
@@ -181,11 +193,18 @@ func (f *Frontend) cacheFetch(key string) ([]byte, Source, bool) {
 			if data, ok, err := f.coord.Client(oldOwner).Get(key); err == nil && ok {
 				f.migrated.Add(1)
 				// Line 12: amortized migration — install on the new
-				// owner so every subsequent request hits there.
+				// owner so every subsequent request hits there. A failed
+				// install just means the next request migrates again.
 				if err := newClient.Set(key, data, f.expiry); err != nil {
-					f.errs.Add(1)
+					f.cacheErrs.Add(1)
 				}
 				return data, SourceOldCache, true
+			} else if err != nil {
+				// Faulted old owner: fall through to the DB path rather
+				// than surfacing the error (the digest may even have
+				// been right — the data is simply unreachable now).
+				f.cacheErrs.Add(1)
+				continue
 			}
 			f.falsePos.Add(1)
 		}
@@ -231,8 +250,10 @@ func (f *Frontend) writeThrough(key string, data []byte) {
 // storeAll writes one key to every distinct owner across the rings.
 func (f *Frontend) storeAll(key string, data []byte) {
 	for _, owner := range f.coord.WriteOwners(key) {
+		// A failed write-through leaves the owner cold, not wrong: the
+		// next read misses there and repopulates from the DB.
 		if err := f.coord.Client(owner).Set(key, data, f.expiry); err != nil {
-			f.errs.Add(1)
+			f.cacheErrs.Add(1)
 		}
 	}
 }
@@ -256,6 +277,7 @@ func (f *Frontend) Stats() Stats {
 		DBFetches:      f.dbGets.Load(),
 		PieceRepairs:   f.repairs.Load(),
 		Collapsed:      f.collapsed.Load(),
+		CacheErrors:    f.cacheErrs.Load(),
 		Errors:         f.errs.Load(),
 	}
 }
@@ -310,8 +332,8 @@ func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	case r.URL.Path == "/stats":
 		s := f.Stats()
-		fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\nerrors %d\n",
-			s.Hits, s.ReplicaHits, s.Migrated, s.DigestFalsePos, s.DBFetches, s.PieceRepairs, s.Errors)
+		fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\ncache_errors %d\nerrors %d\n",
+			s.Hits, s.ReplicaHits, s.Migrated, s.DigestFalsePos, s.DBFetches, s.PieceRepairs, s.CacheErrors, s.Errors)
 	default:
 		http.NotFound(w, r)
 	}

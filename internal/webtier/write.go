@@ -69,7 +69,7 @@ func (f *Frontend) deleteAll(key string) bool {
 	for _, owner := range f.coord.WriteOwners(key) {
 		deleted, err := f.coord.Client(owner).Delete(key)
 		if err != nil {
-			f.errs.Add(1)
+			f.cacheErrs.Add(1)
 			continue
 		}
 		if deleted {
