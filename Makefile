@@ -1,0 +1,52 @@
+GO ?= go
+
+# Pinned external linter versions; CI caches the installed binaries
+# under these versions and `make tools` installs them locally.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -shuffle=on ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+proteuslint:
+	$(GO) run ./cmd/proteuslint ./...
+
+# staticcheck and govulncheck are optional locally (the dev container
+# may be offline); CI installs the pinned versions and runs them for
+# real. Run `make tools` once, when online, to get the same coverage.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run 'make tools' when online)"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (run 'make tools' when online)"; \
+	fi
+
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+lint: fmt vet proteuslint staticcheck vulncheck

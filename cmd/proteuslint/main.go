@@ -1,0 +1,113 @@
+// Command proteuslint runs the repository's analyzer suite (see
+// internal/lint) over module packages — a multichecker in the
+// x/tools/go/analysis sense, built purely on the standard library so it
+// works in hermetic build environments.
+//
+// Usage:
+//
+//	go run ./cmd/proteuslint ./...
+//	go run ./cmd/proteuslint -list
+//	go run ./cmd/proteuslint ./internal/sim ./internal/core
+//
+// Exit status is 1 when any finding survives //lint:allow filtering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"proteus/internal/lint"
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/loader"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "report progress per package")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := run(analyzers, patterns, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteuslint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Printf("proteuslint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run reports the number of findings printed.
+func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		return 0, err
+	}
+	l, err := loader.NewModule(root)
+	if err != nil {
+		return 0, err
+	}
+	paths, err := l.ExpandPatterns(patterns)
+	if err != nil {
+		return 0, err
+	}
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		if verbose {
+			fmt.Fprintln(os.Stderr, "checking", path)
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return 0, err
+		}
+		diags = append(diags, analysis.CheckDirectives(l.Fset, pkg.Files)...)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(path) {
+				continue
+			}
+			ds, err := analysis.Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				return 0, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	return len(diags), nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

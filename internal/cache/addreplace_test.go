@@ -6,7 +6,7 @@ import (
 )
 
 func TestAddOnlyWhenAbsent(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	if !c.Add("k", []byte("1"), 0) {
 		t.Fatal("Add on absent key failed")
 	}
@@ -20,7 +20,7 @@ func TestAddOnlyWhenAbsent(t *testing.T) {
 }
 
 func TestReplaceOnlyWhenPresent(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	if c.Replace("k", []byte("1"), 0) {
 		t.Fatal("Replace on absent key succeeded")
 	}

@@ -16,8 +16,9 @@ import (
 // to key+value length when accounting bytes.
 const itemOverhead = 48
 
-// Config configures a Cache. The zero value of every field is usable:
-// unlimited size, no expiry, wall clock, no hooks.
+// Config configures a Cache. Except for Clock — which is required —
+// the zero value of every field is usable: unlimited size, no expiry,
+// no hooks.
 type Config struct {
 	// MaxBytes bounds the total accounted size (keys + values +
 	// per-item overhead); 0 means unlimited. The least recently used
@@ -26,8 +27,11 @@ type Config struct {
 	// DefaultTTL applies to Set calls with ttl == 0; 0 means items
 	// never expire.
 	DefaultTTL time.Duration
-	// Clock supplies the current time; nil means time.Now. The
-	// discrete-event simulator injects its virtual clock here.
+	// Clock supplies the current time and is required: this package is
+	// replay-critical, so the caller must choose the time source
+	// explicitly. The discrete-event simulator injects its virtual
+	// clock; live-plane constructors (cacheserver) pass time.Now at
+	// the wall-clock boundary.
 	Clock func() time.Time
 	// OnLink is invoked (under the cache lock) whenever a key becomes
 	// resident; OnUnlink whenever it stops being resident (delete,
@@ -88,10 +92,14 @@ type Cache struct {
 	casCounter uint64
 }
 
-// New builds an empty cache.
+// New builds an empty cache. Config.Clock must be set: silently
+// defaulting to the wall clock here is exactly the kind of hidden
+// nondeterminism the replay contract (and proteuslint's nodeterminism
+// analyzer) forbids, so a nil Clock panics like other unusable configs
+// in this repository (cf. metrics.NewLatencySeries).
 func New(cfg Config) *Cache {
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		panic("cache: Config.Clock is required; pass time.Now at a live-plane boundary or the sim clock for replay")
 	}
 	return &Cache{cfg: cfg, items: make(map[string]*entry)}
 }

@@ -31,7 +31,7 @@ func (c *fakeClock) Advance(d time.Duration) {
 }
 
 func TestGetSetDelete(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache returned a hit")
 	}
@@ -56,7 +56,7 @@ func TestGetSetDelete(t *testing.T) {
 }
 
 func TestOverwriteReplacesValue(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("k", []byte("old"), 0)
 	c.Set("k", []byte("new"), 0)
 	v, _ := c.Get("k")
@@ -71,7 +71,7 @@ func TestOverwriteReplacesValue(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	// Capacity for ~3 items of this size.
 	itemSize := int64(len("key-0")+1) + itemOverhead
-	c := New(Config{MaxBytes: 3 * itemSize})
+	c := New(Config{Clock: time.Now, MaxBytes: 3 * itemSize})
 	for i := 0; i < 4; i++ {
 		c.Set(fmt.Sprintf("key-%d", i), []byte("x"), 0)
 	}
@@ -90,7 +90,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestGetRefreshesRecency(t *testing.T) {
 	itemSize := int64(len("key-0")+1) + itemOverhead
-	c := New(Config{MaxBytes: 3 * itemSize})
+	c := New(Config{Clock: time.Now, MaxBytes: 3 * itemSize})
 	c.Set("key-0", []byte("x"), 0)
 	c.Set("key-1", []byte("x"), 0)
 	c.Set("key-2", []byte("x"), 0)
@@ -222,7 +222,7 @@ func TestHooksTrackResidency(t *testing.T) {
 
 func TestFlushAllFiresUnlink(t *testing.T) {
 	unlinked := 0
-	c := New(Config{OnUnlink: func(string) { unlinked++ }})
+	c := New(Config{Clock: time.Now, OnUnlink: func(string) { unlinked++ }})
 	for i := 0; i < 7; i++ {
 		c.Set(fmt.Sprintf("k%d", i), []byte("v"), 0)
 	}
@@ -236,7 +236,7 @@ func TestFlushAllFiresUnlink(t *testing.T) {
 }
 
 func TestKeysMRUOrder(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("a", []byte("1"), 0)
 	c.Set("b", []byte("1"), 0)
 	c.Set("c", []byte("1"), 0)
@@ -254,7 +254,7 @@ func TestKeysMRUOrder(t *testing.T) {
 }
 
 func TestBytesAccounting(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("key", make([]byte, 100), 0)
 	want := int64(3+100) + itemOverhead
 	if got := c.Bytes(); got != want {
@@ -267,7 +267,7 @@ func TestBytesAccounting(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	c := New(Config{MaxBytes: 1 << 16})
+	c := New(Config{Clock: time.Now, MaxBytes: 1 << 16})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -295,6 +295,7 @@ func TestQuickResidencyInvariant(t *testing.T) {
 	prop := func(ops []uint8) bool {
 		live := map[string]bool{}
 		c := New(Config{
+			Clock:    time.Now,
 			MaxBytes: 16 * (itemOverhead + 8),
 			OnLink:   func(k string) { live[k] = true },
 			OnUnlink: func(k string) { delete(live, k) },
@@ -326,7 +327,7 @@ func TestQuickResidencyInvariant(t *testing.T) {
 }
 
 func BenchmarkCacheSet(b *testing.B) {
-	c := New(Config{MaxBytes: 64 << 20})
+	c := New(Config{Clock: time.Now, MaxBytes: 64 << 20})
 	val := make([]byte, 1024)
 	keys := make([]string, 8192)
 	for i := range keys {
@@ -339,7 +340,7 @@ func BenchmarkCacheSet(b *testing.B) {
 }
 
 func BenchmarkCacheGetHit(b *testing.B) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	val := make([]byte, 1024)
 	keys := make([]string, 8192)
 	for i := range keys {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestGetWithCASAndSwap(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("k", []byte("v1"), 0)
 	_, cas1, ok := c.GetWithCAS("k")
 	if !ok || cas1 == 0 {
@@ -30,7 +30,7 @@ func TestGetWithCASAndSwap(t *testing.T) {
 }
 
 func TestCASChangesOnEveryMutation(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("k", []byte("1"), 0)
 	_, cas1, _ := c.GetWithCAS("k")
 	c.Set("k", []byte("2"), 0)
@@ -59,7 +59,7 @@ func TestGetWithCASExpired(t *testing.T) {
 }
 
 func TestIncrementDecrement(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("n", []byte("10"), 0)
 	v, found, err := c.Increment("n", 5)
 	if err != nil || !found || v != 15 {
@@ -91,7 +91,7 @@ func TestIncrementDecrement(t *testing.T) {
 }
 
 func TestIncrementBytesAccounting(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	c.Set("n", []byte("9"), 0)
 	before := c.Bytes()
 	c.Increment("n", 1) // "9" -> "10": one byte longer
@@ -101,7 +101,7 @@ func TestIncrementBytesAccounting(t *testing.T) {
 }
 
 func TestAppendPrepend(t *testing.T) {
-	c := New(Config{})
+	c := New(Config{Clock: time.Now})
 	if c.Append("k", []byte("x")) {
 		t.Fatal("Append to absent key succeeded")
 	}
@@ -123,7 +123,7 @@ func TestConcatRespectsCapacity(t *testing.T) {
 	// grown item and a small one together.
 	itemSize := int64(1+4) + itemOverhead // 53
 	grownSize := itemSize + 64            // 117
-	c := New(Config{MaxBytes: grownSize + itemSize/2})
+	c := New(Config{Clock: time.Now, MaxBytes: grownSize + itemSize/2})
 	c.Set("a", []byte("1234"), 0)
 	c.Set("b", []byte("1234"), 0)
 	// Growing b pushes total over capacity; LRU (a) is evicted.

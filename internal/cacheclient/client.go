@@ -269,7 +269,7 @@ func (c *Client) Close() {
 	for {
 		select {
 		case cn := <-c.pool:
-			cn.nc.Close()
+			_ = cn.nc.Close() // pool drain is best-effort
 		default:
 			return
 		}
@@ -308,7 +308,7 @@ func (c *Client) evictPool() {
 	for {
 		select {
 		case cn := <-c.pool:
-			cn.nc.Close()
+			_ = cn.nc.Close() // already presumed dead by the breaker
 			c.tokens <- struct{}{}
 		default:
 			return
@@ -318,13 +318,13 @@ func (c *Client) evictPool() {
 
 func (c *Client) putConn(cn *conn, broken bool) {
 	if broken {
-		cn.nc.Close()
+		_ = cn.nc.Close() // the transport error already surfaced to the caller
 		c.tokens <- struct{}{}
 		return
 	}
 	select {
 	case <-c.closed:
-		cn.nc.Close()
+		_ = cn.nc.Close() // client shut down; nothing to report to
 		c.tokens <- struct{}{}
 	case c.pool <- cn:
 	}

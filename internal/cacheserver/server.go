@@ -105,6 +105,11 @@ func New(cfg Config) (*Server, error) {
 	cacheCfg := cfg.Cache
 	cacheCfg.OnLink = s.onLink
 	cacheCfg.OnUnlink = s.onUnlink
+	if cacheCfg.Clock == nil {
+		// The server is the live-plane wall-clock boundary; the cache
+		// itself requires an explicit time source.
+		cacheCfg.Clock = time.Now
+	}
 	s.cache = cache.New(cacheCfg)
 	return s, nil
 }
@@ -161,7 +166,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close() // refusing the listener; its close error is moot
 		return errors.New("cacheserver: server already closed")
 	}
 	s.listener = ln
@@ -184,7 +189,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing accept during shutdown
 			return nil
 		}
 		s.conns[conn] = struct{}{}
@@ -215,7 +220,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	ln := s.listener
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close() // shutdown teardown is best-effort
 	}
 	s.mu.Unlock()
 	var err error

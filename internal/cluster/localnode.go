@@ -34,20 +34,30 @@ func NewLocalNode(cacheCfg cache.Config, digest bloom.Params) *LocalNode {
 }
 
 // Addr returns the node's address. Before the first PowerOn it reserves
-// the port eagerly so coordinators can build clients up front.
+// the port eagerly so coordinators can build clients up front. The bind
+// happens outside the mutex (binding under a lock stalls every other
+// node operation on a slow network stack); a losing racer discards its
+// reservation and adopts the winner's address.
 func (n *LocalNode) Addr() string {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.addr == "" {
-		// Reserve a port without serving: bind, remember, release.
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return "127.0.0.1:0"
-		}
-		n.addr = ln.Addr().String()
-		ln.Close()
+	addr := n.addr
+	n.mu.Unlock()
+	if addr != "" {
+		return addr
 	}
-	return n.addr
+	// Reserve a port without serving: bind, remember, release.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "127.0.0.1:0"
+	}
+	n.mu.Lock()
+	if n.addr == "" {
+		n.addr = ln.Addr().String()
+	}
+	addr = n.addr
+	n.mu.Unlock()
+	_ = ln.Close() // reservation release; nothing useful to do on error
+	return addr
 }
 
 // PowerOn implements Node.
@@ -62,6 +72,7 @@ func (n *LocalNode) PowerOn() error {
 	if err != nil {
 		return err
 	}
+	//lint:allow locksafety power transitions are serialized by design; binding under n.mu is what prevents a double PowerOn from racing two servers onto one port
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: local node bind %s: %w", addr, err)

@@ -75,8 +75,14 @@ func Fig6(scale Scale) (*Fig6Result, error) {
 		}
 		caches := make([]*cache.Cache, servers)
 		keyOverhead := int64(len(corpus.Key(corpus.Pages()-1))) + 48
+		// The replay is pure LRU capacity pressure (no TTLs), so a
+		// frozen clock keeps the experiment bit-for-bit deterministic.
+		epoch := time.Unix(0, 0)
 		for i := range caches {
-			caches[i] = cache.New(cache.Config{MaxBytes: int64(pages) * keyOverhead})
+			caches[i] = cache.New(cache.Config{
+				MaxBytes: int64(pages) * keyOverhead,
+				Clock:    func() time.Time { return epoch },
+			})
 		}
 		var hits, total uint64
 		warm := len(events) / 4 // measure after the caches fill

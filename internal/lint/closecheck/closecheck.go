@@ -1,0 +1,210 @@
+// Package closecheck defines an analyzer that catches leaked network
+// resources: a net.Conn / net.Listener (or other net package closer)
+// acquired in a function must, on every path, be closed or handed off
+// (returned, stored, passed along, or captured) before the function
+// returns. The classic bug it targets is the early error return between
+// acquiring a connection and registering it with the pool.
+//
+// The check is deliberately conservative about ownership transfer: any
+// use of the resource other than Close counts as a handoff, so wrappers
+// and pools analyze clean. The one sharpening is the standard
+// acquisition guard — `c, err := dial(); if err != nil { return err }`
+// — whose return is exempt because the resource is nil on that path.
+package closecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/lintutil"
+)
+
+// Analyzer is the closecheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "net resources must be closed or handed off on every return path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range lintutil.Functions(pass.Files) {
+		checkFunc(pass, fn)
+	}
+	return nil
+}
+
+// acquisition is one statement binding a fresh net resource.
+type acquisition struct {
+	stmt   *ast.AssignStmt
+	obj    types.Object // the resource variable
+	errObj types.Object // the paired error variable, if any
+}
+
+func checkFunc(pass *analysis.Pass, fn lintutil.Func) {
+	for _, acq := range findAcquisitions(pass, fn.Body) {
+		checkAcquisition(pass, fn, acq)
+	}
+}
+
+// findAcquisitions returns assignments whose right side is a single
+// call and whose left side binds a net-package closer to a local.
+func findAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []acquisition {
+	var out []acquisition
+	lintutil.InspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+			return true
+		}
+		var acq acquisition
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isNetCloser(obj.Type()):
+				acq.obj = obj
+			case lintutil.IsErrorType(obj.Type()):
+				acq.errObj = obj
+			}
+		}
+		if acq.obj != nil {
+			acq.stmt = as
+			out = append(out, acq)
+		}
+		return true
+	})
+	return out
+}
+
+// isNetCloser reports whether t is a type from package net (or a
+// pointer to one) that has a Close method — net.Conn, net.Listener,
+// *net.TCPConn, and friends.
+func isNetCloser(t types.Type) bool {
+	if lintutil.NamedPkgPath(t) != "net" {
+		return false
+	}
+	closer := types.NewMethodSet(t).Lookup(nil, "Close")
+	return closer != nil
+}
+
+func checkAcquisition(pass *analysis.Pass, fn lintutil.Func, acq acquisition) {
+	exemptReturns := guardReturns(pass, fn.Body, acq)
+
+	// Collect, in source order after the acquisition: uses of the
+	// resource (a Close, direct or deferred, or any handoff) and
+	// return statements.
+	var uses []token.Pos
+	var returns []*ast.ReturnStmt
+	after := acq.stmt.End()
+	lintutil.InspectShallow(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closure capture: if it mentions the resource, the
+			// closure owns cleanup; count as handoff.
+			if n.Pos() > after && mentions(pass, n, acq.obj) {
+				uses = append(uses, n.Pos())
+			}
+			return false
+		case *ast.Ident:
+			if n.Pos() > after && pass.ObjectOf(n) == acq.obj {
+				uses = append(uses, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			if n.Pos() > after {
+				returns = append(returns, n)
+			}
+		}
+		return true
+	})
+
+	if len(uses) == 0 {
+		pass.Reportf(acq.stmt.Pos(), "%s acquired but never closed or handed off", acq.obj.Name())
+		return
+	}
+	for _, ret := range returns {
+		if exemptReturns[ret] {
+			continue
+		}
+		released := false
+		for _, pos := range uses {
+			if pos < ret.End() {
+				released = true
+				break
+			}
+		}
+		if !released {
+			pass.Reportf(ret.Pos(), "return may leak %s: close it or hand it off before every return", acq.obj.Name())
+			return // one report per acquisition
+		}
+	}
+}
+
+// guardReturns returns the set of return statements inside the
+// immediate `if err != nil { ... }` guard following the acquisition,
+// where err is the acquisition's error result and the guard body never
+// touches the resource (it is nil there).
+func guardReturns(pass *analysis.Pass, body *ast.BlockStmt, acq acquisition) map[*ast.ReturnStmt]bool {
+	out := map[*ast.ReturnStmt]bool{}
+	if acq.errObj == nil {
+		return out
+	}
+	var guard *ast.IfStmt
+	scan := func(list []ast.Stmt) {
+		for i, st := range list {
+			if st != ast.Stmt(acq.stmt) || i+1 >= len(list) {
+				continue
+			}
+			if ifst, ok := list[i+1].(*ast.IfStmt); ok && condTestsErr(pass, ifst.Cond, acq.errObj) {
+				guard = ifst
+			}
+		}
+	}
+	lintutil.InspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			scan(n.List)
+		case *ast.CaseClause:
+			scan(n.Body)
+		case *ast.CommClause:
+			scan(n.Body)
+		}
+		return true
+	})
+	if guard == nil || mentions(pass, guard.Body, acq.obj) {
+		return out
+	}
+	ast.Inspect(guard.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			out[ret] = true
+		}
+		return true
+	})
+	return out
+}
+
+// condTestsErr reports whether cond mentions errObj (e.g. err != nil).
+func condTestsErr(pass *analysis.Pass, cond ast.Expr, errObj types.Object) bool {
+	return mentions(pass, cond, errObj)
+}
+
+// mentions reports whether the subtree references obj.
+func mentions(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/closecheck"
+	"proteus/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", closecheck.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Package a is the closecheck fixture: acquired net resources must be
+// closed or handed off on every return path. The acquisition error
+// guard (`if err != nil { return ... }`) is exempt because the
+// resource is nil on that path.
+package a
+
+import "net"
+
+func use(c net.Conn) {}
+
+// dialOK: guard-exempt error return, then deferred close.
+func dialOK(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	use(conn)
+	return nil
+}
+
+// dialHandoff: returning the resource transfers ownership.
+func dialHandoff(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// dialAsync: a closure capturing the resource owns its cleanup.
+func dialAsync(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer conn.Close()
+		use(conn)
+	}()
+	return nil
+}
+
+// dialLeak: the !ready return sits between acquire and close — the
+// classic pool-registration bug.
+func dialLeak(addr string, ready bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if !ready {
+		return nil // want `return may leak conn: close it or hand it off before every return`
+	}
+	return conn.Close()
+}
+
+// listenLeak: same bug shape for a listener.
+func listenLeak(addr string, ok bool) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil // want `return may leak ln: close it or hand it off before every return`
+	}
+	return ln, nil
+}
+
+// sink lets the never-closed case compile (a dead local would be a
+// "declared and not used" error).
+var sink net.Conn
+
+func dialNeverClosed(addr string) {
+	sink, _ = net.Dial("tcp", addr) // want `sink acquired but never closed or handed off`
+}
+
+// pinned is deliberately leaked; the site carries a directive.
+var pinned net.Conn
+
+func dialPinned(addr string) {
+	//lint:allow closecheck held for the process lifetime to keep the NAT mapping warm
+	pinned, _ = net.Dial("tcp", addr)
+}

@@ -1,0 +1,143 @@
+// Package errdrop defines an analyzer that forbids silently discarded
+// error results on the cache/DB/protocol hot paths — stricter than `go
+// vet`, which only checks a fixed list of stdlib functions. Two forms
+// are flagged:
+//
+//	f()         // statement position: the error vanishes invisibly
+//	v, _ := f() // mixed assignment blanking only the error
+//
+// A lone explicit blank (`_ = f()`) is accepted: it is greppable and
+// visibly deliberate. Deferred and `go` calls are exempt (their errors
+// are unobtainable), as are loggers, fmt printers, and the
+// sticky-error writers (bytes.Buffer, strings.Builder, and bufio.Writer
+// short of Flush) whose write errors are checked once at the end.
+package errdrop
+
+import (
+	"go/ast"
+
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/lintutil"
+)
+
+// hotPath lists the packages where a dropped error can silently corrupt
+// a response or strand a resource.
+var hotPath = map[string]bool{
+	"proteus/internal/cache":       true,
+	"proteus/internal/cacheclient": true,
+	"proteus/internal/cacheserver": true,
+	"proteus/internal/cluster":     true,
+	"proteus/internal/database":    true,
+	"proteus/internal/memproto":    true,
+	"proteus/internal/webtier":     true,
+}
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "errdrop",
+	Doc:       "forbid discarded error results on cache/DB/proto hot paths (stricter than go vet)",
+	AppliesTo: func(pkgPath string) bool { return hotPath[pkgPath] },
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false // errors from these calls are unobtainable
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkStmtCall(pass, call)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmtCall flags a call in statement position whose last result is
+// an error, unless the callee is exempt.
+func checkStmtCall(pass *analysis.Pass, call *ast.CallExpr) {
+	results := lintutil.ResultTypes(pass.TypesInfo, call)
+	if len(results) == 0 || !lintutil.IsErrorType(results[len(results)-1]) {
+		return
+	}
+	if exempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result discarded; handle it or assign to _ explicitly")
+}
+
+// checkAssign flags mixed assignments that blank an error position
+// while keeping other results, e.g. `n, _ := w.Write(p)`.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	results := lintutil.ResultTypes(pass.TypesInfo, call)
+	if len(results) != len(as.Lhs) {
+		return
+	}
+	if exempt(pass, call) {
+		return
+	}
+	// An all-blank assignment (`_, _ = w.Write(p)`) is the explicit,
+	// greppable acknowledgment — only mixed blanking is flagged.
+	allBlank := true
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			allBlank = false
+			break
+		}
+	}
+	if allBlank {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if ok && id.Name == "_" && lintutil.IsErrorType(results[i]) {
+			pass.Reportf(id.Pos(), "error result blanked in mixed assignment; handle it")
+		}
+	}
+}
+
+// exempt reports whether the callee's dropped error is acceptable.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pkgPath, name, ok := lintutil.PkgFuncRef(pass.TypesInfo, call.Fun); ok {
+		// fmt.Print* to stdout: diagnostics, not protocol data.
+		if pkgPath == "fmt" && (name == "Print" || name == "Println" || name == "Printf") {
+			return true
+		}
+		return false
+	}
+	recv, name, ok := lintutil.MethodCall(pass.TypesInfo, call)
+	if !ok {
+		return false
+	}
+	recvType := pass.TypeOf(recv)
+	switch lintutil.NamedPkgPath(recvType) {
+	case "log":
+		return true // (*log.Logger).Printf and friends return nothing anyway
+	case "hash":
+		return true // hash.Hash.Write is documented to never fail
+	case "bytes", "strings":
+		// bytes.Buffer / strings.Builder writes cannot fail.
+		n := lintutil.NamedName(recvType)
+		return n == "Buffer" || n == "Builder"
+	case "bufio":
+		// Sticky error model: intermediate writes may be unchecked as
+		// long as Flush is checked — so Flush itself is never exempt.
+		return lintutil.NamedName(recvType) == "Writer" && name != "Flush"
+	}
+	return false
+}

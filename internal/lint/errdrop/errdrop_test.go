@@ -1,0 +1,37 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/errdrop"
+	"proteus/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", errdrop.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	applies := errdrop.Analyzer.AppliesTo
+	for _, p := range []string{
+		"proteus/internal/cache",
+		"proteus/internal/cacheclient",
+		"proteus/internal/cacheserver",
+		"proteus/internal/database",
+		"proteus/internal/memproto",
+		"proteus/internal/webtier",
+	} {
+		if !applies(p) {
+			t.Errorf("%s is a hot path; errdrop should apply", p)
+		}
+	}
+	for _, p := range []string{
+		"proteus/internal/sim",
+		"proteus/internal/experiments",
+		"proteus/internal/lint/errdrop",
+	} {
+		if applies(p) {
+			t.Errorf("%s is off the hot path; errdrop should not apply", p)
+		}
+	}
+}

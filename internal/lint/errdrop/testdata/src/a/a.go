@@ -1,0 +1,62 @@
+// Package a is the errdrop fixture: silently discarded errors are
+// flagged; explicit blanks, sticky-error writers, and deferred calls
+// are accepted.
+package a
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// dropInStmt: the Fprintf error vanishes invisibly.
+func dropInStmt(w io.Writer, p []byte) {
+	fmt.Fprintf(w, "len=%d\n", len(p)) // want `error result discarded; handle it or assign to _ explicitly`
+}
+
+// mixedBlank keeps the count but hides the error.
+func mixedBlank(w io.Writer, p []byte) int {
+	n, _ := w.Write(p) // want `error result blanked in mixed assignment; handle it`
+	return n
+}
+
+// allBlank is the explicit, greppable acknowledgment — accepted.
+func allBlank(w io.Writer, p []byte) {
+	_, _ = w.Write(p)
+}
+
+// explicitBlank: a lone `_ =` is visibly deliberate — accepted.
+func explicitBlank(c io.Closer) {
+	_ = c.Close()
+}
+
+// buffered: bufio's sticky error model exempts intermediate writes,
+// but Flush is where the error surfaces and must be checked.
+func buffered(w io.Writer, p []byte) {
+	bw := bufio.NewWriter(w)
+	bw.Write(p)
+	bw.Flush() // want `error result discarded; handle it or assign to _ explicitly`
+}
+
+// sticky: bytes.Buffer writes cannot fail — accepted.
+func sticky(p []byte) string {
+	var buf bytes.Buffer
+	buf.Write(p)
+	return buf.String()
+}
+
+// deferred errors are unobtainable — accepted.
+func deferred(c io.Closer) {
+	defer c.Close()
+}
+
+// printed: fmt printers to stdout are diagnostics, not protocol data.
+func printed(p []byte) {
+	fmt.Println(len(p))
+}
+
+// allowed: a justified drop carries a directive instead of a blank.
+func allowed(w io.Writer, p []byte) {
+	w.Write(p) //lint:allow errdrop best-effort trailer; the response is already committed
+}

@@ -1,0 +1,40 @@
+// Package lint assembles the proteuslint analyzer suite. The analyzers
+// encode the repository's three standing invariants:
+//
+//   - determinism: replay-critical packages take time and randomness
+//     only by injection (nodeterminism),
+//   - locking: no lock-leaking returns, no blocking under a mutex
+//     (locksafety), and counter mutations stay under their mutex
+//     (metrichygiene),
+//   - resource hygiene: connections are closed or handed off on every
+//     path (closecheck) and hot-path errors are never silently dropped
+//     (errdrop).
+//
+// Run the suite with `go run ./cmd/proteuslint ./...` (or `make lint`).
+// Suppress an individual finding with a justified directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on, or directly above, the offending line. Directives without
+// a reason are themselves findings.
+package lint
+
+import (
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/closecheck"
+	"proteus/internal/lint/errdrop"
+	"proteus/internal/lint/locksafety"
+	"proteus/internal/lint/metrichygiene"
+	"proteus/internal/lint/nodeterminism"
+)
+
+// Analyzers returns the full proteuslint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterminism.Analyzer,
+		locksafety.Analyzer,
+		closecheck.Analyzer,
+		errdrop.Analyzer,
+		metrichygiene.Analyzer,
+	}
+}

@@ -1,0 +1,168 @@
+// Package linttest runs an analyzer over fixture packages and checks
+// its findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixtures live under <testdata>/src/<importpath>/ and are plain Go
+// packages (type-checked for real, against the standard library from
+// GOROOT source plus any sibling fixture packages). A line expecting a
+// finding carries a comment of the form
+//
+//	code() // want "regexp"
+//
+// with one quoted regexp per expected finding on that line. Findings
+// suppressed by a well-formed //lint:allow directive are dropped before
+// matching, so the allowlist path is testable by writing a fixture line
+// with a directive and no want comment — and the converse (a malformed
+// directive suppresses nothing) by writing one with both. Malformed-
+// directive reporting itself is unit-tested in package analysis.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/loader"
+)
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's findings against the // want comments in its files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	l := loader.NewSrcRoot(srcRoot)
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		expects, err := parseExpectations(l.Fset, pkg.Files)
+		if err != nil {
+			t.Errorf("fixture %s: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			pos := l.Fset.Position(d.Pos)
+			if !claim(expects, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s:%d: unexpected finding: %s (%s)", pos.Filename, pos.Line, d.Message, d.Analyzer)
+			}
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// regexp matches msg, reporting whether one was found.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpectations extracts // want comments from the fixture files.
+func parseExpectations(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					text, ok = strings.CutPrefix(c.Text, "//want ")
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitQuoted(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no patterns", pos.Filename, pos.Line)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted parses a sequence of Go string literals ("..." or `...`)
+// separated by spaces.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+	return out, nil
+}

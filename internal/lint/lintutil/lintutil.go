@@ -1,0 +1,199 @@
+// Package lintutil holds the small AST/type-inspection helpers shared
+// by the proteuslint analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Func is one analyzable function: a declaration or a function
+// literal. Analyzers treat each independently so control-flow facts
+// (returns, deferred calls) do not leak across closure boundaries.
+type Func struct {
+	Name string // declared name, or "" for literals
+	Body *ast.BlockStmt
+}
+
+// Functions yields every function declaration and literal in files.
+func Functions(files []*ast.File) []Func {
+	var out []Func
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, Func{Name: n.Name.Name, Body: n.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, Func{Body: n.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// InspectShallow walks the statements of body like ast.Inspect but does
+// not descend into nested function literals, so per-function analyses
+// see only their own control flow. The function literal node itself is
+// still visited (a closure mentioning a variable counts as a use).
+func InspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			fn(n)
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// PkgFuncRef reports whether e is a reference to a function (or other
+// object) selected from an imported package, returning the package path
+// and object name.
+func PkgFuncRef(info *types.Info, e ast.Expr) (pkgPath, name string, ok bool) {
+	sel, okSel := e.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPN := info.ObjectOf(id).(*types.PkgName)
+	if !okPN {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// Deref removes one level of pointer indirection.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedPkgPath returns the package path of t's (possibly
+// pointer-wrapped) named type, or "" when t is unnamed or universe-
+// scoped (e.g. error).
+func NamedPkgPath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	if n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// NamedName returns the bare name of t's (possibly pointer-wrapped)
+// named type, or "".
+func NamedName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// IsMutex reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	if NamedPkgPath(t) != "sync" {
+		return false
+	}
+	name := NamedName(t)
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// MutexField returns the name of the first sync.Mutex/RWMutex field of
+// t's underlying struct (looking through pointers and named types), or
+// "" when there is none.
+func MutexField(t types.Type) string {
+	st, ok := Deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if IsMutex(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// ResultTypes returns the flattened result types of a call expression.
+func ResultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		return []types.Type{t}
+	}
+}
+
+// RootIdent returns the identifier at the base of a selector chain
+// (a.b.c -> a), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// MethodCall decomposes a call of the form recv.Name(...) where recv is
+// a value (not a package), returning the receiver expression and
+// method name.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return nil, "", false
+	}
+	if id, okID := sel.X.(*ast.Ident); okID {
+		if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+			return nil, "", false
+		}
+	}
+	return sel.X, sel.Sel.Name, true
+}

@@ -1,0 +1,271 @@
+// Package loader parses and type-checks Go packages without any
+// dependency outside the standard library, standing in for
+// golang.org/x/tools/go/packages in this repository's hermetic build
+// environment. Standard-library imports are type-checked from GOROOT
+// source via go/importer; intra-module imports are resolved by mapping
+// the import path onto the module directory tree.
+//
+// Two resolution modes exist:
+//
+//   - NewModule roots resolution at a go.mod: import paths beginning
+//     with the module path map to subdirectories (used by the
+//     proteuslint driver over this repository).
+//   - NewSrcRoot resolves every non-stdlib import path as a directory
+//     under a source root, GOPATH-style (used by linttest so analyzer
+//     fixtures can live under testdata/src, including stub packages
+//     that impersonate module-internal import paths).
+//
+// Only non-test files are loaded: the determinism and hygiene
+// invariants bind production code, while _test.go files may freely use
+// wall clocks and global randomness.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files were read from
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages, memoizing by import path. It is not safe for
+// concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	modPath string // module path ("" in srcRoot mode)
+	modRoot string // module root directory
+	srcRoot string // fixture source root ("" in module mode)
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// NewModule builds a loader rooted at the go.mod in dir.
+func NewModule(dir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("loader: no module line in %s/go.mod", dir)
+	}
+	l := newLoader()
+	l.modPath = modPath
+	l.modRoot = dir
+	return l, nil
+}
+
+// NewSrcRoot builds a GOPATH-style loader: import path p resolves to
+// directory root/p when that directory exists, else to the standard
+// library.
+func NewSrcRoot(root string) *Loader {
+	l := newLoader()
+	l.srcRoot = root
+	return l
+}
+
+// ModulePath returns the module path ("" for srcRoot loaders).
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// dirFor maps an import path to a local directory, or "" when the path
+// is not local (i.e. standard library).
+func (l *Loader) dirFor(path string) string {
+	if l.modPath != "" {
+		if path == l.modPath {
+			return l.modRoot
+		}
+		if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+			return filepath.Join(l.modRoot, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer so a Loader can be used as the
+// type-checker's import resolver for the packages it loads.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at the given import path
+// (which must be local to the module or source root), returning the
+// memoized result on repeat calls.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("loader: %q is not under the loader root", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every buildable non-test .go file in dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ExpandPatterns resolves command-line package patterns against the
+// module. Supported forms: "./...", "./dir/...", "./dir", or a full
+// import path inside the module. Returns import paths sorted.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	if l.modPath == "" {
+		return nil, fmt.Errorf("loader: patterns require a module loader")
+	}
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walkPackages(l.modRoot, seen); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(base, "./")))
+			if err := l.walkPackages(dir, seen); err != nil {
+				return nil, err
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			path := rel
+			if !strings.HasPrefix(rel, l.modPath) {
+				path = l.modPath + "/" + filepath.ToSlash(rel)
+			}
+			if rel == "." {
+				path = l.modPath
+			}
+			seen[path] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkPackages adds the import path of every directory under root that
+// contains buildable Go files, skipping testdata, hidden, and
+// underscore-prefixed directories.
+func (l *Loader) walkPackages(root string, seen map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(l.modRoot, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			seen[l.modPath] = true
+		} else {
+			seen[l.modPath+"/"+filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+}

@@ -1,0 +1,12 @@
+// Package x is a loader fixture exercising a fixture-local import (y)
+// alongside a standard-library one.
+package x
+
+import (
+	"strings"
+
+	"y"
+)
+
+// V forces both imports to type-check.
+var V = len(strings.TrimSpace(y.S)) + y.N

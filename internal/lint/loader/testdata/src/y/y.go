@@ -1,0 +1,7 @@
+// Package y is a leaf loader fixture.
+package y
+
+const (
+	N = 41
+	S = " proteus "
+)

@@ -1,0 +1,186 @@
+// Package locksafety defines an analyzer for the two mutex mistakes
+// that have historically produced the worst cache-fleet incidents:
+// returning with a mutex still held (missing unlock on an error path)
+// and blocking — on the network or a channel — while holding one.
+//
+// The analysis is a source-order approximation, not a full control-flow
+// graph: within one function, Lock/Unlock/return/blocking events are
+// ordered by position and replayed. This accepts the repository's
+// standard idioms (defer unlock; guard-unlock-return; unlock before a
+// blocking call) while catching the plain early-return and
+// network-under-lock bugs. Conditional locking across branches can
+// misfire; such sites carry a //lint:allow locksafety directive with a
+// justification.
+package locksafety
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/lintutil"
+)
+
+// Analyzer is the locksafety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafety",
+	Doc:  "flag returns with a mutex held and blocking calls (network, channels, sleeps) made under a mutex",
+	Run:  run,
+}
+
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+	evBlocking
+)
+
+type event struct {
+	pos  token.Pos
+	kind eventKind
+	key  string // mutex expression, rendered (Lock/Unlock events)
+	desc string // human description (blocking events)
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range lintutil.Functions(pass.Files) {
+		checkFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn lintutil.Func) {
+	var events []event
+	lintutil.InspectShallow(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if key, kind, ok := mutexOp(pass, n.Call); ok && kind == evUnlock {
+				events = append(events, event{pos: n.Pos(), kind: evDeferUnlock, key: key})
+			}
+			// Don't descend: a deferred call runs at exit, not here.
+			return false
+		case *ast.CallExpr:
+			if key, kind, ok := mutexOp(pass, n); ok {
+				events = append(events, event{pos: n.Pos(), kind: kind, key: key})
+				return true
+			}
+			if desc, ok := blockingCall(pass, n); ok {
+				events = append(events, event{pos: n.Pos(), kind: evBlocking, desc: desc})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, event{pos: n.Pos(), kind: evReturn})
+		case *ast.SendStmt:
+			events = append(events, event{pos: n.Pos(), kind: evBlocking, desc: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, event{pos: n.Pos(), kind: evBlocking, desc: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			events = append(events, event{pos: n.Pos(), kind: evBlocking, desc: "select"})
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]token.Pos{}      // mutexes held at this point (incl. defer-released)
+	unsafeRet := map[string]token.Pos{} // held with no deferred unlock: a return here leaks the lock
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = ev.pos
+			unsafeRet[ev.key] = ev.pos
+		case evDeferUnlock:
+			// Still held for the rest of the function, but every
+			// return path now releases it.
+			delete(unsafeRet, ev.key)
+		case evUnlock:
+			delete(held, ev.key)
+			delete(unsafeRet, ev.key)
+		case evReturn:
+			for key := range unsafeRet {
+				pass.Reportf(ev.pos, "return while %s is held: unlock before returning or use defer %s.Unlock()", key, key)
+				// Report once per lock site, not per return.
+				delete(unsafeRet, key)
+				delete(held, key)
+			}
+		case evBlocking:
+			for key := range held {
+				pass.Reportf(ev.pos, "%s while %s is held: release the mutex before blocking", ev.desc, key)
+				delete(held, key) // once per lock site
+			}
+		}
+	}
+}
+
+// mutexOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on a
+// sync.Mutex or sync.RWMutex, returning the rendered mutex expression.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, kind eventKind, ok bool) {
+	recv, name, ok := lintutil.MethodCall(pass.TypesInfo, call)
+	if !ok {
+		return "", 0, false
+	}
+	switch name {
+	case "Lock", "RLock":
+		kind = evLock
+	case "Unlock", "RUnlock":
+		kind = evUnlock
+	default:
+		return "", 0, false
+	}
+	if !lintutil.IsMutex(pass.TypeOf(recv)) {
+		return "", 0, false
+	}
+	return types.ExprString(recv), kind, true
+}
+
+// blockingNetMethods are the methods on net types that can block
+// indefinitely. Getters (Addr, LocalAddr, ...) and deadline setters are
+// deliberately absent: calling them under a mutex is fine.
+var blockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "Close": true,
+	"ReadFrom": true, "WriteTo": true, "AcceptTCP": true,
+}
+
+// blockingCall recognizes calls that can block indefinitely: dialing,
+// listening, and name resolution in package net (and net/http requests),
+// blocking methods on net types, time.Sleep, and sync.WaitGroup.Wait.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if pkgPath, name, ok := lintutil.PkgFuncRef(pass.TypesInfo, call.Fun); ok {
+		switch {
+		case pkgPath == "net" && (strings.HasPrefix(name, "Dial") ||
+			strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup")):
+			return fmt.Sprintf("network I/O call (net.%s)", name), true
+		case pkgPath == "net/http" && (name == "Get" || name == "Post" || name == "Head" || name == "PostForm"):
+			return fmt.Sprintf("network I/O call (http.%s)", name), true
+		case pkgPath == "time" && name == "Sleep":
+			return "time.Sleep", true
+		}
+		return "", false
+	}
+	recv, name, ok := lintutil.MethodCall(pass.TypesInfo, call)
+	if !ok {
+		return "", false
+	}
+	recvType := pass.TypeOf(recv)
+	switch lintutil.NamedPkgPath(recvType) {
+	case "net", "net/http":
+		if blockingNetMethods[name] || name == "Do" || name == "RoundTrip" {
+			return fmt.Sprintf("network I/O (%s.%s)", lintutil.NamedName(recvType), name), true
+		}
+	case "sync":
+		if lintutil.NamedName(recvType) == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package locksafety_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/linttest"
+	"proteus/internal/lint/locksafety"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", locksafety.Analyzer, "a")
+}

@@ -1,0 +1,188 @@
+// Package metrichygiene defines an analyzer guarding the two metric
+// conventions the evaluation pipeline depends on:
+//
+//  1. Counter fields of a mutex-guarded struct are mutated only while
+//     that struct's mutex is held (in source order within the
+//     function), inside a method whose name ends in "Locked" (the
+//     repository's convention for lock-already-held helpers), or via
+//     sync/atomic types. A torn counter silently corrupts the hit-rate
+//     and load-balance numbers the experiments report.
+//  2. Package-level metric objects (types from proteus/internal/
+//     metrics) are wired up at init time — declaration initializers or
+//     init() — never reassigned at steady state, where a swap would
+//     race with concurrent observers and drop samples.
+package metrichygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/lintutil"
+)
+
+// metricsPkg is the import path of the repository's metrics package;
+// fixtures stub the same path under testdata/src.
+const metricsPkg = "proteus/internal/metrics"
+
+// Analyzer is the metrichygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metrichygiene",
+	Doc:  "counters of mutex-guarded structs must be mutated under that mutex (or in *Locked helpers); package-level metrics are init-time only",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range lintutil.Functions(pass.Files) {
+		checkCounters(pass, fn)
+	}
+	checkRegistrations(pass)
+	return nil
+}
+
+// checkCounters enforces rule 1 within one function.
+func checkCounters(pass *analysis.Pass, fn lintutil.Func) {
+	if len(fn.Name) > 6 && fn.Name[len(fn.Name)-6:] == "Locked" {
+		return // lock-already-held helper by convention
+	}
+	// lockedRoots maps the rendered root expression of every mutex
+	// Lock'ed earlier in the function (source order) to its position.
+	type mutation struct {
+		pos  token.Pos
+		root types.Object
+		expr string
+	}
+	var mutations []mutation
+	locked := map[types.Object][]token.Pos{}
+	lintutil.InspectShallow(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, name, ok := lintutil.MethodCall(pass.TypesInfo, n); ok &&
+				(name == "Lock" || name == "RLock") && lintutil.IsMutex(pass.TypeOf(recv)) {
+				if root := rootObj(pass, recv); root != nil {
+					locked[root] = append(locked[root], n.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if m, ok := counterMutation(pass, n.X); ok {
+				mutations = append(mutations, mutation{pos: n.Pos(), root: m, expr: types.ExprString(n.X)})
+			}
+		case *ast.AssignStmt:
+			// Only read-modify-write forms: a racy += tears the
+			// counter, while plain = is construction-time wiring.
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if m, ok := counterMutation(pass, lhs); ok {
+						mutations = append(mutations, mutation{pos: n.Pos(), root: m, expr: types.ExprString(lhs)})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, m := range mutations {
+		held := false
+		for _, pos := range locked[m.root] {
+			if pos < m.pos {
+				held = true
+				break
+			}
+		}
+		if !held {
+			pass.Reportf(m.pos,
+				"counter %s mutated without holding %s's mutex; lock it, use an atomic, or do this in a *Locked helper",
+				m.expr, m.root.Name())
+		}
+	}
+}
+
+// counterMutation reports whether target is an integer field reached
+// through a struct that carries a mutex, returning the root object.
+func counterMutation(pass *analysis.Pass, target ast.Expr) (types.Object, bool) {
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	t := pass.TypeOf(target)
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	root := rootObj(pass, sel)
+	if root == nil {
+		return nil, false
+	}
+	// The guarding mutex may sit on the root struct or on any struct
+	// along the selector chain (c.stats.Hits guarded by c.mu).
+	if lintutil.MutexField(root.Type()) == "" && !chainHasMutex(pass, sel) {
+		return nil, false
+	}
+	return root, true
+}
+
+// chainHasMutex walks the selector chain checking each intermediate
+// struct for a mutex field.
+func chainHasMutex(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	for {
+		if lintutil.MutexField(pass.TypeOf(sel.X)) != "" {
+			return true
+		}
+		next, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		sel = next
+	}
+}
+
+// rootObj resolves the object at the base of a selector chain, skipping
+// package qualifiers.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id := lintutil.RootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	if _, isPkg := obj.(*types.PkgName); isPkg {
+		return nil
+	}
+	return obj
+}
+
+// checkRegistrations enforces rule 2: assignments to package-level
+// variables of metrics types outside declaration/init().
+func checkRegistrations(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "init" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj, ok := pass.ObjectOf(id).(*types.Var)
+					if !ok || obj.Parent() != pass.Pkg.Scope() {
+						continue
+					}
+					if lintutil.NamedPkgPath(obj.Type()) == metricsPkg {
+						pass.Reportf(id.Pos(),
+							"package-level metric %s reassigned outside init-time; register metrics in var declarations or init()", id.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/linttest"
+	"proteus/internal/lint/metrichygiene"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", metrichygiene.Analyzer, "a")
+}

@@ -1,0 +1,97 @@
+// Package a is the metrichygiene fixture: counters of mutex-guarded
+// structs must be mutated under the mutex (or in *Locked helpers, or
+// via atomics), and package-level metric objects are wired at init
+// time only.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"proteus/internal/metrics"
+)
+
+type stats struct {
+	mu    sync.Mutex
+	hits  int
+	bytes int
+}
+
+// hit mutates under the lock — accepted.
+func (s *stats) hit() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+// miss forgets the lock: a racy increment tears the counter.
+func (s *stats) miss() {
+	s.hits++ // want `counter s\.hits mutated without holding s's mutex`
+}
+
+// addBytes: op-assign is the same read-modify-write hazard.
+func (s *stats) addBytes(n int) {
+	s.bytes += n // want `counter s\.bytes mutated without holding s's mutex`
+}
+
+// bumpLocked follows the lock-already-held naming convention — accepted.
+func (s *stats) bumpLocked() {
+	s.hits++
+}
+
+// atomicStats shows the lock-free alternative the analyzer points at.
+type atomicStats struct {
+	mu   sync.Mutex
+	hits atomic.Uint64
+}
+
+func (a *atomicStats) hit() {
+	a.hits.Add(1)
+}
+
+// cache guards a nested counter struct with its own mutex.
+type counters struct {
+	gets int
+}
+
+type cache struct {
+	mu    sync.Mutex
+	stats counters
+}
+
+func (c *cache) get() {
+	c.mu.Lock()
+	c.stats.gets++
+	c.mu.Unlock()
+}
+
+func (c *cache) getRacy() {
+	c.stats.gets++ // want `counter c\.stats\.gets mutated without holding c's mutex`
+}
+
+// hist is registered in its declaration — accepted.
+var hist = metrics.New()
+
+// lateHist is registered in init() — accepted.
+var lateHist *metrics.Histogram
+
+func init() {
+	lateHist = metrics.New()
+}
+
+// rewire swaps a live metric at steady state: concurrent observers
+// lose samples.
+func rewire() {
+	lateHist = metrics.New() // want `package-level metric lateHist reassigned outside init-time`
+}
+
+// resetForBench is a justified steady-state swap; callers serialize.
+func resetForBench() {
+	//lint:allow metrichygiene bench harness reset; no concurrent observers while swapping
+	lateHist = metrics.New()
+}
+
+func observe(v float64) {
+	hist.Observe(v)
+	lateHist.Observe(v)
+}

@@ -1,0 +1,15 @@
+// Package metrics is a fixture stub standing in for the repository's
+// proteus/internal/metrics package: the metrichygiene analyzer keys on
+// this import path when checking init-time registration.
+package metrics
+
+// Histogram mimics a metric sink.
+type Histogram struct {
+	total uint64
+}
+
+// New returns an empty Histogram.
+func New() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.total++ }

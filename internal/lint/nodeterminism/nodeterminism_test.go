@@ -1,0 +1,40 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/linttest"
+	"proteus/internal/lint/nodeterminism"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", nodeterminism.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	applies := nodeterminism.Analyzer.AppliesTo
+	for _, p := range []string{
+		"proteus/internal/sim",
+		"proteus/internal/faultinject",
+		"proteus/internal/core",
+		"proteus/internal/hashring",
+		"proteus/internal/database",
+		"proteus/internal/cache",
+	} {
+		if !applies(p) {
+			t.Errorf("%s should be replay-critical", p)
+		}
+	}
+	for _, p := range []string{
+		"proteus/internal/cacheserver",
+		"proteus/internal/cacheclient",
+		"proteus/internal/cluster",
+		"proteus/internal/webtier",
+		"proteus/internal/experiments",
+		"proteus/cmd/proteusd",
+	} {
+		if applies(p) {
+			t.Errorf("%s is live-plane/harness; the wall clock is its boundary", p)
+		}
+	}
+}

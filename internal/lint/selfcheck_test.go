@@ -1,0 +1,58 @@
+// The selfcheck runs the full analyzer suite over this repository —
+// the same work `go run ./cmd/proteuslint ./...` does in CI — and
+// demands a clean tree. Reintroducing any forbidden pattern (a wall-
+// clock fallback in a replay-critical package, a leaked lock, a
+// dropped hot-path error) fails plain `go test ./...`, not just the
+// lint step.
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"proteus/internal/lint"
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/loader"
+)
+
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := loader.NewModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("expanded to only %d packages; pattern expansion is broken", len(paths))
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range analysis.CheckDirectives(l.Fset, pkg.Files) {
+			t.Errorf("%s: %s", l.Fset.Position(d.Pos), d.Message)
+		}
+		for _, a := range lint.Analyzers() {
+			if a.AppliesTo != nil && !a.AppliesTo(path) {
+				continue
+			}
+			diags, err := analysis.Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s (%s)", l.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+}

@@ -332,7 +332,7 @@ func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	case r.URL.Path == "/stats":
 		s := f.Stats()
-		fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\ncache_errors %d\nerrors %d\n",
+		_, _ = fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\ncache_errors %d\nerrors %d\n",
 			s.Hits, s.ReplicaHits, s.Migrated, s.DigestFalsePos, s.DBFetches, s.PieceRepairs, s.CacheErrors, s.Errors)
 	default:
 		http.NotFound(w, r)
