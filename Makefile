@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline
 
 all: build test lint
 
@@ -17,6 +17,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# One iteration of every benchmark: proves the bench harnesses still
+# compile and run without paying for stable numbers.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./...
+
+# Machine-readable hot-path baseline (ns/op, B/op, allocs/op) for
+# diffing across revisions; the committed BENCH_baseline.json is the
+# reference point.
+bench-baseline:
+	$(GO) run ./cmd/proteus-bench -bench-baseline BENCH_baseline.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

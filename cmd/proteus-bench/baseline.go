@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cache"
+	"proteus/internal/hashring"
+	"proteus/internal/workload"
+)
+
+// BaselineResult is one row of BENCH_baseline.json: the machine-readable
+// counterpart of `go test -bench`, for diffing hot-path cost across PRs.
+type BaselineResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type baselineFile struct {
+	Generated string           `json:"generated"`
+	Go        string           `json:"go"`
+	Results   []BaselineResult `json:"results"`
+}
+
+// baselineKeys builds a deterministic key set shared by the benchmarks.
+func baselineKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("page:%d", i)
+	}
+	return keys
+}
+
+// writeBaseline measures the core hot paths — cache get/set, digest
+// insert/probe, request routing, workload draw — and writes the results
+// as JSON.
+func writeBaseline(path string) error {
+	const nkeys = 4096
+	keys := baselineKeys(nkeys)
+	value := make([]byte, 256)
+
+	warm := cache.New(cache.Config{MaxBytes: 64 << 20, Clock: time.Now})
+	for _, k := range keys {
+		warm.Set(k, value, 0)
+	}
+	digest, err := bloom.NewCounting(bloom.Params{
+		Counters: 512 * 1024 * 8 / 4, CounterBits: 4, Hashes: 4, Mode: bloom.Saturate,
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		digest.Insert(k)
+	}
+	ring, err := hashring.NewConsistentLogN(64)
+	if err != nil {
+		return err
+	}
+	zipf, err := workload.NewZipf(rand.New(rand.NewSource(1)), 0.8, nkeys)
+	if err != nil {
+		return err
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"cache_get_hit", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				warm.Get(keys[i%nkeys])
+			}
+		}},
+		{"cache_set", func(b *testing.B) {
+			b.ReportAllocs()
+			c := cache.New(cache.Config{MaxBytes: 64 << 20, Clock: time.Now})
+			for i := 0; i < b.N; i++ {
+				c.Set(keys[i%nkeys], value, 0)
+			}
+		}},
+		{"digest_insert", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				digest.Insert(keys[i%nkeys])
+			}
+		}},
+		{"digest_contains", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				digest.Contains(keys[i%nkeys])
+			}
+		}},
+		{"hashring_route", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ring.Route(keys[i%nkeys], 48)
+			}
+		}},
+		{"zipf_next", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				zipf.Next()
+			}
+		}},
+	}
+
+	out := baselineFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		out.Results = append(out.Results, BaselineResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-16s %12d iters %12.1f ns/op %6d B/op %4d allocs/op\n",
+			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

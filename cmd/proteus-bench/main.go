@@ -5,8 +5,12 @@
 // Usage:
 //
 //	proteus-bench [-scale tiny|quick|full] [-fig 4|5|6|7|8|9|10|11|all]
+//	proteus-bench -bench-baseline BENCH_baseline.json
 //
 // Figures 9, 10 and 11 share one set of scenario simulations, run once.
+// The -bench-baseline mode instead measures the core hot paths and
+// writes machine-readable ns/op, B/op and allocs/op figures for diffing
+// across revisions.
 package main
 
 import (
@@ -28,7 +32,14 @@ func main() {
 	figs := flag.String("fig", "all", "comma-separated figure list (4,5,6,7,8,9,10,11,ablations) or 'all'")
 	tracePath := flag.String("trace", "", "optional wikibench-format trace file for Fig. 5 instead of the synthetic stream")
 	outDir := flag.String("out", "", "also write each rendered figure to <dir>/<name>.txt")
+	baselinePath := flag.String("bench-baseline", "", "measure core hot paths, write machine-readable results to this JSON file, and exit")
 	flag.Parse()
+	if *baselinePath != "" {
+		if err := writeBaseline(*baselinePath); err != nil {
+			log.Fatalf("bench baseline: %v", err)
+		}
+		return
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatalf("out dir: %v", err)

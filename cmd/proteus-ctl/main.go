@@ -10,6 +10,8 @@
 //	proteus-ctl -server 127.0.0.1:11211 delete <key>
 //	proteus-ctl -server 127.0.0.1:11211 incr <key> <delta>
 //	proteus-ctl -server 127.0.0.1:11211 stats
+//	proteus-ctl -admin 127.0.0.1:11212 stats              # scrape /metrics instead
+//	proteus-ctl -admin 127.0.0.1:11212 traces             # dump the span ring
 //	proteus-ctl -server 127.0.0.1:11211 digest <key>...   # membership per key
 //	proteus-ctl -server 127.0.0.1:11211 version
 package main
@@ -17,10 +19,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"proteus/internal/cacheclient"
 )
@@ -30,10 +35,26 @@ func main() {
 	log.SetPrefix("proteus-ctl: ")
 
 	server := flag.String("server", "127.0.0.1:11211", "cache server address")
+	admin := flag.String("admin", "", "proteusd admin HTTP address; stats scrapes /metrics from it, traces requires it")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("missing subcommand (get, set, delete, incr, decr, stats, digest, version)")
+		log.Fatal("missing subcommand (get, set, delete, incr, decr, stats, traces, digest, version)")
+	}
+
+	// The admin-plane subcommands talk HTTP, not the cache protocol.
+	if args[0] == "traces" || (args[0] == "stats" && *admin != "") {
+		if *admin == "" {
+			log.Fatalf("%s: set -admin to the proteusd admin address", args[0])
+		}
+		switch args[0] {
+		case "stats":
+			printMetrics(adminGet(*admin, "/metrics"))
+		case "traces":
+			os.Stdout.Write(adminGet(*admin, "/debug/traces"))
+			fmt.Println()
+		}
+		return
 	}
 
 	client := cacheclient.New(*server)
@@ -113,6 +134,57 @@ func main() {
 	default:
 		log.Fatalf("unknown subcommand %q", args[0])
 	}
+}
+
+// adminGet fetches one admin-endpoint path, fatally reporting transport
+// or status errors.
+func adminGet(addr, path string) []byte {
+	resp, err := http.Get("http://" + addr + path)
+	fatalIf(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	fatalIf(err)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	return body
+}
+
+// printMetrics renders Prometheus exposition text as an aligned table,
+// turning each family's HELP line into a section header.
+func printMetrics(body []byte) {
+	type sample struct{ name, value string }
+	var samples []sample
+	flush := func() {
+		width := 0
+		for _, s := range samples {
+			if len(s.name) > width {
+				width = len(s.name)
+			}
+		}
+		for _, s := range samples {
+			fmt.Printf("  %-*s %s\n", width, s.name, s.value)
+		}
+		samples = samples[:0]
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			flush()
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			fmt.Printf("%s — %s\n", name, help)
+		case strings.HasPrefix(line, "#"):
+		default:
+			// Samples are "name{labels} value"; the value never
+			// contains a space, so split at the last one.
+			if i := strings.LastIndexByte(line, ' '); i > 0 {
+				samples = append(samples, sample{line[:i], line[i+1:]})
+			}
+		}
+	}
+	flush()
 }
 
 func requireArgs(args []string, n int) {

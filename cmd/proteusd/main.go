@@ -4,14 +4,19 @@
 // BLOOM_FILTER keys so web servers can fetch content digests during
 // provisioning transitions.
 //
+// The admin endpoint (disable with -admin "") serves Prometheus text
+// metrics on /metrics, the span ring on /debug/traces, and the standard
+// pprof handlers under /debug/pprof/.
+//
 // Usage:
 //
-//	proteusd [-addr :11211] [-max-memory-mb 1024] [-digest-kb 512] [-ttl 0]
+//	proteusd [-addr :11211] [-admin :11212] [-max-memory-mb 1024] [-digest-kb 512] [-ttl 0]
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,6 +25,7 @@ import (
 	"proteus/internal/bloom"
 	"proteus/internal/cache"
 	"proteus/internal/cacheserver"
+	"proteus/internal/telemetry"
 )
 
 func main() {
@@ -27,12 +33,21 @@ func main() {
 	log.SetPrefix("proteusd: ")
 
 	addr := flag.String("addr", ":11211", "listen address")
+	admin := flag.String("admin", ":11212", "telemetry admin HTTP address serving /metrics, /debug/traces and /debug/pprof (empty disables)")
 	maxMemoryMB := flag.Int("max-memory-mb", 1024, "cache capacity in MiB (0 = unlimited)")
 	digestKB := flag.Int("digest-kb", 512, "counting Bloom filter size in KiB (the paper uses 512)")
 	hashes := flag.Int("digest-hashes", 4, "digest hash functions (the paper uses 4)")
 	counterBits := flag.Int("digest-counter-bits", 4, "bits per digest counter")
 	defaultTTL := flag.Duration("ttl", 0, "default item TTL (0 = never expire)")
 	flag.Parse()
+
+	// The live plane may use wall time freely; only the DES plane is
+	// bound to the injected-clock determinism contract.
+	registry := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{
+		Clock: time.Now,
+		Seed:  time.Now().UnixNano(),
+	})
 
 	counters := *digestKB * 1024 * 8 / *counterBits
 	srv, err := cacheserver.New(cacheserver.Config{
@@ -46,10 +61,23 @@ func main() {
 			Hashes:      *hashes,
 			Mode:        bloom.Saturate,
 		},
-		Logger: log.Default(),
+		Logger:    log.Default(),
+		Telemetry: registry,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		log.Fatalf("configuring server: %v", err)
+	}
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{Addr: *admin, Handler: telemetry.AdminMux(registry, tracer, nil)}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin endpoint: %v", err)
+			}
+		}()
+		log.Printf("admin endpoint on %s (/metrics, /debug/traces, /debug/pprof)", *admin)
 	}
 
 	done := make(chan error, 1)
@@ -66,6 +94,9 @@ func main() {
 		}
 	case s := <-sig:
 		log.Printf("received %v, draining connections", s)
+		if adminSrv != nil {
+			adminSrv.Close()
+		}
 		if err := srv.Close(); err != nil {
 			log.Printf("close: %v", err)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"proteus/internal/bloom"
 	"proteus/internal/memproto"
+	"proteus/internal/telemetry"
 )
 
 // ErrClosed is returned by calls made after Close.
@@ -122,6 +123,59 @@ func WithSleep(sleep func(time.Duration)) Option {
 	}
 }
 
+// WithTelemetry registers the client's instruments on reg: per-op
+// latency and outcome counts, retry totals, and circuit-breaker state,
+// all labeled with the server address. A nil registry leaves the
+// client uninstrumented at zero cost.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.tel = &clientTelemetry{
+			ops: reg.Counter("proteus_client_ops_total",
+				"client operations by op and result", "addr", "op", "result"),
+			latency: reg.Histogram("proteus_client_op_seconds",
+				"client operation latency", "addr", "op"),
+			retries: reg.Counter("proteus_client_retries_total",
+				"operation retries (stale-connection and backoff)", "addr").With(c.addr),
+			breakerOpens: reg.Counter("proteus_client_breaker_opens_total",
+				"times the circuit breaker opened", "addr").With(c.addr),
+			breakerOpen: reg.Gauge("proteus_client_breaker_open",
+				"1 while the circuit breaker is open", "addr").With(c.addr),
+		}
+	}
+}
+
+// clientTelemetry holds the per-client instrument handles. All fields
+// are wired once in WithTelemetry; the zero cost of a nil receiver is
+// a single branch in roundTrip.
+type clientTelemetry struct {
+	ops          *telemetry.CounterVec
+	latency      *telemetry.HistogramVec
+	retries      *telemetry.Counter
+	breakerOpens *telemetry.Counter
+	breakerOpen  *telemetry.Gauge
+}
+
+// result buckets an operation error into a label value.
+func opResult(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	default:
+		var se *memproto.ServerError
+		if errors.As(err, &se) {
+			return "server_error"
+		}
+		return "transport"
+	}
+}
+
 // Client is a pooled connection to one cache server. It is safe for
 // concurrent use.
 type Client struct {
@@ -137,6 +191,8 @@ type Client struct {
 
 	jmu  sync.Mutex
 	jrng *rand.Rand
+
+	tel *clientTelemetry
 
 	breaker breaker
 
@@ -345,6 +401,17 @@ func (c *Client) putConn(cn *conn, broken bool) {
 // Protocol-level error replies and ErrClosed are terminal: the server
 // answered (or the client is gone), so retrying cannot help.
 func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
+	if c.tel == nil {
+		return c.doRoundTrip(req, fn)
+	}
+	start := time.Now()
+	err := c.doRoundTrip(req, fn)
+	c.tel.latency.With(c.addr, req.Command.String()).Observe(time.Since(start))
+	c.tel.ops.With(c.addr, req.Command.String(), opResult(err)).Inc()
+	return err
+}
+
+func (c *Client) doRoundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
 	freeRetry := true
 	for attempt := 0; ; attempt++ {
 		if err := c.breaker.allow(); err != nil {
@@ -353,6 +420,9 @@ func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) 
 		pooled, err := c.roundTripOnce(req, fn)
 		if err == nil {
 			c.breaker.success()
+			if c.tel != nil {
+				c.tel.breakerOpen.Set(0)
+			}
 			return nil
 		}
 		var se *memproto.ServerError
@@ -361,16 +431,26 @@ func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) 
 		}
 		if c.breaker.failure() {
 			c.evictPool()
+			if c.tel != nil {
+				c.tel.breakerOpens.Inc()
+				c.tel.breakerOpen.Set(1)
+			}
 		}
 		if pooled && freeRetry {
 			// Stale pooled connection: retry immediately on a fresh
 			// dial without consuming the retry budget.
 			freeRetry = false
 			attempt--
+			if c.tel != nil {
+				c.tel.retries.Inc()
+			}
 			continue
 		}
 		if attempt >= c.maxRetries {
 			return err
+		}
+		if c.tel != nil {
+			c.tel.retries.Inc()
 		}
 		c.sleep(c.backoff(attempt))
 	}

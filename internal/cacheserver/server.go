@@ -22,6 +22,7 @@ import (
 	"proteus/internal/bloom"
 	"proteus/internal/cache"
 	"proteus/internal/memproto"
+	"proteus/internal/telemetry"
 )
 
 // Reserved keys from the paper's memcached modification.
@@ -59,6 +60,11 @@ type Config struct {
 	// is served. The fault injector installs its server-side fault
 	// points here (faultinject.Injector.WrapConn).
 	WrapConn func(net.Conn) net.Conn
+	// Telemetry receives per-command counters
+	// (proteus_server_commands_total{cmd}). Optional.
+	Telemetry *telemetry.Registry
+	// Tracer records one span per served connection. Optional.
+	Tracer *telemetry.Tracer
 }
 
 // Server is one cache node. Create with New, start with Serve or
@@ -67,6 +73,13 @@ type Server struct {
 	cache    *cache.Cache
 	logger   *log.Logger
 	wrapConn func(net.Conn) net.Conn
+	tracer   *telemetry.Tracer
+
+	// cmdCounters is keyed by command and read-only after New, so the
+	// per-request lookup takes no lock; cmdOther absorbs unknown
+	// commands.
+	cmdCounters map[memproto.Command]*telemetry.Counter
+	cmdOther    *telemetry.Counter
 
 	digestMu sync.Mutex
 	digest   *bloom.CountingFilter
@@ -99,9 +112,24 @@ func New(cfg Config) (*Server, error) {
 		digest:    digest,
 		logger:    cfg.Logger,
 		wrapConn:  cfg.WrapConn,
+		tracer:    cfg.Tracer,
 		conns:     make(map[net.Conn]struct{}),
 		startTime: time.Now(),
 	}
+	cmds := cfg.Telemetry.Counter("proteus_server_commands_total",
+		"memcached commands served, by command", "cmd")
+	s.cmdCounters = make(map[memproto.Command]*telemetry.Counter)
+	for _, cmd := range []memproto.Command{
+		memproto.CmdGet, memproto.CmdGets, memproto.CmdCas,
+		memproto.CmdAppend, memproto.CmdPrepend,
+		memproto.CmdIncr, memproto.CmdDecr,
+		memproto.CmdSet, memproto.CmdAdd, memproto.CmdReplace,
+		memproto.CmdDelete, memproto.CmdTouch, memproto.CmdStats,
+		memproto.CmdFlushAll, memproto.CmdVersion, memproto.CmdQuit,
+	} {
+		s.cmdCounters[cmd] = cmds.With(cmd.String())
+	}
+	s.cmdOther = cmds.With("other")
 	cacheCfg := cfg.Cache
 	cacheCfg.OnLink = s.onLink
 	cacheCfg.OnUnlink = s.onUnlink
@@ -232,7 +260,10 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	sp := s.tracer.Start("server.conn")
+	sp.SetAttr("remote", conn.RemoteAddr().String())
 	defer func() {
+		sp.End()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -277,6 +308,11 @@ func (s *Server) serveConn(conn net.Conn) {
 // handle executes one request, writing the response. The bool result
 // requests connection shutdown (quit).
 func (s *Server) handle(bw *bufio.Writer, req *memproto.Request) (bool, error) {
+	if c, ok := s.cmdCounters[req.Command]; ok {
+		c.Inc()
+	} else {
+		s.cmdOther.Inc()
+	}
 	switch req.Command {
 	case memproto.CmdGet, memproto.CmdGets:
 		withCAS := req.Command == memproto.CmdGets

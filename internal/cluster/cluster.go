@@ -18,6 +18,7 @@ import (
 	"proteus/internal/cacheclient"
 	"proteus/internal/core"
 	"proteus/internal/faultinject"
+	"proteus/internal/telemetry"
 )
 
 // Node abstracts one controllable cache server in the fixed
@@ -56,6 +57,12 @@ type Config struct {
 	// TransitionStarted so OpTransition rules fire at the same ordinals
 	// in the live cluster as in the simulator.
 	Faults *faultinject.Injector
+	// Telemetry receives the coordinator's transition counters and the
+	// active-prefix gauge. Optional.
+	Telemetry *telemetry.Registry
+	// Events receives the transition timeline (power on/off, digest
+	// build/broadcast, ownership flip, TTL expiry). Optional.
+	Events *telemetry.EventLog
 }
 
 // Coordinator executes provisioning decisions over a live fleet. It is
@@ -69,6 +76,14 @@ type Coordinator struct {
 	ttl        time.Duration
 	after      func(time.Duration, func()) func()
 	faults     *faultinject.Injector
+
+	events          *telemetry.EventLog
+	transitions     *telemetry.Counter
+	digestSnapshots *telemetry.Counter
+	digestFailures  *telemetry.Counter
+	powerOns        *telemetry.Counter
+	powerOffs       *telemetry.Counter
+	activeGauge     *telemetry.Gauge
 
 	mu     sync.RWMutex
 	active int
@@ -128,8 +143,19 @@ func New(cfg Config) (*Coordinator, error) {
 		ttl:        cfg.TTL,
 		after:      after,
 		faults:     cfg.Faults,
+		events:     cfg.Events,
 		active:     cfg.InitialActive,
 	}
+	phases := cfg.Telemetry.Counter("proteus_cluster_phase_total",
+		"smooth-transition protocol phases executed, by phase", "phase")
+	c.transitions = phases.With("transition")
+	c.digestSnapshots = phases.With("digest_snapshot")
+	c.digestFailures = phases.With("digest_failure")
+	c.powerOns = phases.With("power_on")
+	c.powerOffs = phases.With("power_off")
+	c.activeGauge = cfg.Telemetry.Gauge("proteus_cluster_active_nodes",
+		"current active-prefix size").With()
+	c.activeGauge.Set(float64(cfg.InitialActive))
 	if c.faults != nil {
 		c.faults.OnCrash(func(server int) {
 			if server >= 0 && server < len(c.nodes) {
@@ -141,6 +167,8 @@ func New(cfg Config) (*Coordinator, error) {
 		if err := cfg.Nodes[i].PowerOn(); err != nil {
 			return nil, fmt.Errorf("cluster: powering on node %d: %w", i, err)
 		}
+		c.powerOns.Inc()
+		c.events.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: i})
 	}
 	c.clients = make([]*cacheclient.Client, len(cfg.Nodes))
 	for i, n := range cfg.Nodes {
@@ -253,6 +281,8 @@ func (c *Coordinator) SetActive(n int) error {
 			if err := c.nodes[i].PowerOn(); err != nil {
 				return fmt.Errorf("cluster: powering on node %d: %w", i, err)
 			}
+			c.powerOns.Inc()
+			c.events.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: i})
 		}
 	}
 
@@ -269,13 +299,17 @@ func (c *Coordinator) SetActive(n int) error {
 		if err != nil {
 			// A node that cannot produce a digest degrades that node's
 			// keys to the database path; the transition still proceeds.
+			c.digestFailures.Inc()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: digest from node %d: %w", i, err)
 			}
 			continue
 		}
+		c.digestSnapshots.Inc()
+		c.events.Record(telemetry.Event{Kind: telemetry.EventDigestBuild, Node: i})
 		digests[i] = d
 	}
+	c.events.Record(telemetry.Event{Kind: telemetry.EventDigestBroadcast, Node: -1})
 
 	c.mu.Lock()
 	if c.closed {
@@ -286,6 +320,9 @@ func (c *Coordinator) SetActive(n int) error {
 	c.active = n
 	c.cancel = c.after(c.ttl, c.expireTransition)
 	c.mu.Unlock()
+	c.transitions.Inc()
+	c.activeGauge.Set(float64(n))
+	c.events.Record(telemetry.Event{Kind: telemetry.EventOwnershipFlip, Node: -1, From: from, To: n})
 	if c.faults != nil {
 		// Fire OpTransition rules (crash/partition at this transition
 		// ordinal) after the new routing table is installed, so a crash
@@ -328,8 +365,11 @@ func (c *Coordinator) finalizeLocked() {
 			// Best-effort: a node that fails to power off keeps burning
 			// power but stays correct.
 			_ = c.nodes[i].PowerOff()
+			c.powerOffs.Inc()
+			c.events.Record(telemetry.Event{Kind: telemetry.EventPowerOff, Node: i})
 		}
 	}
+	c.events.Record(telemetry.Event{Kind: telemetry.EventTTLExpiry, Node: -1, From: tr.FromActive, To: tr.ToActive})
 }
 
 // FinalizeNow ends a pending transition immediately (tests, shutdown).

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"proteus/internal/faultinject"
+	"proteus/internal/telemetry"
 )
 
 // Sample is one provisioning-slot measurement: the high-percentile
@@ -28,6 +29,14 @@ type Supervisor struct {
 	faults *faultinject.Injector
 	// onDecision, when set, observes every slot decision (tests).
 	onDecision func(from, to int)
+
+	// Last Controller.Decide inputs and output, surfaced as gauges so
+	// the control loop's state is scrapeable rather than log-only.
+	delayGauge  *telemetry.Gauge
+	rateGauge   *telemetry.Gauge
+	targetGauge *telemetry.Gauge
+	ticks       *telemetry.Counter
+	droppedTick *telemetry.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -52,6 +61,9 @@ type SupervisorConfig struct {
 	Faults *faultinject.Injector
 	// OnDecision observes decisions (tests); may be nil.
 	OnDecision func(from, to int)
+	// Telemetry receives the control loop's gauges (last Decide inputs
+	// and target) and tick counters. Optional.
+	Telemetry *telemetry.Registry
 }
 
 // NewSupervisor builds a stopped supervisor; call Start.
@@ -62,7 +74,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.Every <= 0 {
 		return nil, errors.New("cluster: supervisor slot width must be positive")
 	}
-	return &Supervisor{
+	sup := &Supervisor{
 		coord:      cfg.Coordinator,
 		ctrl:       cfg.Controller,
 		sample:     cfg.Sample,
@@ -72,7 +84,19 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		onDecision: cfg.OnDecision,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
-	}, nil
+	}
+	reg := cfg.Telemetry
+	sup.delayGauge = reg.Gauge("proteus_supervisor_delay_seconds",
+		"last slot's high-percentile response time fed to Decide").With()
+	sup.rateGauge = reg.Gauge("proteus_supervisor_rate",
+		"last slot's request rate (req/s) fed to Decide").With()
+	sup.targetGauge = reg.Gauge("proteus_supervisor_target_nodes",
+		"fleet size Decide asked for in the last slot").With()
+	tickVec := reg.Counter("proteus_supervisor_ticks_total",
+		"slot decisions by outcome", "outcome")
+	sup.ticks = tickVec.With("decided")
+	sup.droppedTick = tickVec.With("dropped")
+	return sup, nil
 }
 
 // Start launches the control loop. Call Stop to terminate it; Start
@@ -111,6 +135,7 @@ func (s *Supervisor) tick() {
 	if s.faults != nil {
 		switch d := s.faults.Decide(faultinject.AnyServer, faultinject.OpTick); d.Kind {
 		case faultinject.KindError, faultinject.KindDrop:
+			s.droppedTick.Inc()
 			if s.logger != nil {
 				s.logger.Printf("supervisor: slot decision dropped (injected fault)")
 			}
@@ -122,6 +147,10 @@ func (s *Supervisor) tick() {
 	m := s.sample()
 	current := s.coord.Active()
 	next := s.ctrl.Decide(current, m.Delay, m.Rate)
+	s.ticks.Inc()
+	s.delayGauge.Set(m.Delay.Seconds())
+	s.rateGauge.Set(m.Rate)
+	s.targetGauge.Set(float64(next))
 	if s.onDecision != nil {
 		s.onDecision(current, next)
 	}

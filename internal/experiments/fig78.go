@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"proteus/internal/bloom"
+	"proteus/internal/telemetry"
 )
 
 // Fig7Result is the paper's Fig. 7: measured false-positive rate vs
@@ -23,6 +25,9 @@ type Fig7Result struct {
 	// SizesKB[s]; Predicted holds Eq. 4's value.
 	Measured  [][]float64
 	Predicted [][]float64
+	// Telemetry holds the per-run registry the probe counters live on;
+	// Measured is derived from these counters, never from shadow ints.
+	Telemetry *telemetry.Registry
 }
 
 // Fig8Result mirrors Fig7Result for false negatives (Eq. 5 bound). The
@@ -37,6 +42,7 @@ type Fig8Result struct {
 	KeyCounts []int
 	Measured  [][]float64
 	Predicted [][]float64
+	Telemetry *telemetry.Registry
 }
 
 const (
@@ -56,7 +62,13 @@ func Fig7(scale Scale) (*Fig7Result, error) {
 	if err := scale.validate(); err != nil {
 		return nil, err
 	}
-	result := &Fig7Result{Scale: scale, SizesKB: digestSweepSizes(), KeyCounts: digestSweepKeys(scale)}
+	result := &Fig7Result{
+		Scale: scale, SizesKB: digestSweepSizes(), KeyCounts: digestSweepKeys(scale),
+		Telemetry: telemetry.NewRegistry(),
+	}
+	probesVec := result.Telemetry.Counter("proteus_fig7_probes_total",
+		"absent-key probes against the digest by outcome (Fig. 7)",
+		"keys", "size_kb", "outcome")
 	for _, keys := range result.KeyCounts {
 		var measured, predicted []float64
 		for _, sizeKB := range result.SizesKB {
@@ -70,14 +82,18 @@ func Fig7(scale Scale) (*Fig7Result, error) {
 			for i := 0; i < keys; i++ {
 				f.Insert(fmt.Sprintf("page:%d", i))
 			}
-			probes := 20000
-			fp := 0
+			keysL, sizeL := strconv.Itoa(keys), strconv.Itoa(sizeKB)
+			fp := probesVec.With(keysL, sizeL, "false_positive")
+			tn := probesVec.With(keysL, sizeL, "true_negative")
+			const probes = 20000
 			for i := 0; i < probes; i++ {
 				if f.Contains(fmt.Sprintf("absent:%d", i)) {
-					fp++
+					fp.Inc()
+				} else {
+					tn.Inc()
 				}
 			}
-			measured = append(measured, float64(fp)/float64(probes))
+			measured = append(measured, float64(fp.Value())/float64(probes))
 			predicted = append(predicted, bloom.FalsePositiveRate(counters, digestHashes, keys))
 		}
 		result.Measured = append(result.Measured, measured)
@@ -100,7 +116,11 @@ func Fig8(scale Scale) (*Fig8Result, error) {
 		Scale:     scale,
 		Loads:     []float64{2, 1, 0.5, 0.25, 0.125, 0.0625},
 		KeyCounts: digestSweepKeys(scale),
+		Telemetry: telemetry.NewRegistry(),
 	}
+	lookupsVec := result.Telemetry.Counter("proteus_fig8_lookups_total",
+		"resident-key lookups after churn by outcome (Fig. 8)",
+		"keys", "load", "outcome")
 	for _, keys := range result.KeyCounts {
 		var measured, predicted, sizes []float64
 		for _, load := range result.Loads {
@@ -122,13 +142,18 @@ func Fig8(scale Scale) (*Fig8Result, error) {
 			for i := 0; i < keys; i++ {
 				f.Delete(fmt.Sprintf("churn:%d", i))
 			}
-			fn := 0
+			keysL := strconv.Itoa(keys)
+			loadL := strconv.FormatFloat(load, 'g', -1, 64)
+			fn := lookupsVec.With(keysL, loadL, "false_negative")
+			present := lookupsVec.With(keysL, loadL, "present")
 			for i := 0; i < keys; i++ {
 				if !f.Contains(fmt.Sprintf("page:%d", i)) {
-					fn++
+					fn.Inc()
+				} else {
+					present.Inc()
 				}
 			}
-			measured = append(measured, float64(fn)/float64(keys))
+			measured = append(measured, float64(fn.Value())/float64(keys))
 			predicted = append(predicted, clampRate(bloom.FalseNegativeBound(counters, bits, digestHashes, 2*keys)))
 			sizes = append(sizes, float64(counters)*bits/8/1024)
 		}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"proteus/internal/telemetry"
+)
+
+// counterValue digs one labeled counter out of a gathered snapshot.
+func counterValue(t *testing.T, fams []telemetry.Family, name string, want map[string]string) uint64 {
+	t.Helper()
+	for _, fam := range fams {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			match := true
+			for _, l := range s.Labels {
+				if want[l.Name] != l.Value {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Count
+			}
+		}
+	}
+	t.Fatalf("no series %s%v in snapshot", name, want)
+	return 0
+}
+
+// TestFig7MeasuredFromCounters: the reported FP rates must be exactly
+// reproducible from the telemetry counters the run recorded — the
+// registry is the source of truth, not a shadow tally.
+func TestFig7MeasuredFromCounters(t *testing.T) {
+	res, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := res.Telemetry.Gather()
+	for k, keys := range res.KeyCounts {
+		for s, sizeKB := range res.SizesKB {
+			labels := map[string]string{
+				"keys": strconv.Itoa(keys), "size_kb": strconv.Itoa(sizeKB),
+			}
+			fpLabels := map[string]string{"outcome": "false_positive"}
+			tnLabels := map[string]string{"outcome": "true_negative"}
+			for n, v := range labels {
+				fpLabels[n], tnLabels[n] = v, v
+			}
+			fp := counterValue(t, fams, "proteus_fig7_probes_total", fpLabels)
+			tn := counterValue(t, fams, "proteus_fig7_probes_total", tnLabels)
+			probes := fp + tn
+			if probes == 0 {
+				t.Fatalf("keys=%d size=%dKB: zero probes recorded", keys, sizeKB)
+			}
+			if got := float64(fp) / float64(probes); got != res.Measured[k][s] {
+				t.Errorf("keys=%d size=%dKB: counters give %g, Measured = %g",
+					keys, sizeKB, got, res.Measured[k][s])
+			}
+		}
+	}
+}
+
+// TestFig8MeasuredFromCounters mirrors the FP check for the
+// false-negative sweep.
+func TestFig8MeasuredFromCounters(t *testing.T) {
+	res, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := res.Telemetry.Gather()
+	for k, keys := range res.KeyCounts {
+		for s, load := range res.Loads {
+			labels := map[string]string{
+				"keys": strconv.Itoa(keys),
+				"load": strconv.FormatFloat(load, 'g', -1, 64),
+			}
+			fnLabels := map[string]string{"outcome": "false_negative"}
+			okLabels := map[string]string{"outcome": "present"}
+			for n, v := range labels {
+				fnLabels[n], okLabels[n] = v, v
+			}
+			fn := counterValue(t, fams, "proteus_fig8_lookups_total", fnLabels)
+			ok := counterValue(t, fams, "proteus_fig8_lookups_total", okLabels)
+			if total := fn + ok; total != uint64(keys) {
+				t.Fatalf("keys=%d load=%g: %d lookups recorded, want %d", keys, load, total, keys)
+			}
+			if got := float64(fn) / float64(keys); got != res.Measured[k][s] {
+				t.Errorf("keys=%d load=%g: counters give %g, Measured = %g",
+					keys, load, got, res.Measured[k][s])
+			}
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"proteus/internal/telemetry"
 )
 
 // Op classifies the operation a fault decision applies to.
@@ -170,6 +172,7 @@ type Injector struct {
 	transitions int
 	events      []Event
 	fired       int
+	injected    *telemetry.CounterVec
 }
 
 type ruleState struct {
@@ -187,6 +190,28 @@ func New(seed int64, rules ...Rule) *Injector {
 		in.rules = append(in.rules, &ruleState{Rule: r, idx: i})
 	}
 	return in
+}
+
+// Instrument registers the injected-fault counter
+// (proteus_faults_injected_total{kind}) on reg: every rule firing
+// increments the series for its fault kind. Call before serving
+// traffic; a nil registry leaves the injector silent but counting
+// internally as before.
+func (in *Injector) Instrument(reg *telemetry.Registry) {
+	vec := reg.Counter("proteus_faults_injected_total",
+		"injected faults fired, by fault kind", "kind")
+	in.mu.Lock()
+	in.injected = vec
+	in.mu.Unlock()
+}
+
+// recordLocked appends one fired-fault event and bumps its counter;
+// the caller holds in.mu.
+func (in *Injector) recordLocked(ev Event) {
+	in.events = append(in.events, ev)
+	if in.injected != nil {
+		in.injected.With(ev.Kind.String()).Inc()
+	}
 }
 
 // matches reports whether the rule covers (server, op).
@@ -245,7 +270,7 @@ func (in *Injector) Decide(server int, op Op) Decision {
 		}
 		rs.firings++
 		in.fired++
-		in.events = append(in.events, Event{Seq: in.fired, Server: server, Op: op, Kind: rs.Kind, Match: m})
+		in.recordLocked(Event{Seq: in.fired, Server: server, Op: op, Kind: rs.Kind, Match: m})
 		if out.Kind == KindNone {
 			out = Decision{Kind: rs.Kind, Delay: rs.Delay}
 			if rs.Kind == KindPartition {
@@ -307,7 +332,7 @@ func (in *Injector) TransitionStarted() {
 		}
 		rs.firings++
 		in.fired++
-		in.events = append(in.events, Event{Seq: in.fired, Server: rs.Server, Op: OpTransition, Kind: rs.Kind, Match: m})
+		in.recordLocked(Event{Seq: in.fired, Server: rs.Server, Op: OpTransition, Kind: rs.Kind, Match: m})
 		switch rs.Kind {
 		case KindCrash:
 			crashed = append(crashed, rs.Server)

@@ -22,9 +22,13 @@ import (
 	"proteus/internal/lint/lintutil"
 )
 
-// metricsPkg is the import path of the repository's metrics package;
-// fixtures stub the same path under testdata/src.
-const metricsPkg = "proteus/internal/metrics"
+// metricsPkgs are the import paths whose types count as metric objects
+// for rule 2: the raw measurement package and the telemetry registry
+// layered on top of it. Fixtures stub the same paths under testdata/src.
+var metricsPkgs = map[string]bool{
+	"proteus/internal/metrics":   true,
+	"proteus/internal/telemetry": true,
+}
 
 // Analyzer is the metrichygiene check.
 var Analyzer = &analysis.Analyzer{
@@ -176,7 +180,7 @@ func checkRegistrations(pass *analysis.Pass) {
 					if !ok || obj.Parent() != pass.Pkg.Scope() {
 						continue
 					}
-					if lintutil.NamedPkgPath(obj.Type()) == metricsPkg {
+					if metricsPkgs[lintutil.NamedPkgPath(obj.Type())] {
 						pass.Reportf(id.Pos(),
 							"package-level metric %s reassigned outside init-time; register metrics in var declarations or init()", id.Name)
 					}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"proteus/internal/metrics"
+	"proteus/internal/telemetry"
 )
 
 type stats struct {
@@ -94,4 +95,30 @@ func resetForBench() {
 func observe(v float64) {
 	hist.Observe(v)
 	lateHist.Observe(v)
+}
+
+// The telemetry registry idiom: the registry and its instrument vecs
+// are package-level, wired in the declaration or init(), and only
+// observed afterwards.
+var reg = telemetry.NewRegistry()
+
+var requests *telemetry.CounterVec
+
+func init() {
+	requests = reg.Counter("proteus_requests_total", "requests", "result")
+}
+
+func handle() {
+	requests.With("ok").Inc()
+}
+
+// swapRegistry replaces the live registry at steady state: every vec
+// handed out so far silently detaches from export.
+func swapRegistry() {
+	reg = telemetry.NewRegistry() // want `package-level metric reg reassigned outside init-time`
+}
+
+// swapVec rewires a live instrument vec — same hazard.
+func swapVec() {
+	requests = reg.Counter("proteus_requests_total", "requests", "result") // want `package-level metric requests reassigned outside init-time`
 }

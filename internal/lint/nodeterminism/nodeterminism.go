@@ -32,6 +32,7 @@ var ReplayCritical = map[string]bool{
 	"proteus/internal/metrics":     true,
 	"proteus/internal/power":       true,
 	"proteus/internal/sim":         true,
+	"proteus/internal/telemetry":   true,
 	"proteus/internal/wiki":        true,
 	"proteus/internal/workload":    true,
 }

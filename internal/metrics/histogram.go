@@ -74,6 +74,9 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
 // Mean returns the average sample, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
 	if h.total == 0 {

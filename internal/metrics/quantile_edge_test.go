@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Quantile edge cases the telemetry summary export leans on: empty
+// histograms, a single sample, and heavy duplicates must all produce
+// sane, non-understating estimates at every q.
+func TestQuantileEmptyAllQ(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+	if h.Sum() != 0 {
+		t.Errorf("empty Sum = %v", h.Sum())
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	// With one sample every quantile is that sample; the bucket upper
+	// edge must still be clamped to max so it never overshoots.
+	for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 5*time.Millisecond {
+			t.Errorf("Quantile(%g) = %v, want 5ms", q, got)
+		}
+	}
+	// Out-of-range q clamps rather than panicking or returning junk.
+	if got := h.Quantile(-3); got != 5*time.Millisecond {
+		t.Errorf("Quantile(-3) = %v, want 5ms", got)
+	}
+	if got := h.Quantile(7); got != 5*time.Millisecond {
+		t.Errorf("Quantile(7) = %v, want 5ms", got)
+	}
+	if h.Sum() != 5*time.Millisecond {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+}
+
+func TestQuantileDuplicates(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	// All mass in one bucket: every quantile collapses to the max.
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != time.Millisecond {
+			t.Errorf("Quantile(%g) = %v, want 1ms", q, got)
+		}
+	}
+	if h.Count() != 10000 || h.Mean() != time.Millisecond {
+		t.Errorf("Count = %d, Mean = %v", h.Count(), h.Mean())
+	}
+}
+
+func TestQuantileBelowMinLatency(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(time.Microsecond) // below the first bucket edge
+	if got := h.Quantile(0.999); got > minLatency {
+		t.Errorf("sub-minimum samples produced Quantile = %v > %v", got, minLatency)
+	}
+}
+
+// TestSeriesMergeOrdering: Total() folds slot histograms left to right,
+// but merging is commutative — the same samples distributed into
+// different slots (hence merged in a different order) must produce an
+// identical aggregate.
+func TestSeriesMergeOrdering(t *testing.T) {
+	samples := []time.Duration{
+		time.Millisecond, 20 * time.Millisecond, 300 * time.Millisecond,
+		4 * time.Second, 50 * time.Microsecond, 6 * time.Millisecond,
+	}
+	forward := NewLatencySeries(6*time.Minute, time.Minute)
+	reverse := NewLatencySeries(6*time.Minute, time.Minute)
+	for i, d := range samples {
+		forward.Observe(time.Duration(i)*time.Minute, d)
+		reverse.Observe(time.Duration(len(samples)-1-i)*time.Minute, d)
+	}
+	ft, rt := forward.Total(), reverse.Total()
+	if ft.Count() != rt.Count() || ft.Sum() != rt.Sum() || ft.Max() != rt.Max() {
+		t.Fatalf("merge order changed aggregates: %v vs %v", ft, rt)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if ft.Quantile(q) != rt.Quantile(q) {
+			t.Errorf("merge order changed Quantile(%g): %v vs %v", q, ft.Quantile(q), rt.Quantile(q))
+		}
+	}
+	if *ft != *rt {
+		t.Error("merge order changed bucket contents")
+	}
+}

@@ -36,6 +36,11 @@ func (e *Engine) Clock() func() time.Time {
 	return func() time.Time { return e.base.Add(e.now) }
 }
 
+// Time maps a virtual offset to the absolute time the Clock would
+// report at that offset (completion callbacks know their finish offset
+// before the clock reaches it).
+func (e *Engine) Time(d time.Duration) time.Time { return e.base.Add(d) }
+
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // fires the event at the current time (never rewinds the clock).
 func (e *Engine) At(t time.Duration, fn func()) {

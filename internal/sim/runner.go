@@ -10,6 +10,7 @@ import (
 	"proteus/internal/hashring"
 	"proteus/internal/metrics"
 	"proteus/internal/power"
+	"proteus/internal/telemetry"
 	"proteus/internal/workload"
 )
 
@@ -54,6 +55,9 @@ type runner struct {
 	aliveUsers int
 	nextUserID int
 
+	tracer *telemetry.Tracer
+	events *telemetry.EventLog
+
 	latency    *metrics.LatencySeries
 	bySource   [3]*metrics.Histogram
 	load       *metrics.LoadSeries
@@ -93,6 +97,19 @@ func newRunner(cfg Config) (*runner, error) {
 	}
 	for i := range r.bySource {
 		r.bySource[i] = &metrics.Histogram{}
+	}
+	if cfg.Telemetry {
+		// Both stores run off the engine clock and the run seed, so the
+		// whole observability stream is replay-deterministic.
+		r.tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			Clock:    eng.Clock(),
+			Seed:     cfg.Seed,
+			Capacity: cfg.TraceCapacity,
+		})
+		r.events = telemetry.NewEventLog(telemetry.EventLogConfig{
+			Clock:    eng.Now,
+			Capacity: cfg.EventCapacity,
+		})
 	}
 	if cfg.Faults != nil {
 		// Crash hooks run synchronously inside the engine event that
@@ -181,6 +198,7 @@ func (r *runner) run() (*Result, error) {
 	}
 	for i := 0; i < initial; i++ {
 		r.nodes[i].state = nodeOn
+		r.events.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: i})
 	}
 	r.provisionedN = initial
 	r.routingN = initial
@@ -244,6 +262,8 @@ func (r *runner) run() (*Result, error) {
 		Requests:      r.reqCounter,
 		Stats:         r.stats,
 		ActivePerSlot: r.activeLog,
+		Tracer:        r.tracer,
+		Events:        r.events,
 	}, nil
 }
 
@@ -289,6 +309,7 @@ func (r *runner) scaleUp(target, gen int) {
 		}
 		for i := fromN; i < target; i++ {
 			r.nodes[i].state = nodeOn
+			r.events.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: i})
 		}
 		switch r.cfg.Scenario {
 		case ScenarioProteus:
@@ -322,12 +343,15 @@ func (r *runner) beginTransition(fromN, toN, gen int) {
 		for i := 0; i < fromN; i++ {
 			if r.nodes[i].state == nodeOn {
 				digests[i] = r.nodes[i].snapshotDigest()
+				r.events.Record(telemetry.Event{Kind: telemetry.EventDigestBuild, Node: i})
 			}
 		}
+		r.events.Record(telemetry.Event{Kind: telemetry.EventDigestBroadcast, Node: -1})
 	}
 	r.trans = &transition{fromN: fromN, toN: toN, digests: digests, deadline: r.eng.Now() + r.cfg.TTL}
 	r.routingN = toN
 	r.stats.Transitions++
+	r.events.Record(telemetry.Event{Kind: telemetry.EventOwnershipFlip, Node: -1, From: fromN, To: toN})
 	if r.cfg.Faults != nil {
 		// Same ordinal as cluster.Coordinator.SetActive: fire after the
 		// new routing table is installed, so OpTransition crash and
@@ -352,8 +376,10 @@ func (r *runner) finalizeTransition() {
 	if r.trans.toN < r.trans.fromN {
 		for i := r.trans.toN; i < r.trans.fromN; i++ {
 			r.nodes[i].powerOff()
+			r.events.Record(telemetry.Event{Kind: telemetry.EventPowerOff, Node: i})
 		}
 	}
+	r.events.Record(telemetry.Event{Kind: telemetry.EventTTLExpiry, Node: -1, From: r.trans.fromN, To: r.trans.toN})
 	r.trans = nil
 }
 
@@ -455,6 +481,14 @@ func (r *runner) startRequest(key string, done func(finish time.Duration)) {
 	r.stats.Requests++
 	r.webRequests++
 
+	sp := r.tracer.Start("sim.request")
+	sp.SetAttr("key", key)
+	finishReq := func(src RequestSource, finish time.Duration) {
+		sp.SetAttr("source", src.String())
+		sp.EndAt(r.eng.Time(finish))
+		done(finish)
+	}
+
 	t := now + r.cfg.WebOverhead
 
 	primary := r.routeRing(key, 0, r.routingN)
@@ -502,7 +536,7 @@ func (r *runner) startRequest(key string, done func(finish time.Duration)) {
 			if measured {
 				r.bySource[SourceHit].Observe(t - now)
 			}
-			done(t)
+			finishReq(SourceHit, t)
 			return
 		}
 		if ring == 0 {
@@ -532,16 +566,18 @@ func (r *runner) startRequest(key string, done func(finish time.Duration)) {
 					if value, ok := oldNode.store.Get(key); ok {
 						// Hot data: migrate on demand (line 12 put, then reply).
 						r.stats.MigratedOnDemand++
+						r.events.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: oldOwner})
 						tPut := node.queue.schedule(t, r.cfg.CacheService) + r.cfg.CacheRTT
 						if measured {
 							r.bySource[SourceMigrated].Observe(tPut - now)
 						}
 						val, at := value, t
 						r.eng.At(at, func() { node.store.Set(key, val, 0) })
-						done(tPut)
+						finishReq(SourceMigrated, tPut)
 						return
 					}
 					r.stats.DigestFalsePos++
+					r.events.Record(telemetry.Event{Kind: telemetry.EventMigrationMiss, Node: oldOwner})
 				}
 			} else if ring == 0 {
 				r.stats.DigestMisses++
@@ -557,7 +593,7 @@ func (r *runner) startRequest(key string, done func(finish time.Duration)) {
 		if measured {
 			r.bySource[SourceDB].Observe(finish - issued)
 		}
-		done(finish)
+		finishReq(SourceDB, finish)
 	})
 }
 

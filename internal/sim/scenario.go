@@ -12,6 +12,7 @@ import (
 	"proteus/internal/faultinject"
 	"proteus/internal/metrics"
 	"proteus/internal/power"
+	"proteus/internal/telemetry"
 	"proteus/internal/wiki"
 	"proteus/internal/workload"
 )
@@ -133,6 +134,16 @@ type Config struct {
 	// beginTransition so crash/partition ordinals line up across both
 	// execution planes.
 	Faults *faultinject.Injector
+
+	// Telemetry enables the deterministic tracer and transition-event
+	// log: Result.Tracer and Result.Events are populated, driven by the
+	// engine's virtual clock and seeded from Seed, so two runs with the
+	// same config produce byte-identical trace and event JSON.
+	Telemetry bool
+	// TraceCapacity bounds the span ring buffer (0 = default).
+	TraceCapacity int
+	// EventCapacity bounds the event ring buffer (0 = default).
+	EventCapacity int
 
 	// DigestParams sizes the per-server counting Bloom filter.
 	DigestParams bloom.Params
@@ -373,6 +384,10 @@ type Result struct {
 	// ActivePerSlot records the routing-level active server count in
 	// effect at each provisioning slot boundary.
 	ActivePerSlot []int
+	// Tracer and Events hold the run's deterministic spans and
+	// transition timeline; nil unless Config.Telemetry was set.
+	Tracer *telemetry.Tracer
+	Events *telemetry.EventLog
 }
 
 // SourceLatency returns the measured latency histogram for one source.

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind identifies one Algorithm 2 / Section IV transition phase.
+type EventKind uint8
+
+const (
+	// EventPowerOn: a cache node was added to the active set.
+	EventPowerOn EventKind = iota + 1
+	// EventPowerOff: a cache node left the active set after a
+	// transition's TTL window closed.
+	EventPowerOff
+	// EventDigestBuild: an old owner snapshotted its counting Bloom
+	// filter into a broadcast digest.
+	EventDigestBuild
+	// EventDigestBroadcast: the digests for a transition were
+	// installed cluster-wide (routing flip is imminent).
+	EventDigestBroadcast
+	// EventOwnershipFlip: routing switched to the new active count;
+	// the transition window opened.
+	EventOwnershipFlip
+	// EventMigrationHit: a digest consult hit and the key was
+	// amortized-migrated from the old owner (Algorithm 2 lines 7-9).
+	EventMigrationHit
+	// EventMigrationMiss: a digest consult was a false positive — the
+	// old owner did not have the key and the DB was queried.
+	EventMigrationMiss
+	// EventTTLExpiry: the transition's TTL window closed and its
+	// digests were discarded.
+	EventTTLExpiry
+)
+
+var eventKindNames = map[EventKind]string{
+	EventPowerOn:         "power_on",
+	EventPowerOff:        "power_off",
+	EventDigestBuild:     "digest_build",
+	EventDigestBroadcast: "digest_broadcast",
+	EventOwnershipFlip:   "ownership_flip",
+	EventMigrationHit:    "migration_hit",
+	EventMigrationMiss:   "migration_miss",
+	EventTTLExpiry:       "ttl_expiry",
+}
+
+// String returns the snake_case event name used in exports.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event_kind_%d", uint8(k))
+}
+
+// Event is one recorded transition phase.
+type Event struct {
+	// Seq is the 1-based record order, assigned by the log.
+	Seq uint64
+	// At is the experiment-relative (or process-relative) timestamp,
+	// assigned by the log's clock.
+	At time.Duration
+	// Kind is the phase.
+	Kind EventKind
+	// Transition is the 1-based ordinal of the transition this event
+	// belongs to (0 for events outside any transition). Assigned by
+	// the log: OwnershipFlip opens a transition, TTLExpiry closes it.
+	Transition int
+	// Node is the cache node the event concerns, -1 when it is
+	// cluster-wide.
+	Node int
+	// From and To are the active-set sizes around an ownership flip
+	// (0 otherwise).
+	From, To int
+}
+
+// EventLogConfig configures an EventLog.
+type EventLogConfig struct {
+	// Clock supplies event timestamps as a duration from an arbitrary
+	// epoch. Required: the DES plane passes the engine clock, the live
+	// plane passes time.Since(start) captured at one boundary.
+	Clock func() time.Duration
+	// Capacity bounds the retained event window (default 16384).
+	// Per-kind counts and per-transition migration totals keep
+	// counting after eviction.
+	Capacity int
+}
+
+const defaultEventCapacity = 16384
+
+// EventLog records transition events in a bounded ring buffer while
+// maintaining exact per-kind counts and per-transition amortized
+// migration totals (the Fig. 7/8 accounting). It is safe for
+// concurrent use; a nil *EventLog drops everything.
+type EventLog struct {
+	clock func() time.Duration
+
+	mu         sync.Mutex
+	ring       []Event
+	next       int
+	count      int
+	seq        uint64
+	kinds      map[EventKind]uint64
+	transition int      // current open transition ordinal, 0 if none
+	migrations []uint64 // per-transition migration-hit counts, index = ordinal-1
+}
+
+// NewEventLog builds an event log. It panics if cfg.Clock is nil, for
+// the same reason NewTracer does.
+func NewEventLog(cfg EventLogConfig) *EventLog {
+	if cfg.Clock == nil {
+		panic("telemetry: EventLogConfig.Clock is required")
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = defaultEventCapacity
+	}
+	return &EventLog{
+		clock: cfg.Clock,
+		ring:  make([]Event, capacity),
+		kinds: make(map[EventKind]uint64),
+	}
+}
+
+// Record stamps ev with Seq, At, and the current transition ordinal,
+// then appends it. OwnershipFlip opens the next transition before
+// stamping; TTLExpiry closes the current one after stamping. The
+// caller fills Kind, Node, From, To.
+func (l *EventLog) Record(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	ev.At = l.clock()
+	switch ev.Kind {
+	case EventOwnershipFlip:
+		l.migrations = append(l.migrations, 0)
+		l.transition = len(l.migrations)
+	case EventMigrationHit:
+		if l.transition > 0 {
+			l.migrations[l.transition-1]++
+		}
+	}
+	ev.Transition = l.transition
+	l.kinds[ev.Kind]++
+	if l.count == len(l.ring) {
+		// Ring full: the oldest event is evicted (counts persist).
+	} else {
+		l.count++
+	}
+	l.ring[l.next] = ev
+	l.next = (l.next + 1) % len(l.ring)
+	if ev.Kind == EventTTLExpiry {
+		l.transition = 0
+	}
+	l.mu.Unlock()
+}
+
+// Count returns how many events of the given kind were ever recorded
+// (including any evicted from the ring).
+func (l *EventLog) Count(kind EventKind) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.kinds[kind]
+}
+
+// Transitions returns how many ownership flips have been recorded.
+func (l *EventLog) Transitions() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.migrations)
+}
+
+// MigrationsPerTransition returns the amortized-migration (digest
+// consult hit) count of each transition, in flip order.
+func (l *EventLog) MigrationsPerTransition() []uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]uint64(nil), l.migrations...)
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.count)
+	start := (l.next - l.count + len(l.ring)) % len(l.ring)
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// eventJSON is the wire form of an event.
+type eventJSON struct {
+	Seq        uint64 `json:"seq"`
+	AtUS       int64  `json:"at_us"`
+	Kind       string `json:"kind"`
+	Transition int    `json:"transition,omitempty"`
+	Node       int    `json:"node"`
+	From       int    `json:"from,omitempty"`
+	To         int    `json:"to,omitempty"`
+}
+
+// WriteJSON writes the retained events, oldest first, as a JSON array.
+// Deterministic for a deterministic clock and event sequence. A nil
+// log writes an empty array.
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	out := make([]eventJSON, len(events))
+	for i, ev := range events {
+		out[i] = eventJSON{
+			Seq:        ev.Seq,
+			AtUS:       ev.At.Microseconds(),
+			Kind:       ev.Kind.String(),
+			Transition: ev.Transition,
+			Node:       ev.Node,
+			From:       ev.From,
+			To:         ev.To,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,153 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/telemetry"
+)
+
+// durClock is a deterministic duration clock advancing 1ms per reading.
+func durClock() func() time.Duration {
+	var ticks int
+	return func() time.Duration {
+		ticks++
+		return time.Duration(ticks) * time.Millisecond
+	}
+}
+
+func recordTransition(l *telemetry.EventLog, from, to, hits, misses int) {
+	for n := to; n > from; n-- {
+		l.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: n - 1})
+	}
+	for n := 0; n < from; n++ {
+		l.Record(telemetry.Event{Kind: telemetry.EventDigestBuild, Node: n})
+	}
+	l.Record(telemetry.Event{Kind: telemetry.EventDigestBroadcast, Node: -1})
+	l.Record(telemetry.Event{Kind: telemetry.EventOwnershipFlip, Node: -1, From: from, To: to})
+	for i := 0; i < hits; i++ {
+		l.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: 0})
+	}
+	for i := 0; i < misses; i++ {
+		l.Record(telemetry.Event{Kind: telemetry.EventMigrationMiss, Node: 0})
+	}
+	l.Record(telemetry.Event{Kind: telemetry.EventTTLExpiry, Node: -1})
+}
+
+func TestEventLogTransitionAccounting(t *testing.T) {
+	l := telemetry.NewEventLog(telemetry.EventLogConfig{Clock: durClock()})
+	recordTransition(l, 2, 4, 3, 1)
+	recordTransition(l, 4, 6, 5, 0)
+
+	if got := l.Transitions(); got != 2 {
+		t.Errorf("Transitions() = %d, want 2", got)
+	}
+	m := l.MigrationsPerTransition()
+	if len(m) != 2 || m[0] != 3 || m[1] != 5 {
+		t.Errorf("MigrationsPerTransition() = %v, want [3 5]", m)
+	}
+	if got := l.Count(telemetry.EventMigrationHit); got != 8 {
+		t.Errorf("Count(MigrationHit) = %d, want 8", got)
+	}
+	if got := l.Count(telemetry.EventMigrationMiss); got != 1 {
+		t.Errorf("Count(MigrationMiss) = %d, want 1", got)
+	}
+	if got := l.Count(telemetry.EventPowerOn); got != 4 {
+		t.Errorf("Count(PowerOn) = %d, want 4", got)
+	}
+
+	events := l.Events()
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if i > 0 && ev.At <= events[i-1].At {
+			t.Fatalf("event %d time %v not after %v", i, ev.At, events[i-1].At)
+		}
+	}
+	// Migration events carry the ordinal of their transition; power-ons
+	// precede the flip so they carry the previous (closed → 0) ordinal.
+	var hitTransitions []int
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.EventMigrationHit:
+			hitTransitions = append(hitTransitions, ev.Transition)
+		case telemetry.EventPowerOn:
+			if ev.Transition != 0 {
+				t.Errorf("power_on inside transition %d, want 0", ev.Transition)
+			}
+		}
+	}
+	want := []int{1, 1, 1, 2, 2, 2, 2, 2}
+	if len(hitTransitions) != len(want) {
+		t.Fatalf("hit transitions = %v, want %v", hitTransitions, want)
+	}
+	for i := range want {
+		if hitTransitions[i] != want[i] {
+			t.Fatalf("hit transitions = %v, want %v", hitTransitions, want)
+		}
+	}
+}
+
+func TestEventLogRingEvictionKeepsCounts(t *testing.T) {
+	l := telemetry.NewEventLog(telemetry.EventLogConfig{Clock: durClock(), Capacity: 4})
+	recordTransition(l, 1, 2, 10, 0)
+	if got := len(l.Events()); got != 4 {
+		t.Errorf("ring holds %d events, want 4", got)
+	}
+	if got := l.Count(telemetry.EventMigrationHit); got != 10 {
+		t.Errorf("Count(MigrationHit) = %d after eviction, want 10", got)
+	}
+	if m := l.MigrationsPerTransition(); len(m) != 1 || m[0] != 10 {
+		t.Errorf("MigrationsPerTransition() = %v, want [10]", m)
+	}
+}
+
+func TestEventLogJSONDeterministic(t *testing.T) {
+	run := func() string {
+		l := telemetry.NewEventLog(telemetry.EventLogConfig{Clock: durClock()})
+		recordTransition(l, 2, 3, 2, 1)
+		var sb strings.Builder
+		if err := l.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same sequence produced different JSON:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{`"kind": "ownership_flip"`, `"kind": "migration_hit"`, `"at_us"`} {
+		if !strings.Contains(a, want) {
+			t.Errorf("JSON missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestNilEventLogIsUsable(t *testing.T) {
+	var l *telemetry.EventLog
+	l.Record(telemetry.Event{Kind: telemetry.EventPowerOn})
+	if l.Count(telemetry.EventPowerOn) != 0 || l.Transitions() != 0 {
+		t.Error("nil event log retained state")
+	}
+	if l.Events() != nil || l.MigrationsPerTransition() != nil {
+		t.Error("nil event log returned non-nil slices")
+	}
+	var sb strings.Builder
+	if err := l.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("nil event log JSON = %q, want []", sb.String())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if telemetry.EventOwnershipFlip.String() != "ownership_flip" {
+		t.Errorf("EventOwnershipFlip = %q", telemetry.EventOwnershipFlip.String())
+	}
+	if got := telemetry.EventKind(200).String(); got != "event_kind_200" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux bundles the export surface into one handler:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/traces   completed spans as JSON
+//	/debug/events   transition events as JSON
+//	/debug/pprof/   the standard runtime profiles
+//	/healthz        liveness probe
+//
+// pprof handlers are registered explicitly rather than through
+// http.DefaultServeMux, so importing this package never mutates global
+// state. Any of the three arguments may be nil; the corresponding
+// endpoint then serves empty output.
+func AdminMux(reg *Registry, tr *Tracer, ev *EventLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = ev.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

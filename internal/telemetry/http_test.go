@@ -1,0 +1,70 @@
+package telemetry_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proteus/internal/telemetry"
+)
+
+func TestAdminMux(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("proteus_test_total", "t").With().Add(9)
+	tr := telemetry.NewTracer(telemetry.TracerConfig{Clock: stepClock(), Seed: 1})
+	tr.Start("op").End()
+	ev := telemetry.NewEventLog(telemetry.EventLogConfig{Clock: durClock()})
+	ev.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: 3})
+
+	srv := httptest.NewServer(telemetry.AdminMux(reg, tr, ev))
+	defer srv.Close()
+
+	cases := []struct {
+		path        string
+		contentType string
+		contains    string
+	}{
+		{"/metrics", "text/plain", "proteus_test_total 9"},
+		{"/debug/traces", "application/json", `"name": "op"`},
+		{"/debug/events", "application/json", `"kind": "power_on"`},
+		{"/healthz", "", "ok"},
+		{"/debug/pprof/cmdline", "", ""},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", tc.path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", tc.path, resp.StatusCode)
+		}
+		if tc.contentType != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), tc.contentType) {
+			t.Errorf("GET %s: content type %q", tc.path, resp.Header.Get("Content-Type"))
+		}
+		if tc.contains != "" && !strings.Contains(string(body), tc.contains) {
+			t.Errorf("GET %s: body missing %q:\n%s", tc.path, tc.contains, body)
+		}
+	}
+}
+
+func TestAdminMuxNilComponents(t *testing.T) {
+	srv := httptest.NewServer(telemetry.AdminMux(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/traces", "/debug/events"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with nil components: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// summaryQuantiles are the quantiles exported for histogram families,
+// matching the percentiles the experiments report (Fig. 9 uses p99.9).
+var summaryQuantiles = []float64{0.5, 0.99, 0.999}
+
+// WritePrometheus writes the registry contents in Prometheus text
+// exposition format. Families are sorted by name and series by label
+// values, so the output is a deterministic function of the registry
+// state. Histogram families are exported as summaries with latency
+// values in seconds. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Gather() {
+		if err := writeFamily(w, fam); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, fam Family) error {
+	if fam.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+		return err
+	}
+	for _, s := range fam.Series {
+		var err error
+		switch fam.Kind {
+		case "counter":
+			err = writeSample(w, fam.Name, s.Labels, "", formatUint(s.Count))
+		case "gauge":
+			err = writeSample(w, fam.Name, s.Labels, "", formatFloat(s.Value))
+		default:
+			err = writeSummary(w, fam.Name, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSummary(w io.Writer, name string, s Series) error {
+	for _, q := range summaryQuantiles {
+		labels := append(append([]Label(nil), s.Labels...),
+			Label{Name: "quantile", Value: formatFloat(q)})
+		v := formatFloat(seconds(s.Hist.Quantile(q)))
+		if err := writeSample(w, name, labels, "", v); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name, s.Labels, "_sum", formatFloat(seconds(s.Hist.Sum()))); err != nil {
+		return err
+	}
+	return writeSample(w, name, s.Labels, "_count", formatUint(s.Hist.Count()))
+}
+
+func writeSample(w io.Writer, name string, labels []Label, suffix, value string) error {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeValue escapes a label value per the exposition format.
+func escapeValue(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, `\`+"\n") {
+		return h
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}

@@ -1,0 +1,59 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/telemetry"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ops := reg.Counter("proteus_ops_total", "operations by result", "op", "result")
+	ops.With("get", "ok").Add(12)
+	ops.With("set", "error").Inc()
+	reg.Gauge("proteus_active_nodes", "active cache nodes").With().Set(5)
+	h := reg.Histogram("proteus_op_seconds", "op latency", "op").With("get")
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE proteus_active_nodes gauge\n",
+		"proteus_active_nodes 5\n",
+		"# HELP proteus_ops_total operations by result\n",
+		"# TYPE proteus_ops_total counter\n",
+		`proteus_ops_total{op="get",result="ok"} 12` + "\n",
+		`proteus_ops_total{op="set",result="error"} 1` + "\n",
+		"# TYPE proteus_op_seconds summary\n",
+		`proteus_op_seconds_count{op="get"} 10` + "\n",
+		`proteus_op_seconds_sum{op="get"} 1` + "\n",
+		`proteus_op_seconds{op="get",quantile="0.5"}`,
+		`proteus_op_seconds{op="get",quantile="0.999"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("proteus_paths_total", "by path", "path").With(`a"b\c`).Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `proteus_paths_total{path="a\"b\\c"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, sb.String())
+	}
+}

@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/metrics"
+)
+
+// Registry is a set of named metric families. It is safe for concurrent
+// use. The zero value is not usable; construct with NewRegistry. A nil
+// *Registry is a valid no-op sink: instruments created from it work
+// normally but are not exported.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metricKind discriminates family types.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		// metrics.Histogram exports quantiles, so the Prometheus
+		// exposition type is summary.
+		return "summary"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one labeled instrument within a family.
+type series struct {
+	values  []string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Counter is a monotonically increasing uint64. Mutation is atomic, so
+// counters may be bumped from any goroutine without extra locking.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (atomic bit store).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a latency histogram instrument wrapping
+// metrics.Histogram under a mutex.
+type Histogram struct {
+	mu sync.Mutex
+	h  metrics.Histogram
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.h.Observe(d)
+	h.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (h *Histogram) Snapshot() metrics.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h
+}
+
+// CounterVec is a family of counters sharing a name and label schema.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a family of gauges.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a family of latency histograms.
+type HistogramVec struct{ f *family }
+
+// Counter registers (or finds) a counter family. It panics on a
+// name/kind/label-schema conflict: families are wired at init time, so
+// a mismatch is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labels)}
+}
+
+// Gauge registers (or finds) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, labels)}
+}
+
+// Histogram registers (or finds) a latency-histogram family.
+func (r *Registry) Histogram(name, help string, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, labels)}
+}
+
+// With returns the counter for the given label values (one per label,
+// in schema order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values).counter
+}
+
+// Total sums every counter in the family.
+func (v *CounterVec) Total() uint64 {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	var total uint64
+	for _, s := range v.f.series {
+		total += s.counter.Value()
+	}
+	return total
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values).gauge
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values).hist
+}
+
+// family looks up or creates a family under the registry lock. A nil
+// registry returns a detached family: fully functional, never exported.
+func (r *Registry) family(name, help string, kind metricKind, labels []string) *family {
+	mustValidName(name)
+	for _, l := range labels {
+		mustValidName(l)
+	}
+	if r == nil {
+		return newFamily(name, help, kind, labels)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = newFamily(name, help, kind, labels)
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind || !equalStrings(f.labels, labels) {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s%v, was %s%v",
+			name, kind, labels, f.kind, f.labels))
+	}
+	return f
+}
+
+func newFamily(name, help string, kind metricKind, labels []string) *family {
+	return &family{
+		name:   name,
+		help:   help,
+		kind:   kind,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*series),
+	}
+}
+
+// seriesKeySep joins label values into a map key; 0x1f (unit separator)
+// cannot appear in a valid label value per mustValidValue.
+const seriesKeySep = "\x1f"
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values %v, got %v",
+			f.name, len(f.labels), f.labels, values))
+	}
+	for _, v := range values {
+		mustValidValue(f.name, v)
+	}
+	key := strings.Join(values, seriesKeySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{values: append([]string(nil), values...)}
+		switch f.kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		default:
+			s.hist = &Histogram{}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// mustValidName enforces the Prometheus metric/label name charset.
+func mustValidName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric or label name")
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			panic(fmt.Sprintf("telemetry: invalid metric or label name %q", name))
+		}
+	}
+}
+
+// mustValidValue rejects label values that would corrupt the series key
+// or the exposition format.
+func mustValidValue(metric, v string) {
+	if strings.ContainsAny(v, seriesKeySep+"\n") {
+		panic(fmt.Sprintf("telemetry: metric %q label value %q contains a control character", metric, v))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Label is one name=value pair of an exported series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Series is an exported snapshot of one instrument.
+type Series struct {
+	Labels []Label
+	// Value holds the counter or gauge reading (counters as exact
+	// integers in float form would lose precision past 2^53, so
+	// counters are also exposed in Count).
+	Value float64
+	Count uint64
+	// Hist is the histogram snapshot for summary families, nil
+	// otherwise.
+	Hist *metrics.Histogram
+}
+
+// Family is an exported snapshot of one metric family.
+type Family struct {
+	Name   string
+	Help   string
+	Kind   string // "counter", "gauge" or "summary"
+	Series []Series
+}
+
+// Gather snapshots every family, sorted by name with series sorted by
+// label values — a deterministic function of the registry contents.
+// A nil registry gathers nothing.
+func (r *Registry) Gather() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.gather())
+	}
+	return out
+}
+
+func (f *family) gather() Family {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		snap = append(snap, f.series[k])
+	}
+	f.mu.Unlock()
+
+	fam := Family{Name: f.name, Help: f.help, Kind: f.kind.String()}
+	for _, s := range snap {
+		labels := make([]Label, len(f.labels))
+		for i, name := range f.labels {
+			labels[i] = Label{Name: name, Value: s.values[i]}
+		}
+		es := Series{Labels: labels}
+		switch f.kind {
+		case kindCounter:
+			es.Count = s.counter.Value()
+			es.Value = float64(es.Count)
+		case kindGauge:
+			es.Value = s.gauge.Value()
+		default:
+			h := s.hist.Snapshot()
+			es.Hist = &h
+			es.Count = h.Count()
+		}
+		fam.Series = append(fam.Series, es)
+	}
+	return fam
+}

@@ -1,0 +1,125 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/telemetry"
+)
+
+func TestCounterVec(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ops := reg.Counter("proteus_test_ops_total", "test ops", "op", "result")
+	ops.With("get", "ok").Inc()
+	ops.With("get", "ok").Add(2)
+	ops.With("set", "error").Inc()
+
+	if got := ops.With("get", "ok").Value(); got != 3 {
+		t.Errorf("get/ok = %d, want 3", got)
+	}
+	if got := ops.With("set", "error").Value(); got != 1 {
+		t.Errorf("set/error = %d, want 1", got)
+	}
+	if got := ops.Total(); got != 4 {
+		t.Errorf("Total() = %d, want 4", got)
+	}
+	// Same vec handle from a second registration call.
+	again := reg.Counter("proteus_test_ops_total", "test ops", "op", "result")
+	if got := again.With("get", "ok").Value(); got != 3 {
+		t.Errorf("re-registered vec sees %d, want 3", got)
+	}
+}
+
+func TestGaugeAndHistogram(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("proteus_test_active", "active nodes").With()
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %v, want 7", g.Value())
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", g.Value())
+	}
+
+	h := reg.Histogram("proteus_test_latency", "latency", "op").With("get")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != 100 {
+		t.Errorf("histogram count = %d, want 100", snap.Count())
+	}
+	if snap.Sum() != 100*time.Millisecond {
+		t.Errorf("histogram sum = %v, want 100ms", snap.Sum())
+	}
+}
+
+func TestNilRegistryIsUsable(t *testing.T) {
+	var reg *telemetry.Registry
+	c := reg.Counter("proteus_test_total", "detached", "op").With("a")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("detached counter = %d, want 1", c.Value())
+	}
+	reg.Gauge("proteus_test_g", "detached").With().Set(1)
+	reg.Histogram("proteus_test_h", "detached").With().Observe(time.Millisecond)
+	if fams := reg.Gather(); fams != nil {
+		t.Errorf("nil registry gathered %d families, want none", len(fams))
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry export: err=%v output=%q", err, sb.String())
+	}
+}
+
+func TestRegistryConflictsPanic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("proteus_test_x", "x", "op")
+
+	expectPanic(t, "kind conflict", func() { reg.Gauge("proteus_test_x", "x", "op") })
+	expectPanic(t, "label conflict", func() { reg.Counter("proteus_test_x", "x", "other") })
+	expectPanic(t, "arity mismatch", func() { reg.Counter("proteus_test_x", "x", "op").With("a", "b") })
+	expectPanic(t, "bad metric name", func() { reg.Counter("bad name", "x") })
+	expectPanic(t, "bad label value", func() { reg.Counter("proteus_test_y", "y", "op").With("a\nb") })
+}
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestGatherDeterministicOrder(t *testing.T) {
+	build := func() *telemetry.Registry {
+		reg := telemetry.NewRegistry()
+		// Register in one order, populate in another.
+		reg.Gauge("proteus_b_gauge", "b").With().Set(2)
+		ops := reg.Counter("proteus_a_total", "a", "op")
+		ops.With("z").Inc()
+		ops.With("a").Add(5)
+		return reg
+	}
+	var first, second strings.Builder
+	if err := build().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("export not deterministic:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	fams := build().Gather()
+	if len(fams) != 2 || fams[0].Name != "proteus_a_total" || fams[1].Name != "proteus_b_gauge" {
+		t.Fatalf("families not sorted: %+v", fams)
+	}
+	if fams[0].Series[0].Labels[0].Value != "a" || fams[0].Series[1].Labels[0].Value != "z" {
+		t.Errorf("series not sorted by label value: %+v", fams[0].Series)
+	}
+}

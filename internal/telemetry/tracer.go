@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// Clock supplies span timestamps. Required: on the DES plane it is
+	// the engine's virtual clock, on the live plane the boundary
+	// injects time.Now.
+	Clock func() time.Time
+	// Seed drives span/trace ID generation. The same seed with the
+	// same clock yields byte-identical trace dumps.
+	Seed int64
+	// Capacity bounds the completed-span ring buffer (default 4096).
+	Capacity int
+}
+
+const defaultTraceCapacity = 4096
+
+// Tracer records spans into a bounded ring buffer. It is safe for
+// concurrent use. A nil *Tracer is a valid no-op: Start returns a nil
+// *Span and every Span method tolerates a nil receiver, so
+// instrumented code never branches on whether tracing is enabled.
+type Tracer struct {
+	clock func() time.Time
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	ring  []Span
+	next  int // ring insertion index
+	count int // spans stored, <= len(ring)
+	drops uint64
+}
+
+// NewTracer builds a tracer. It panics if cfg.Clock is nil — a missing
+// clock is a wiring bug, and defaulting to the wall clock would
+// silently break DES-plane determinism.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Clock == nil {
+		panic("telemetry: TracerConfig.Clock is required")
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = defaultTraceCapacity
+	}
+	return &Tracer{
+		clock: cfg.Clock,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		ring:  make([]Span, capacity),
+	}
+}
+
+// Attr is one key/value annotation on a span. Attrs are kept as an
+// ordered list (not a map) so JSON output is deterministic.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation. Create with Tracer.Start or Span.Child;
+// a span becomes visible in the trace store only after End/EndAt.
+type Span struct {
+	TraceID  uint64 `json:"-"`
+	ID       uint64 `json:"-"`
+	ParentID uint64 `json:"-"`
+	Name     string `json:"name"`
+	Start    time.Time
+	Finish   time.Time
+	Attrs    []Attr
+
+	tracer *Tracer
+}
+
+// Start begins a new root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traceID, spanID := t.rng.Uint64(), t.rng.Uint64()
+	t.mu.Unlock()
+	return &Span{
+		TraceID: traceID,
+		ID:      spanID,
+		Name:    name,
+		Start:   t.clock(),
+		tracer:  t,
+	}
+}
+
+// Child begins a span under s, sharing its trace ID.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	spanID := t.rng.Uint64()
+	t.mu.Unlock()
+	return &Span{
+		TraceID:  s.TraceID,
+		ID:       spanID,
+		ParentID: s.ID,
+		Name:     name,
+		Start:    t.clock(),
+		tracer:   t,
+	}
+}
+
+// SetAttr appends a key/value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span at the tracer's current clock reading and
+// commits it to the trace store.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tracer.clock())
+}
+
+// EndAt completes the span at an explicit time. The DES runner uses
+// this: completion callbacks execute synchronously at schedule time,
+// so the finish time is known to the caller, not to the clock.
+func (s *Span) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	s.Finish = end
+	s.tracer.commit(*s)
+}
+
+func (t *Tracer) commit(s Span) {
+	s.tracer = nil
+	t.mu.Lock()
+	if t.count == len(t.ring) {
+		t.drops++
+	} else {
+		t.count++
+	}
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Spans returns completed spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.count)
+	start := (t.next - t.count + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many completed spans were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// spanJSON is the wire form of a span: hex IDs, RFC3339Nano start,
+// integer microsecond duration — all deterministic under a virtual
+// clock and a fixed seed.
+type spanJSON struct {
+	TraceID    string `json:"trace_id"`
+	SpanID     string `json:"span_id"`
+	ParentID   string `json:"parent_id,omitempty"`
+	Name       string `json:"name"`
+	Start      string `json:"start"`
+	DurationUS int64  `json:"duration_us"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+}
+
+// WriteJSON writes the completed spans, oldest first, as a JSON array.
+// Two tracers with the same seed, clock, and span sequence produce
+// byte-identical output. A nil tracer writes an empty array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = spanJSON{
+			TraceID:    fmt.Sprintf("%016x", s.TraceID),
+			SpanID:     fmt.Sprintf("%016x", s.ID),
+			Name:       s.Name,
+			Start:      s.Start.UTC().Format(time.RFC3339Nano),
+			DurationUS: s.Finish.Sub(s.Start).Microseconds(),
+			Attrs:      s.Attrs,
+		}
+		if s.ParentID != 0 {
+			out[i].ParentID = fmt.Sprintf("%016x", s.ParentID)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,115 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/telemetry"
+)
+
+// stepClock is a deterministic test clock advancing 1ms per reading.
+func stepClock() func() time.Time {
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	var ticks int
+	return func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	tr := telemetry.NewTracer(telemetry.TracerConfig{Clock: stepClock(), Seed: 1})
+	root := tr.Start("request")
+	root.SetAttr("key", "user:42")
+	child := root.Child("cache.get")
+	child.End()
+	root.SetAttr("source", "hit")
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Children end first, so they commit first.
+	if spans[0].Name != "cache.get" || spans[1].Name != "request" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].TraceID != spans[1].TraceID {
+		t.Error("child does not share the root's trace ID")
+	}
+	if spans[0].ParentID != spans[1].ID {
+		t.Error("child's parent is not the root span")
+	}
+	if !spans[1].Finish.After(spans[1].Start) {
+		t.Errorf("root span has no duration: %v .. %v", spans[1].Start, spans[1].Finish)
+	}
+	if len(spans[1].Attrs) != 2 || spans[1].Attrs[0].Value != "user:42" {
+		t.Errorf("root attrs = %+v", spans[1].Attrs)
+	}
+}
+
+func TestTracerDeterministic(t *testing.T) {
+	run := func() string {
+		tr := telemetry.NewTracer(telemetry.TracerConfig{Clock: stepClock(), Seed: 42})
+		for i := 0; i < 5; i++ {
+			s := tr.Start("op")
+			s.SetAttr("i", strings.Repeat("x", i))
+			s.Child("inner").End()
+			s.End()
+		}
+		var sb strings.Builder
+		if err := tr.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different traces:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"trace_id"`) || !strings.Contains(a, `"duration_us"`) {
+		t.Errorf("unexpected trace JSON:\n%s", a)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := telemetry.NewTracer(telemetry.TracerConfig{Clock: stepClock(), Seed: 1, Capacity: 3})
+	for i := 0; i < 5; i++ {
+		tr.Start("op").End()
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("ring holds %d spans, want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+}
+
+func TestNilTracerIsUsable(t *testing.T) {
+	var tr *telemetry.Tracer
+	s := tr.Start("op")
+	s.SetAttr("k", "v")
+	s.Child("inner").End()
+	s.EndAt(time.Time{})
+	s.End()
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer retained state")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("nil tracer JSON = %q, want []", sb.String())
+	}
+}
+
+func TestTracerPanicsWithoutClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing clock")
+		}
+	}()
+	telemetry.NewTracer(telemetry.TracerConfig{})
+}

@@ -13,10 +13,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
-	"sync/atomic"
 
 	"proteus/internal/chunk"
 	"proteus/internal/cluster"
+	"proteus/internal/telemetry"
 )
 
 // Backing is the database tier interface (satisfied by *database.DB).
@@ -83,6 +83,17 @@ type Config struct {
 	// cached under its own key (and therefore on its own server), with
 	// a manifest under the original key. 0 stores whole objects.
 	PieceSize int
+	// Telemetry receives the frontend's outcome counters
+	// (proteus_webtier_events_total{kind}). Optional: with a nil
+	// registry the counters still work (Stats reads them) but are not
+	// exported.
+	Telemetry *telemetry.Registry
+	// Tracer records one span per Fetch with key and source attributes.
+	// Optional.
+	Tracer *telemetry.Tracer
+	// Events receives amortized-migration hit/miss events (the digest
+	// consult outcomes of Algorithm 2 lines 6-8). Optional.
+	Events *telemetry.EventLog
 }
 
 // Frontend answers data requests. It is safe for concurrent use.
@@ -92,15 +103,21 @@ type Frontend struct {
 	expiry    int64
 	pieceSize int
 
-	hits        atomic.Uint64
-	replicaHits atomic.Uint64
-	migrated    atomic.Uint64
-	falsePos    atomic.Uint64
-	dbGets      atomic.Uint64
-	repairs     atomic.Uint64
-	collapsed   atomic.Uint64
-	cacheErrs   atomic.Uint64
-	errs        atomic.Uint64
+	// Outcome counters, one series per kind of the
+	// proteus_webtier_events_total family. Registry counters are
+	// atomic, so the hot path takes no locks.
+	hits        *telemetry.Counter
+	replicaHits *telemetry.Counter
+	migrated    *telemetry.Counter
+	falsePos    *telemetry.Counter
+	dbGets      *telemetry.Counter
+	repairs     *telemetry.Counter
+	collapsed   *telemetry.Counter
+	cacheErrs   *telemetry.Counter
+	errs        *telemetry.Counter
+
+	tracer *telemetry.Tracer
+	events *telemetry.EventLog
 
 	flights flightGroup
 }
@@ -116,7 +133,26 @@ func New(cfg Config) (*Frontend, error) {
 	if cfg.PieceSize < 0 {
 		return nil, errors.New("webtier: PieceSize must be >= 0")
 	}
-	return &Frontend{coord: cfg.Coordinator, db: cfg.DB, expiry: cfg.CacheExpiry, pieceSize: cfg.PieceSize}, nil
+	f := &Frontend{
+		coord:     cfg.Coordinator,
+		db:        cfg.DB,
+		expiry:    cfg.CacheExpiry,
+		pieceSize: cfg.PieceSize,
+		tracer:    cfg.Tracer,
+		events:    cfg.Events,
+	}
+	ev := cfg.Telemetry.Counter("proteus_webtier_events_total",
+		"fetch outcomes by kind (Algorithm 2 accounting)", "kind")
+	f.hits = ev.With("hit")
+	f.replicaHits = ev.With("replica_hit")
+	f.migrated = ev.With("migrated")
+	f.falsePos = ev.With("digest_false_pos")
+	f.dbGets = ev.With("db_fetch")
+	f.repairs = ev.With("piece_repair")
+	f.collapsed = ev.With("collapsed")
+	f.cacheErrs = ev.With("cache_error")
+	f.errs = ev.With("error")
+	return f, nil
 }
 
 // Fetch implements Algorithm 2 for one key. With replication enabled
@@ -127,6 +163,19 @@ func New(cfg Config) (*Frontend, error) {
 // derived keys (the paper's basic-unit assumption) and reassembled
 // here.
 func (f *Frontend) Fetch(key string) ([]byte, Source, error) {
+	sp := f.tracer.Start("webtier.fetch")
+	sp.SetAttr("key", key)
+	data, src, err := f.fetch(key)
+	if err != nil {
+		sp.SetAttr("source", "error")
+	} else {
+		sp.SetAttr("source", src.String())
+	}
+	sp.End()
+	return data, src, err
+}
+
+func (f *Frontend) fetch(key string) ([]byte, Source, error) {
 	if raw, src, ok := f.cacheFetch(key); ok {
 		if f.pieceSize > 0 && chunk.IsManifest(raw) {
 			if data, ok := f.gatherPieces(key, raw); ok {
@@ -134,7 +183,7 @@ func (f *Frontend) Fetch(key string) ([]byte, Source, error) {
 			}
 			// A piece went missing (evicted or lost to a crash):
 			// rebuild the whole object from the database.
-			f.repairs.Add(1)
+			f.repairs.Inc()
 		} else {
 			return raw, src, nil
 		}
@@ -149,15 +198,15 @@ func (f *Frontend) Fetch(key string) ([]byte, Source, error) {
 		if err != nil {
 			return nil, err
 		}
-		f.dbGets.Add(1)
+		f.dbGets.Inc()
 		f.writeThrough(key, data)
 		return data, nil
 	})
 	if shared {
-		f.collapsed.Add(1)
+		f.collapsed.Inc()
 	}
 	if err != nil {
-		f.errs.Add(1)
+		f.errs.Inc()
 		return nil, SourceDatabase, fmt.Errorf("webtier: fetch %q: %w", key, err)
 	}
 	return data, SourceDatabase, nil
@@ -179,34 +228,36 @@ func (f *Frontend) cacheFetch(key string) ([]byte, Source, bool) {
 		// partitioned server, open circuit breaker) degrades to the next
 		// ring and ultimately the database — never to a client error.
 		if data, ok, err := newClient.Get(key); err == nil && ok {
-			f.hits.Add(1)
+			f.hits.Inc()
 			if ring > 0 {
-				f.replicaHits.Add(1)
+				f.replicaHits.Inc()
 			}
 			return data, SourceNewCache, true
 		} else if err != nil {
-			f.cacheErrs.Add(1)
+			f.cacheErrs.Inc()
 		}
 
 		// Lines 6-8: hot data still on the ring's old owner.
 		if tryOld {
 			if data, ok, err := f.coord.Client(oldOwner).Get(key); err == nil && ok {
-				f.migrated.Add(1)
+				f.migrated.Inc()
+				f.events.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: oldOwner})
 				// Line 12: amortized migration — install on the new
 				// owner so every subsequent request hits there. A failed
 				// install just means the next request migrates again.
 				if err := newClient.Set(key, data, f.expiry); err != nil {
-					f.cacheErrs.Add(1)
+					f.cacheErrs.Inc()
 				}
 				return data, SourceOldCache, true
 			} else if err != nil {
 				// Faulted old owner: fall through to the DB path rather
 				// than surfacing the error (the digest may even have
 				// been right — the data is simply unreachable now).
-				f.cacheErrs.Add(1)
+				f.cacheErrs.Inc()
 				continue
 			}
-			f.falsePos.Add(1)
+			f.falsePos.Inc()
+			f.events.Record(telemetry.Event{Kind: telemetry.EventMigrationMiss, Node: oldOwner})
 		}
 	}
 	return nil, SourceDatabase, false
@@ -253,7 +304,7 @@ func (f *Frontend) storeAll(key string, data []byte) {
 		// A failed write-through leaves the owner cold, not wrong: the
 		// next read misses there and repopulates from the DB.
 		if err := f.coord.Client(owner).Set(key, data, f.expiry); err != nil {
-			f.cacheErrs.Add(1)
+			f.cacheErrs.Inc()
 		}
 	}
 }
@@ -270,15 +321,15 @@ func containsInt(s []int, v int) bool {
 // Stats returns a snapshot of outcome counters.
 func (f *Frontend) Stats() Stats {
 	return Stats{
-		Hits:           f.hits.Load(),
-		ReplicaHits:    f.replicaHits.Load(),
-		Migrated:       f.migrated.Load(),
-		DigestFalsePos: f.falsePos.Load(),
-		DBFetches:      f.dbGets.Load(),
-		PieceRepairs:   f.repairs.Load(),
-		Collapsed:      f.collapsed.Load(),
-		CacheErrors:    f.cacheErrs.Load(),
-		Errors:         f.errs.Load(),
+		Hits:           f.hits.Value(),
+		ReplicaHits:    f.replicaHits.Value(),
+		Migrated:       f.migrated.Value(),
+		DigestFalsePos: f.falsePos.Value(),
+		DBFetches:      f.dbGets.Value(),
+		PieceRepairs:   f.repairs.Value(),
+		Collapsed:      f.collapsed.Value(),
+		CacheErrors:    f.cacheErrs.Value(),
+		Errors:         f.errs.Value(),
 	}
 }
 
