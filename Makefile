@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check
 
 all: build test lint
 
@@ -28,6 +28,19 @@ bench-smoke:
 # reference point.
 bench-baseline:
 	$(GO) run ./cmd/proteus-bench -bench-baseline BENCH_baseline.json
+
+# Re-measure the hot paths and diff against the committed baseline.
+# Fails on a >25% ns/op regression, or on ANY allocation appearing on a
+# path the baseline records as allocation-free (the zero-alloc GET
+# contract). Numbers are machine-relative, so this is advisory off the
+# baseline's host class; the allocs check is exact everywhere.
+bench-compare:
+	$(GO) run ./cmd/proteus-bench -bench-compare BENCH_baseline.json
+
+# Hard zero-alloc assertions on the protocol hot path (cheap, exact,
+# machine-independent — unlike bench-compare's timing thresholds).
+allocs-check:
+	$(GO) test -run 'Alloc' ./internal/cacheserver ./internal/memproto
 
 fmt:
 	@out="$$(gofmt -l .)"; \

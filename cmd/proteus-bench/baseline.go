@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"testing"
@@ -11,6 +12,8 @@ import (
 
 	"proteus/internal/bloom"
 	"proteus/internal/cache"
+	"proteus/internal/cacheclient"
+	"proteus/internal/cacheserver"
 	"proteus/internal/hashring"
 	"proteus/internal/workload"
 )
@@ -31,6 +34,12 @@ type baselineFile struct {
 	Results   []BaselineResult `json:"results"`
 }
 
+// nsRegressionLimit is the compare-mode failure threshold: a benchmark
+// more than 25% slower than its committed baseline fails the build.
+// Wide enough to absorb machine noise on shared CI runners, tight
+// enough to catch a hot path growing a lock or a syscall.
+const nsRegressionLimit = 1.25
+
 // baselineKeys builds a deterministic key set shared by the benchmarks.
 func baselineKeys(n int) []string {
 	keys := make([]string, n)
@@ -40,10 +49,15 @@ func baselineKeys(n int) []string {
 	return keys
 }
 
-// writeBaseline measures the core hot paths — cache get/set, digest
-// insert/probe, request routing, workload draw — and writes the results
-// as JSON.
-func writeBaseline(path string) error {
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// hotPathBenches builds the benchmark set measured by both
+// -bench-baseline and -bench-compare. The cleanup func releases the
+// loopback server backing the network benchmarks.
+func hotPathBenches() ([]namedBench, func(), error) {
 	const nkeys = 4096
 	keys := baselineKeys(nkeys)
 	value := make([]byte, 256)
@@ -52,33 +66,78 @@ func writeBaseline(path string) error {
 	for _, k := range keys {
 		warm.Set(k, value, 0)
 	}
+	// Single-shard control: the same cache behind one mutex, the
+	// configuration the sharding work (DESIGN.md §8) is measured against.
+	warm1 := cache.New(cache.Config{MaxBytes: 64 << 20, Clock: time.Now, Shards: 1})
+	for _, k := range keys {
+		warm1.Set(k, value, 0)
+	}
 	digest, err := bloom.NewCounting(bloom.Params{
 		Counters: 512 * 1024 * 8 / 4, CounterBits: 4, Hashes: 4, Mode: bloom.Saturate,
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	for _, k := range keys {
 		digest.Insert(k)
 	}
 	ring, err := hashring.NewConsistentLogN(64)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	zipf, err := workload.NewZipf(rand.New(rand.NewSource(1)), 0.8, nkeys)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	// Loopback server + pipelined client for the end-to-end benchmarks.
+	srv, err := cacheserver.New(cacheserver.Config{
+		Digest: bloom.Params{Counters: 1 << 16, CounterBits: 4, Hashes: 4, Mode: bloom.Saturate},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+	for _, k := range keys[:64] {
+		srv.Cache().Set(k, value, 0)
+	}
+	client := cacheclient.New(ln.Addr().String())
+	cleanup := func() {
+		client.Close()
+		srv.Close()
+	}
+	multiKeys := append([]string(nil), keys[:16]...)
+
+	benches := []namedBench{
 		{"cache_get_hit", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				warm.Get(keys[i%nkeys])
 			}
+		}},
+		{"cache_get_hit_parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					warm.Get(keys[i%nkeys])
+					i++
+				}
+			})
+		}},
+		{"cache_get_hit_parallel_1shard", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					warm1.Get(keys[i%nkeys])
+					i++
+				}
+			})
 		}},
 		{"cache_set", func(b *testing.B) {
 			b.ReportAllocs()
@@ -111,29 +170,114 @@ func writeBaseline(path string) error {
 				zipf.Next()
 			}
 		}},
+		{"multiget_16", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.MultiGet(multiKeys...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
+	return benches, cleanup, nil
+}
 
-	out := baselineFile{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Go:        runtime.Version(),
+// runBenches measures every hot-path benchmark.
+func runBenches() ([]BaselineResult, error) {
+	benches, cleanup, err := hotPathBenches()
+	if err != nil {
+		return nil, err
 	}
+	defer cleanup()
+	results := make([]BaselineResult, 0, len(benches))
 	for _, bench := range benches {
 		r := testing.Benchmark(bench.fn)
-		out.Results = append(out.Results, BaselineResult{
+		results = append(results, BaselineResult{
 			Name:        bench.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
-		fmt.Fprintf(os.Stderr, "%-16s %12d iters %12.1f ns/op %6d B/op %4d allocs/op\n",
+		fmt.Fprintf(os.Stderr, "%-30s %12d iters %12.1f ns/op %6d B/op %4d allocs/op\n",
 			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
 			r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	return results, nil
+}
 
+// writeBaseline measures the core hot paths — cache get/set (serial and
+// parallel), digest insert/probe, request routing, workload draw, and
+// the pipelined multi-get over loopback TCP — and writes the results as
+// JSON.
+func writeBaseline(path string) error {
+	results, err := runBenches()
+	if err != nil {
+		return err
+	}
+	out := baselineFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Results:   results,
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareBaseline re-measures the hot paths and diffs them against a
+// committed baseline, failing on a >25% ns/op regression or on any new
+// allocations along paths the baseline records as allocation-free (the
+// zero-alloc contract of the GET-hit protocol path). Benchmarks missing
+// from the committed file are reported informationally, so a stale
+// baseline fails loudly instead of silently shrinking coverage.
+func compareBaseline(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	baseline := make(map[string]BaselineResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	fresh, err := runBenches()
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, r := range fresh {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "NOTE  %s: not in baseline %s (regenerate with -bench-baseline)\n", r.Name, path)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		switch {
+		case ratio > nsRegressionLimit:
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (%.0f%% slower, limit %.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, (ratio-1)*100, (nsRegressionLimit-1)*100))
+		default:
+			fmt.Fprintf(os.Stderr, "ok    %s: %.1f ns/op vs baseline %.1f (%+.0f%%)\n",
+				r.Name, r.NsPerOp, b.NsPerOp, (ratio-1)*100)
+		}
+		if b.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op on a zero-alloc path (baseline 0)", r.Name, r.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL  %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) vs %s", len(failures), path)
+	}
+	fmt.Fprintf(os.Stderr, "all %d benchmarks within budget of %s\n", len(fresh), path)
+	return nil
 }

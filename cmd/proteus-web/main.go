@@ -48,6 +48,7 @@ func main() {
 	pieceSize := flag.Int("piece-size", 0, "split values larger than this into fixed-size pieces (0 = whole objects)")
 	autoscale := flag.Duration("autoscale", 0, "run the delay-feedback provisioning loop with this slot width (0 = manual /admin/active only)")
 	capacity := flag.Float64("capacity", 200, "per-cache-server capacity estimate in req/s (autoscale feed-forward)")
+	cacheConns := flag.Int("cache-conns", 0, "connection pool size per cache server (0 = client default)")
 	flag.Parse()
 
 	addrs := splitNonEmpty(*cacheList)
@@ -72,10 +73,11 @@ func main() {
 		nodes[i] = cluster.NewRemoteNode(addr)
 	}
 	coord, err := cluster.New(cluster.Config{
-		Nodes:         nodes,
-		InitialActive: *active,
-		TTL:           *ttl,
-		Replicas:      *replicas,
+		Nodes:          nodes,
+		InitialActive:  *active,
+		TTL:            *ttl,
+		Replicas:       *replicas,
+		ClientMaxConns: *cacheConns,
 	})
 	if err != nil {
 		log.Fatalf("coordinator: %v", err)
@@ -128,6 +130,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/page/", measured)
+	mux.Handle("/pages", measured)
 	mux.Handle("/stats", front)
 	mux.HandleFunc("/admin/active", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {

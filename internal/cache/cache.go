@@ -4,11 +4,21 @@
 // events are exposed as hooks so a counting Bloom filter digest can be
 // kept exactly consistent with cache contents (the paper wires these to
 // memcached's do_item_link / do_item_unlink).
+//
+// The store is sharded: keys are hash-routed to a power-of-two array of
+// independently locked shards, each with its own LRU list and byte
+// budget, so concurrent Get/Set traffic scales with cores instead of
+// serializing behind one mutex (the striped-locking design of memcached
+// itself and the MemC3 line of work). Global counters are atomics; the
+// OnLink/OnUnlink hooks fire under the owning shard's lock, preserving
+// the exact digest-residency invariant per shard.
 package cache
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,13 +26,22 @@ import (
 // to key+value length when accounting bytes.
 const itemOverhead = 48
 
+// DefaultShards is the shard count selected by Config.Shards == 0. It
+// is a fixed constant — not derived from GOMAXPROCS — so that replayed
+// workloads (the DES, fig6) behave identically on every machine.
+const DefaultShards = 16
+
 // Config configures a Cache. Except for Clock — which is required —
 // the zero value of every field is usable: unlimited size, no expiry,
-// no hooks.
+// no hooks, DefaultShards shards.
 type Config struct {
 	// MaxBytes bounds the total accounted size (keys + values +
-	// per-item overhead); 0 means unlimited. The least recently used
-	// items are evicted to stay within the bound.
+	// per-item overhead); 0 means unlimited. The budget is divided
+	// evenly across shards and the least recently used items of a
+	// shard are evicted to keep that shard within its share, so the
+	// global bound always holds. With Shards > 1 eviction order is
+	// therefore LRU per shard, not globally; replay experiments that
+	// depend on exact global LRU (fig6, the DES) set Shards to 1.
 	MaxBytes int64
 	// DefaultTTL applies to Set calls with ttl == 0; 0 means items
 	// never expire.
@@ -33,12 +52,18 @@ type Config struct {
 	// clock; live-plane constructors (cacheserver) pass time.Now at
 	// the wall-clock boundary.
 	Clock func() time.Time
-	// OnLink is invoked (under the cache lock) whenever a key becomes
-	// resident; OnUnlink whenever it stops being resident (delete,
-	// eviction, expiry, or overwrite). Hooks must not call back into
-	// the cache.
+	// OnLink is invoked (under the owning shard's lock) whenever a key
+	// becomes resident; OnUnlink whenever it stops being resident
+	// (delete, eviction, expiry, or overwrite). Hooks must not call
+	// back into the cache.
 	OnLink   func(key string)
 	OnUnlink func(key string)
+	// Shards is the number of independently locked shards; it is
+	// rounded up to a power of two. 0 selects DefaultShards. 1 gives
+	// the exact global-LRU semantics of a single-mutex cache (used by
+	// the deterministic replay planes and as the contention control in
+	// benchmarks).
+	Shards int
 }
 
 // Stats is a snapshot of cache counters, matching the memcached "stats"
@@ -73,23 +98,48 @@ type entry struct {
 	value      []byte
 	expires    time.Time // zero means never
 	lastAccess time.Time
+	seq        uint64 // global access ordinal (Keys MRU ordering)
 	cas        uint64 // unique token for check-and-set
 	prev, next *entry // intrusive LRU list
 }
 
 func (e *entry) size() int64 { return int64(len(e.key)) + int64(len(e.value)) + itemOverhead }
 
-// Cache is a thread-safe LRU + TTL store.
-type Cache struct {
-	cfg Config
+// counters holds the cache-wide statistics. Every field is an atomic so
+// the hot path never touches a lock shared with other shards.
+type counters struct {
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	sets        atomic.Uint64
+	deletes     atomic.Uint64
+	evictions   atomic.Uint64
+	expirations atomic.Uint64
+}
 
-	mu         sync.Mutex
-	items      map[string]*entry
-	head       *entry // most recently used
-	tail       *entry // least recently used
-	bytes      int64
-	stats      Stats
-	casCounter uint64
+// shard is one independently locked slice of the key space: its own
+// map, its own intrusive LRU list, its own byte budget. The trailing
+// pad keeps adjacent shards on separate cache lines so uncontended
+// locks do not false-share.
+type shard struct {
+	mu       sync.Mutex
+	items    map[string]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	bytes    int64
+	maxBytes int64 // this shard's slice of Config.MaxBytes
+	bounded  bool  // false when Config.MaxBytes == 0 (unlimited)
+	_        [40]byte
+}
+
+// Cache is a thread-safe sharded LRU + TTL store.
+type Cache struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+
+	ctr        counters
+	casCounter atomic.Uint64
+	accessSeq  atomic.Uint64
 }
 
 // New builds an empty cache. Config.Clock must be set: silently
@@ -101,7 +151,55 @@ func New(cfg Config) *Cache {
 	if cfg.Clock == nil {
 		panic("cache: Config.Clock is required; pass time.Now at a live-plane boundary or the sim clock for replay")
 	}
-	return &Cache{cfg: cfg, items: make(map[string]*entry)}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	n = nextPow2(n)
+	c := &Cache{cfg: cfg, shards: make([]shard, n), mask: uint64(n - 1)}
+	var base, rem int64
+	if cfg.MaxBytes > 0 {
+		base, rem = cfg.MaxBytes/int64(n), cfg.MaxBytes%int64(n)
+	}
+	for i := range c.shards {
+		budget := base
+		if int64(i) < rem {
+			budget = base + 1
+		}
+		s := &c.shards[i]
+		s.items = make(map[string]*entry)
+		s.bounded = cfg.MaxBytes > 0
+		s.maxBytes = budget
+	}
+	return c
+}
+
+// nextPow2 rounds n up to the next power of two (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the shard count the cache was built with.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor routes a key to its shard by FNV-1a hash. The hash is fixed
+// and seedless so shard assignment — and therefore per-shard eviction —
+// replays identically across runs and machines.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&c.mask]
 }
 
 // now is the configured clock.
@@ -111,31 +209,37 @@ func (c *Cache) now() time.Time { return c.cfg.Clock() }
 // A hit refreshes the item's LRU position and last-access time. The
 // returned slice is the cache's own buffer; callers must not modify it.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
 	if !ok {
-		c.stats.Misses++
+		s.mu.Unlock()
+		c.ctr.misses.Add(1)
 		return nil, false
 	}
 	now := c.now()
 	if e.expired(now) {
-		c.removeLocked(e, &c.stats.Expirations)
-		c.stats.Misses++
+		c.removeLocked(s, e, &c.ctr.expirations)
+		s.mu.Unlock()
+		c.ctr.misses.Add(1)
 		return nil, false
 	}
 	e.lastAccess = now
-	c.moveToFrontLocked(e)
-	c.stats.Hits++
-	return e.value, true
+	e.seq = c.accessSeq.Add(1)
+	s.moveToFrontLocked(e)
+	value := e.value
+	s.mu.Unlock()
+	c.ctr.hits.Add(1)
+	return value, true
 }
 
 // Peek returns the value without refreshing recency or counting a
 // hit/miss; used by inspection paths.
 func (c *Cache) Peek(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
 	if !ok || e.expired(c.now()) {
 		return nil, false
 	}
@@ -152,36 +256,41 @@ func (c *Cache) Contains(key string) bool {
 // a negative ttl stores an already-expired item (useful in tests). The
 // value slice is retained; callers must not modify it afterwards.
 func (c *Cache) Set(key string, value []byte, ttl time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.setLocked(key, value, ttl)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.setLocked(s, key, value, ttl)
 }
 
 // Add stores value only if key is not already resident (memcached
 // "add"), reporting whether it stored.
 func (c *Cache) Add(key string, value []byte, ttl time.Duration) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[key]; ok && !e.expired(c.now()) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok && !e.expired(c.now()) {
 		return false
 	}
-	c.setLocked(key, value, ttl)
+	c.setLocked(s, key, value, ttl)
 	return true
 }
 
 // Replace stores value only if key is already resident (memcached
 // "replace"), reporting whether it stored.
 func (c *Cache) Replace(key string, value []byte, ttl time.Duration) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[key]; !ok || e.expired(c.now()) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; !ok || e.expired(c.now()) {
 		return false
 	}
-	c.setLocked(key, value, ttl)
+	c.setLocked(s, key, value, ttl)
 	return true
 }
 
-func (c *Cache) setLocked(key string, value []byte, ttl time.Duration) {
+// setLocked stores into s, which must be key's shard and locked by the
+// caller.
+func (c *Cache) setLocked(s *shard, key string, value []byte, ttl time.Duration) {
 	now := c.now()
 	if ttl == 0 {
 		ttl = c.cfg.DefaultTTL
@@ -190,39 +299,43 @@ func (c *Cache) setLocked(key string, value []byte, ttl time.Duration) {
 	if ttl != 0 {
 		expires = now.Add(ttl)
 	}
-	if old, ok := c.items[key]; ok {
-		c.removeLocked(old, nil)
+	if old, ok := s.items[key]; ok {
+		c.removeLocked(s, old, nil)
 	}
-	c.casCounter++
-	e := &entry{key: key, value: value, expires: expires, lastAccess: now, cas: c.casCounter}
-	c.items[key] = e
-	c.pushFrontLocked(e)
-	c.bytes += e.size()
-	c.stats.Sets++
+	e := &entry{
+		key: key, value: value, expires: expires, lastAccess: now,
+		seq: c.accessSeq.Add(1), cas: c.casCounter.Add(1),
+	}
+	s.items[key] = e
+	s.pushFrontLocked(e)
+	s.bytes += e.size()
+	c.ctr.sets.Add(1)
 	if c.cfg.OnLink != nil {
 		c.cfg.OnLink(key)
 	}
-	c.evictLocked()
+	c.evictLocked(s)
 }
 
 // Delete removes key, reporting whether it was resident.
 func (c *Cache) Delete(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
 	if !ok {
 		return false
 	}
-	c.removeLocked(e, nil)
-	c.stats.Deletes++
+	c.removeLocked(s, e, nil)
+	c.ctr.deletes.Add(1)
 	return true
 }
 
 // Touch resets the TTL of a resident key, reporting success.
 func (c *Cache) Touch(key string, ttl time.Duration) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
 	now := c.now()
 	if !ok || e.expired(now) {
 		return false
@@ -236,37 +349,44 @@ func (c *Cache) Touch(key string, ttl time.Duration) bool {
 		e.expires = now.Add(ttl)
 	}
 	e.lastAccess = now
-	c.moveToFrontLocked(e)
+	e.seq = c.accessSeq.Add(1)
+	s.moveToFrontLocked(e)
 	return true
 }
 
 // FlushAll removes every item (memcached flush_all).
 func (c *Cache) FlushAll() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.items {
-		if c.cfg.OnUnlink != nil {
-			c.cfg.OnUnlink(e.key)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.items {
+			if c.cfg.OnUnlink != nil {
+				c.cfg.OnUnlink(e.key)
+			}
 		}
+		s.items = make(map[string]*entry)
+		s.head, s.tail, s.bytes = nil, nil, 0
+		s.mu.Unlock()
 	}
-	c.items = make(map[string]*entry)
-	c.head, c.tail, c.bytes = nil, nil, 0
 }
 
 // ExpireSweep removes all items whose TTL has passed and returns how
 // many were dropped. Expiry is otherwise lazy (checked on access).
 func (c *Cache) ExpireSweep() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.now()
 	dropped := 0
-	for e := c.tail; e != nil; {
-		prev := e.prev
-		if e.expired(now) {
-			c.removeLocked(e, &c.stats.Expirations)
-			dropped++
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		now := c.now()
+		for e := s.tail; e != nil; {
+			prev := e.prev
+			if e.expired(now) {
+				c.removeLocked(s, e, &c.ctr.expirations)
+				dropped++
+			}
+			e = prev
 		}
-		e = prev
+		s.mu.Unlock()
 	}
 	return dropped
 }
@@ -275,14 +395,17 @@ func (c *Cache) ExpireSweep() int {
 // complement of the paper's "hot" set. The smooth-transition logic uses
 // this to verify a server is safe to power off after TTL seconds.
 func (c *Cache) ColdKeys(window time.Duration) []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	cutoff := c.now().Add(-window)
 	var cold []string
-	for _, e := range c.items {
-		if e.lastAccess.Before(cutoff) {
-			cold = append(cold, e.key)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.items {
+			if e.lastAccess.Before(cutoff) {
+				cold = append(cold, e.key)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return cold
 }
@@ -290,35 +413,67 @@ func (c *Cache) ColdKeys(window time.Duration) []string {
 // Len returns the number of resident items (including not-yet-swept
 // expired ones).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Bytes returns the accounted size of resident items.
 func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
+	var b int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		b += s.bytes
+		s.mu.Unlock()
+	}
+	return b
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The counter fields are each
+// atomically read; concurrent traffic may tick one counter between two
+// reads, so the snapshot is per-field exact rather than globally
+// instantaneous (same as memcached "stats" under load).
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Items = len(c.items)
-	s.Bytes = c.bytes
+	s := Stats{
+		Hits:        c.ctr.hits.Load(),
+		Misses:      c.ctr.misses.Load(),
+		Sets:        c.ctr.sets.Load(),
+		Deletes:     c.ctr.deletes.Load(),
+		Evictions:   c.ctr.evictions.Load(),
+		Expirations: c.ctr.expirations.Load(),
+	}
+	s.Items = c.Len()
+	s.Bytes = c.Bytes()
 	return s
 }
 
-// Keys returns all resident keys in most-recently-used-first order.
+// Keys returns all resident keys in most-recently-used-first order
+// across every shard (ordered by the global access ordinal each hit or
+// store assigns).
 func (c *Cache) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.items))
-	for e := c.head; e != nil; e = e.next {
-		out = append(out, e.key)
+	type keySeq struct {
+		key string
+		seq uint64
+	}
+	var all []keySeq
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.head; e != nil; e = e.next {
+			all = append(all, keySeq{e.key, e.seq})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	out := make([]string, len(all))
+	for i, ks := range all {
+		out[i] = ks.key
 	}
 	return out
 }
@@ -327,60 +482,61 @@ func (e *entry) expired(now time.Time) bool {
 	return !e.expires.IsZero() && !now.Before(e.expires)
 }
 
-// removeLocked unlinks e from the map and list, fires OnUnlink, and
-// bumps the optional counter (used for eviction/expiry stats).
-func (c *Cache) removeLocked(e *entry, counter *uint64) {
-	delete(c.items, e.key)
-	c.unlinkLocked(e)
-	c.bytes -= e.size()
+// removeLocked unlinks e from s's map and list, fires OnUnlink, and
+// bumps the optional counter (used for eviction/expiry stats). s must
+// be locked by the caller.
+func (c *Cache) removeLocked(s *shard, e *entry, counter *atomic.Uint64) {
+	delete(s.items, e.key)
+	s.unlinkLocked(e)
+	s.bytes -= e.size()
 	if counter != nil {
-		*counter++
+		counter.Add(1)
 	}
 	if c.cfg.OnUnlink != nil {
 		c.cfg.OnUnlink(e.key)
 	}
 }
 
-// evictLocked drops LRU items until within MaxBytes.
-func (c *Cache) evictLocked() {
-	if c.cfg.MaxBytes <= 0 {
+// evictLocked drops LRU items until s is within its byte budget.
+func (c *Cache) evictLocked(s *shard) {
+	if !s.bounded {
 		return
 	}
-	for c.bytes > c.cfg.MaxBytes && c.tail != nil {
-		c.removeLocked(c.tail, &c.stats.Evictions)
+	for s.bytes > s.maxBytes && s.tail != nil {
+		c.removeLocked(s, s.tail, &c.ctr.evictions)
 	}
 }
 
-func (c *Cache) pushFrontLocked(e *entry) {
+func (s *shard) pushFrontLocked(e *entry) {
 	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
-func (c *Cache) unlinkLocked(e *entry) {
+func (s *shard) unlinkLocked(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		c.head = e.next
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		c.tail = e.prev
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
-func (c *Cache) moveToFrontLocked(e *entry) {
-	if c.head == e {
+func (s *shard) moveToFrontLocked(e *entry) {
+	if s.head == e {
 		return
 	}
-	c.unlinkLocked(e)
-	c.pushFrontLocked(e)
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
 }

@@ -69,9 +69,10 @@ func TestOverwriteReplacesValue(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	// Capacity for ~3 items of this size.
+	// Capacity for ~3 items of this size. Shards: 1 pins exact global
+	// LRU order; with more shards eviction is LRU per shard.
 	itemSize := int64(len("key-0")+1) + itemOverhead
-	c := New(Config{Clock: time.Now, MaxBytes: 3 * itemSize})
+	c := New(Config{Clock: time.Now, MaxBytes: 3 * itemSize, Shards: 1})
 	for i := 0; i < 4; i++ {
 		c.Set(fmt.Sprintf("key-%d", i), []byte("x"), 0)
 	}
@@ -90,7 +91,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestGetRefreshesRecency(t *testing.T) {
 	itemSize := int64(len("key-0")+1) + itemOverhead
-	c := New(Config{Clock: time.Now, MaxBytes: 3 * itemSize})
+	c := New(Config{Clock: time.Now, MaxBytes: 3 * itemSize, Shards: 1})
 	c.Set("key-0", []byte("x"), 0)
 	c.Set("key-1", []byte("x"), 0)
 	c.Set("key-2", []byte("x"), 0)
@@ -196,6 +197,7 @@ func TestHooksTrackResidency(t *testing.T) {
 		Clock:    clk.Now,
 		OnLink:   func(k string) { linked[k]++ },
 		OnUnlink: func(k string) { unlinked[k]++ },
+		Shards:   1, // exact global LRU so "c evicts a" is deterministic
 	})
 	c.Set("a", []byte("1"), 0)
 	c.Set("a", []byte("2"), 0) // overwrite: unlink + link

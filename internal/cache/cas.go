@@ -9,7 +9,9 @@ import (
 // (check-and-set), numeric increment/decrement, and append/prepend.
 // They are part of the protocol surface the paper's web tier builds on
 // (spymemcached and python-memcached, the clients the paper validates
-// against, exercise all of them).
+// against, exercise all of them). Every operation touches exactly one
+// shard — the one owning its key — so these paths scale with the
+// sharded hot path.
 
 // CASResult is the outcome of a CompareAndSwap.
 type CASResult int
@@ -25,38 +27,44 @@ const (
 
 // GetWithCAS is Get plus the item's CAS token (memcached "gets").
 func (c *Cache) GetWithCAS(key string) (value []byte, cas uint64, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, found := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, found := s.items[key]
 	if !found {
-		c.stats.Misses++
+		s.mu.Unlock()
+		c.ctr.misses.Add(1)
 		return nil, 0, false
 	}
 	now := c.now()
 	if e.expired(now) {
-		c.removeLocked(e, &c.stats.Expirations)
-		c.stats.Misses++
+		c.removeLocked(s, e, &c.ctr.expirations)
+		s.mu.Unlock()
+		c.ctr.misses.Add(1)
 		return nil, 0, false
 	}
 	e.lastAccess = now
-	c.moveToFrontLocked(e)
-	c.stats.Hits++
-	return e.value, e.cas, true
+	e.seq = c.accessSeq.Add(1)
+	s.moveToFrontLocked(e)
+	value, cas = e.value, e.cas
+	s.mu.Unlock()
+	c.ctr.hits.Add(1)
+	return value, cas, true
 }
 
 // CompareAndSwap stores value only if the item's CAS token still equals
 // cas (memcached "cas").
 func (c *Cache) CompareAndSwap(key string, value []byte, ttl0 int64, cas uint64) CASResult {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, found := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.items[key]
 	if !found || e.expired(c.now()) {
 		return CASNotFound
 	}
 	if e.cas != cas {
 		return CASExists
 	}
-	c.setLocked(key, value, secondsTTL(ttl0))
+	c.setLocked(s, key, value, secondsTTL(ttl0))
 	return CASStored
 }
 
@@ -82,9 +90,10 @@ func (errNotNumber) Error() string {
 }
 
 func (c *Cache) arith(key string, delta uint64, up bool) (uint64, bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, found := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.items[key]
 	if !found || e.expired(c.now()) {
 		return 0, false, nil
 	}
@@ -101,12 +110,12 @@ func (c *Cache) arith(key string, delta uint64, up bool) (uint64, bool, error) {
 		next = cur - delta
 	}
 	// In-place value update: keeps expiry, refreshes recency and CAS.
-	c.bytes += int64(len(strconv.FormatUint(next, 10))) - int64(len(e.value))
+	s.bytes += int64(len(strconv.FormatUint(next, 10))) - int64(len(e.value))
 	e.value = []byte(strconv.FormatUint(next, 10))
 	e.lastAccess = c.now()
-	c.casCounter++
-	e.cas = c.casCounter
-	c.moveToFrontLocked(e)
+	e.seq = c.accessSeq.Add(1)
+	e.cas = c.casCounter.Add(1)
+	s.moveToFrontLocked(e)
 	return next, true, nil
 }
 
@@ -122,9 +131,10 @@ func (c *Cache) Prepend(key string, data []byte) bool {
 }
 
 func (c *Cache) concat(key string, data []byte, after bool) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, found := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.items[key]
 	if !found || e.expired(c.now()) {
 		return false
 	}
@@ -134,13 +144,13 @@ func (c *Cache) concat(key string, data []byte, after bool) bool {
 	} else {
 		joined = append(append(joined, data...), e.value...)
 	}
-	c.bytes += int64(len(joined)) - int64(len(e.value))
+	s.bytes += int64(len(joined)) - int64(len(e.value))
 	e.value = joined
 	e.lastAccess = c.now()
-	c.casCounter++
-	e.cas = c.casCounter
-	c.moveToFrontLocked(e)
-	c.evictLocked()
+	e.seq = c.accessSeq.Add(1)
+	e.cas = c.casCounter.Add(1)
+	s.moveToFrontLocked(e)
+	c.evictLocked(s)
 	return true
 }
 

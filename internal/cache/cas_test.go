@@ -123,7 +123,8 @@ func TestConcatRespectsCapacity(t *testing.T) {
 	// grown item and a small one together.
 	itemSize := int64(1+4) + itemOverhead // 53
 	grownSize := itemSize + 64            // 117
-	c := New(Config{Clock: time.Now, MaxBytes: grownSize + itemSize/2})
+	// Shards: 1 so "a" and "b" compete for one budget (global LRU).
+	c := New(Config{Clock: time.Now, MaxBytes: grownSize + itemSize/2, Shards: 1})
 	c.Set("a", []byte("1234"), 0)
 	c.Set("b", []byte("1234"), 0)
 	// Growing b pushes total over capacity; LRU (a) is evicted.

@@ -1,0 +1,79 @@
+package cacheclient
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/cacheserver"
+)
+
+// Loopback round-trip benchmarks: the pipelined MultiGet pays one
+// write+flush and N streamed reads per batch, so fetching 16 keys
+// should cost far less than 16 serial Get round trips. Run both to see
+// the ratio on the current host:
+//
+//	go test -run '^$' -bench 'Loopback' -benchmem ./internal/cacheclient
+func benchClient(b *testing.B, nkeys int) (*Client, []string) {
+	b.Helper()
+	srv, err := cacheserver.New(cacheserver.Config{
+		Digest: bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+	keys := make([]string, nkeys)
+	value := make([]byte, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench:%d", i)
+		srv.Cache().Set(keys[i], value, 0)
+	}
+	c := New(ln.Addr().String(), WithTimeout(2*time.Second))
+	b.Cleanup(c.Close)
+	return c, keys
+}
+
+func BenchmarkGetLoopback(b *testing.B) {
+	c, keys := benchClient(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Get(keys[i%len(keys)]); err != nil || !ok {
+			b.Fatalf("Get = %v, %v", ok, err)
+		}
+	}
+}
+
+// Serial control for MultiGet16: the same 16 keys, one round trip each.
+func BenchmarkGet16SerialLoopback(b *testing.B) {
+	c, keys := benchClient(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			if _, ok, err := c.Get(k); err != nil || !ok {
+				b.Fatalf("Get = %v, %v", ok, err)
+			}
+		}
+	}
+}
+
+func BenchmarkMultiGet16Loopback(b *testing.B) {
+	c, keys := benchClient(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := c.MultiGet(keys...)
+		if err != nil || len(m) != len(keys) {
+			b.Fatalf("MultiGet = %d keys, %v", len(m), err)
+		}
+	}
+}

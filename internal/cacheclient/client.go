@@ -35,10 +35,20 @@ var ErrCircuitOpen = errors.New("cacheclient: circuit open")
 // custom transports.
 type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
 
+// DefaultMaxConns is the connection-pool bound used when WithMaxConns
+// is not given. 16 comes from the A-series throughput sweep
+// (EXPERIMENTS.md): with the sharded server, loopback GET throughput
+// scales with client connections up to roughly the server's shard
+// count (DefaultShards = 16) and is flat beyond it, while 4 connections
+// — the old default, matching the paper's Apache Commons Pool sizing —
+// left the server's shards idle and capped a single web tier at ~4
+// in-flight requests per cache node.
+const DefaultMaxConns = 16
+
 // Option customises a Client.
 type Option func(*Client)
 
-// WithMaxConns bounds the connection pool (default 4).
+// WithMaxConns bounds the connection pool (default DefaultMaxConns).
 func WithMaxConns(n int) Option {
 	return func(c *Client) {
 		if n > 0 {
@@ -143,6 +153,12 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 				"times the circuit breaker opened", "addr").With(c.addr),
 			breakerOpen: reg.Gauge("proteus_client_breaker_open",
 				"1 while the circuit breaker is open", "addr").With(c.addr),
+			multigetBatches: reg.Counter("proteus_client_multiget_batches_total",
+				"pipelined multi-get batches sent", "addr").With(c.addr),
+			multigetKeys: reg.Counter("proteus_client_multiget_keys_total",
+				"keys requested across multi-get batches (ratio to batches = mean batch size)", "addr").With(c.addr),
+			multigetDups: reg.Counter("proteus_client_multiget_dup_keys_total",
+				"duplicate keys deduplicated before send", "addr").With(c.addr),
 		}
 	}
 }
@@ -151,11 +167,14 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // are wired once in WithTelemetry; the zero cost of a nil receiver is
 // a single branch in roundTrip.
 type clientTelemetry struct {
-	ops          *telemetry.CounterVec
-	latency      *telemetry.HistogramVec
-	retries      *telemetry.Counter
-	breakerOpens *telemetry.Counter
-	breakerOpen  *telemetry.Gauge
+	ops             *telemetry.CounterVec
+	latency         *telemetry.HistogramVec
+	retries         *telemetry.Counter
+	breakerOpens    *telemetry.Counter
+	breakerOpen     *telemetry.Gauge
+	multigetBatches *telemetry.Counter
+	multigetKeys    *telemetry.Counter
+	multigetDups    *telemetry.Counter
 }
 
 // result buckets an operation error into a label value.
@@ -272,7 +291,7 @@ func (b *breaker) failure() bool {
 func New(addr string, opts ...Option) *Client {
 	c := &Client{
 		addr:        addr,
-		maxConns:    4,
+		maxConns:    DefaultMaxConns,
 		timeout:     5 * time.Second,
 		maxRetries:  2,
 		backoffBase: 2 * time.Millisecond,
@@ -341,6 +360,16 @@ func (c *Client) getConn() (*conn, bool, error) {
 		return nil, false, ErrClosed
 	default:
 	}
+	// Prefer a warm pooled connection over dialing: with a pool larger
+	// than the steady-state demand the tokens channel never drains, and
+	// letting select choose randomly between the two arms would both
+	// waste dials and make the operation sequence nondeterministic
+	// (the chaos tests replay fault schedules by op ordinal).
+	select {
+	case cn := <-c.pool:
+		return cn, true, nil
+	default:
+	}
 	select {
 	case cn := <-c.pool:
 		return cn, true, nil
@@ -386,38 +415,50 @@ func (c *Client) putConn(cn *conn, broken bool) {
 	}
 }
 
-// roundTrip sends one request and parses the reply with fn, riding out
-// transport faults:
+// roundTrip sends one request and parses the reply with fn; see
+// exchange for the retry/breaker discipline.
+func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
+	read := fn
+	if req.NoReply {
+		read = nil
+	}
+	return c.exchange(req.Command.String(), req.WriteTo, read)
+}
+
+// exchange performs one buffered write (which may carry several
+// pipelined requests) followed by read, riding out transport faults:
 //
 //   - a stale pooled connection (e.g. the server was power cycled since
 //     the connection was cached) gets one free immediate retry on a
 //     fresh dial, the standard memcached-client behaviour;
 //   - further transport failures retry up to maxRetries times with
-//     jittered exponential backoff;
+//     jittered exponential backoff — the whole pipelined exchange is
+//     the retry unit, so a mid-batch failure re-sends the batch;
 //   - the circuit breaker fails fast with ErrCircuitOpen while the
 //     server is in cooldown, and evicts the (dead) pooled connections
 //     when it opens.
 //
+// A nil read means no reply is expected (noreply requests).
 // Protocol-level error replies and ErrClosed are terminal: the server
 // answered (or the client is gone), so retrying cannot help.
-func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
+func (c *Client) exchange(op string, write func(*bufio.Writer) error, read func(*bufio.Reader) error) error {
 	if c.tel == nil {
-		return c.doRoundTrip(req, fn)
+		return c.doExchange(write, read)
 	}
 	start := time.Now()
-	err := c.doRoundTrip(req, fn)
-	c.tel.latency.With(c.addr, req.Command.String()).Observe(time.Since(start))
-	c.tel.ops.With(c.addr, req.Command.String(), opResult(err)).Inc()
+	err := c.doExchange(write, read)
+	c.tel.latency.With(c.addr, op).Observe(time.Since(start))
+	c.tel.ops.With(c.addr, op, opResult(err)).Inc()
 	return err
 }
 
-func (c *Client) doRoundTrip(req *memproto.Request, fn func(*bufio.Reader) error) error {
+func (c *Client) doExchange(write func(*bufio.Writer) error, read func(*bufio.Reader) error) error {
 	freeRetry := true
 	for attempt := 0; ; attempt++ {
 		if err := c.breaker.allow(); err != nil {
 			return err
 		}
-		pooled, err := c.roundTripOnce(req, fn)
+		pooled, err := c.exchangeOnce(write, read)
 		if err == nil {
 			c.breaker.success()
 			if c.tel != nil {
@@ -477,7 +518,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(j)
 }
 
-func (c *Client) roundTripOnce(req *memproto.Request, fn func(*bufio.Reader) error) (pooled bool, err error) {
+func (c *Client) exchangeOnce(write func(*bufio.Writer) error, read func(*bufio.Reader) error) (pooled bool, err error) {
 	cn, pooled, err := c.getConn()
 	if err != nil {
 		return pooled, err
@@ -489,17 +530,17 @@ func (c *Client) roundTripOnce(req *memproto.Request, fn func(*bufio.Reader) err
 	if err := cn.nc.SetDeadline(deadline); err != nil {
 		return pooled, fmt.Errorf("cacheclient: set deadline: %w", err)
 	}
-	if err := req.WriteTo(cn.bw); err != nil {
+	if err := write(cn.bw); err != nil {
 		return pooled, err
 	}
 	if err := cn.bw.Flush(); err != nil {
 		return pooled, fmt.Errorf("cacheclient: flush: %w", err)
 	}
-	if req.NoReply {
+	if read == nil {
 		broken = false
 		return pooled, nil
 	}
-	if err := fn(cn.br); err != nil {
+	if err := read(cn.br); err != nil {
 		// A protocol-level error reply normally leaves the stream
 		// aligned, so the connection is reusable — but only if nothing
 		// is left buffered. A reply like "SERVER_ERROR ...\r\nEND\r\n"
@@ -535,20 +576,48 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 	return value, ok, err
 }
 
-// MultiGet fetches several keys at once, returning the resident subset.
+// MultiGet fetches several keys in one pipelined exchange, returning
+// the resident subset. Keys are deduplicated before sending (callers
+// with repeated keys — e.g. a page whose assets share a chunk — cost
+// one fetch per distinct key) and split into as many `get` lines as the
+// protocol's line limit requires; all lines go out in a single buffered
+// write and the responses are streamed back in order, so the exchange
+// costs one network round trip regardless of batch count. The whole
+// pipeline is the retry/breaker unit: a transport fault anywhere
+// re-sends every batch on a fresh connection.
 func (c *Client) MultiGet(keys ...string) (map[string][]byte, error) {
 	if len(keys) == 0 {
 		return map[string][]byte{}, nil
 	}
-	req := &memproto.Request{Command: memproto.CmdGet, Keys: keys}
-	out := make(map[string][]byte, len(keys))
-	err := c.roundTrip(req, func(br *bufio.Reader) error {
-		values, err := memproto.ReadValues(br)
-		if err != nil {
-			return err
+	uniq, dups := dedupeKeys(keys)
+	batches := batchKeys(uniq)
+	if c.tel != nil {
+		c.tel.multigetBatches.Add(uint64(len(batches)))
+		c.tel.multigetKeys.Add(uint64(len(uniq)))
+		if dups > 0 {
+			c.tel.multigetDups.Add(uint64(dups))
 		}
-		for _, v := range values {
-			out[v.Key] = v.Data
+	}
+	out := make(map[string][]byte, len(uniq))
+	err := c.exchange("get_multi", func(bw *bufio.Writer) error {
+		for _, batch := range batches {
+			req := memproto.Request{Command: memproto.CmdGet, Keys: batch}
+			if err := req.WriteTo(bw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, func(br *bufio.Reader) error {
+		var scratch []memproto.Value
+		for range batches {
+			values, err := memproto.ReadValuesAppend(br, scratch[:0])
+			if err != nil {
+				return err
+			}
+			for _, v := range values {
+				out[v.Key] = v.Data
+			}
+			scratch = values
 		}
 		return nil
 	})
@@ -556,6 +625,47 @@ func (c *Client) MultiGet(keys ...string) (map[string][]byte, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// dedupeKeys drops repeated keys, preserving first-occurrence order,
+// and reports how many duplicates were dropped. The common all-unique
+// case returns the input slice unchanged (no copy).
+func dedupeKeys(keys []string) ([]string, int) {
+	seen := make(map[string]struct{}, len(keys))
+	for i, k := range keys {
+		if _, dup := seen[k]; dup {
+			// First duplicate found: copy the unique prefix and filter
+			// the rest.
+			uniq := append([]string(nil), keys[:i]...)
+			for _, k := range keys[i:] {
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					uniq = append(uniq, k)
+				}
+			}
+			return uniq, len(keys) - len(uniq)
+		}
+		seen[k] = struct{}{}
+	}
+	return keys, 0
+}
+
+// batchKeys splits keys into per-line batches so each encoded
+// "get k1 k2 ...\r\n" stays within the protocol line limit. A single
+// batch covers ~450 keys of typical length, so most calls stay at one.
+func batchKeys(keys []string) [][]string {
+	const maxLine = memproto.MaxLineLen - len("get\r\n")
+	batches := make([][]string, 0, 1)
+	start, lineLen := 0, 0
+	for i, k := range keys {
+		need := 1 + len(k) // separating space + key
+		if lineLen+need > maxLine && i > start {
+			batches = append(batches, keys[start:i])
+			start, lineLen = i, 0
+		}
+		lineLen += need
+	}
+	return append(batches, keys[start:])
 }
 
 // Set stores a value with an expiry in seconds (0 = server default).

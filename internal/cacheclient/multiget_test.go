@@ -1,0 +1,196 @@
+package cacheclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/memproto"
+)
+
+// recordingServer is a minimal memcached speaker that records every
+// parsed request's key list, so tests can assert on the wire shape of
+// a pipelined MultiGet (how many get lines, which keys, no duplicates).
+type recordingServer struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	gets [][]string
+}
+
+func startRecordingServer(t *testing.T, store map[string][]byte) *recordingServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &recordingServer{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				for {
+					req, err := memproto.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					if req.Command != memproto.CmdGet {
+						continue
+					}
+					rs.mu.Lock()
+					rs.gets = append(rs.gets, append([]string(nil), req.Keys...))
+					rs.mu.Unlock()
+					for _, k := range req.Keys {
+						if v, ok := store[k]; ok {
+							if err := memproto.WriteValue(bw, memproto.Value{Key: k, Data: v}); err != nil {
+								return
+							}
+						}
+					}
+					if err := memproto.WriteEnd(bw); err != nil {
+						return
+					}
+					if br.Buffered() == 0 {
+						if err := bw.Flush(); err != nil {
+							return
+						}
+					}
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return rs
+}
+
+func (rs *recordingServer) getLines() [][]string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([][]string(nil), rs.gets...)
+}
+
+// Regression test: duplicate keys used to be sent verbatim ("get a b a")
+// and must now be deduplicated before hitting the wire, while every
+// requested key still resolves in the result.
+func TestMultiGetDedupesDuplicateKeys(t *testing.T) {
+	rs := startRecordingServer(t, map[string][]byte{
+		"a": []byte("va"), "b": []byte("vb"),
+	})
+	c := New(rs.ln.Addr().String(), WithTimeout(2*time.Second))
+	defer c.Close()
+
+	got, err := c.MultiGet("a", "b", "a", "a", "b", "miss", "miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["a"]) != "va" || string(got["b"]) != "vb" || len(got) != 2 {
+		t.Fatalf("MultiGet = %v", got)
+	}
+	lines := rs.getLines()
+	if len(lines) != 1 {
+		t.Fatalf("sent %d get lines, want 1: %v", len(lines), lines)
+	}
+	if want := []string{"a", "b", "miss"}; strings.Join(lines[0], " ") != strings.Join(want, " ") {
+		t.Errorf("wire keys = %v, want %v (deduped, order preserved)", lines[0], want)
+	}
+}
+
+// A key list too long for one command line must be pipelined as several
+// line-limit-respecting get requests in one exchange, and the merged
+// result must cover every batch.
+func TestMultiGetBatchesLongKeyLists(t *testing.T) {
+	store := make(map[string][]byte)
+	var keys []string
+	for i := 0; i < 120; i++ {
+		// ~200-byte keys force multiple batches well before 120 keys.
+		k := fmt.Sprintf("chunk-%03d-%s", i, strings.Repeat("x", 190))
+		keys = append(keys, k)
+		if i%3 != 0 { // leave every third key a miss
+			store[k] = []byte(fmt.Sprintf("v%d", i))
+		}
+	}
+	rs := startRecordingServer(t, store)
+	c := New(rs.ln.Addr().String(), WithTimeout(2*time.Second))
+	defer c.Close()
+
+	got, err := c.MultiGet(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(store) {
+		t.Fatalf("MultiGet returned %d values, want %d", len(got), len(store))
+	}
+	for k, v := range store {
+		if string(got[k]) != string(v) {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+	lines := rs.getLines()
+	if len(lines) < 2 {
+		t.Fatalf("expected multiple pipelined get lines, got %d", len(lines))
+	}
+	var total int
+	for _, l := range lines {
+		lineLen := len("get")
+		for _, k := range l {
+			lineLen += 1 + len(k)
+		}
+		if lineLen+2 > memproto.MaxLineLen {
+			t.Errorf("batch of %d keys encodes to %d bytes, over the %d line limit", len(l), lineLen+2, memproto.MaxLineLen)
+		}
+		total += len(l)
+	}
+	if total != len(keys) {
+		t.Errorf("batches cover %d keys, want %d", total, len(keys))
+	}
+}
+
+func TestDedupeKeys(t *testing.T) {
+	uniq, dups := dedupeKeys([]string{"a", "b", "c"})
+	if dups != 0 || len(uniq) != 3 {
+		t.Fatalf("all-unique: %v, %d", uniq, dups)
+	}
+	uniq, dups = dedupeKeys([]string{"a", "b", "a", "c", "b", "a"})
+	if dups != 3 || strings.Join(uniq, "") != "abc" {
+		t.Fatalf("deduped: %v, %d", uniq, dups)
+	}
+}
+
+func TestBatchKeysRespectsLineLimit(t *testing.T) {
+	long := strings.Repeat("k", memproto.MaxKeyLen)
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = long
+	}
+	batches := batchKeys(keys)
+	if len(batches) < 2 {
+		t.Fatalf("100 max-length keys fit in %d batch(es)", len(batches))
+	}
+	var total int
+	for _, b := range batches {
+		lineLen := len("get") + 2
+		for _, k := range b {
+			lineLen += 1 + len(k)
+		}
+		if lineLen > memproto.MaxLineLen {
+			t.Errorf("batch encodes to %d bytes, over limit", lineLen)
+		}
+		total += len(b)
+	}
+	if total != len(keys) {
+		t.Errorf("batches cover %d keys, want %d", total, len(keys))
+	}
+	if got := batchKeys([]string{"a", "b"}); len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("short list batched as %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package cacheserver
+
+import (
+	"bufio"
+	"io"
+	"testing"
+
+	"proteus/internal/memproto"
+	"proteus/internal/telemetry"
+)
+
+// The zero-alloc contract for the request hot path (ISSUE: hot-path
+// overhaul). These are hard assertions, not benchmarks: a regression
+// that adds an allocation to the GET-hit path fails `go test`, so it
+// cannot slip in between baseline refreshes.
+
+func allocServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{Digest: smallDigest(), Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// A GET hit — counter bump, cache lookup, VALUE block, END — must not
+// allocate at all. Every piece is preallocated: telemetry counters at
+// New, response numbers via stack-array strconv appends, the value
+// bytes streamed straight from the cache's buffer.
+func TestHandleGetHitZeroAllocs(t *testing.T) {
+	s := allocServer(t)
+	s.cache.Set("alloc:key", make([]byte, 256), 0)
+	req := &memproto.Request{Command: memproto.CmdGet, Keys: []string{"alloc:key"}}
+	bw := bufio.NewWriter(io.Discard)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.handle(bw, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("GET hit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// A GET miss writes only END; it must also stay at zero.
+func TestHandleGetMissZeroAllocs(t *testing.T) {
+	s := allocServer(t)
+	req := &memproto.Request{Command: memproto.CmdGet, Keys: []string{"alloc:absent"}}
+	bw := bufio.NewWriter(io.Discard)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.handle(bw, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("GET miss allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// A SET (overwrite of a resident key) may allocate exactly the new
+// cache entry and nothing else — no reply formatting, no digest churn
+// allocations.
+func TestHandleSetAtMostOneAlloc(t *testing.T) {
+	s := allocServer(t)
+	data := make([]byte, 64)
+	req := &memproto.Request{Command: memproto.CmdSet, Keys: []string{"alloc:set"}, Data: data}
+	bw := bufio.NewWriter(io.Discard)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.handle(bw, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("SET allocates %.1f objects/op, want <= 1 (the cache entry)", allocs)
+	}
+}

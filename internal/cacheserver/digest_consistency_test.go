@@ -1,0 +1,76 @@
+package cacheserver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/cache"
+)
+
+// The paper's digest contract: the counting Bloom filter tracks cache
+// residency exactly — every link inserts, every unlink deletes — so
+// after any interleaving of Set/Get/Delete/eviction across shards the
+// filter has no false negatives for resident keys and its net key count
+// equals the cache's item count. This is the cross-shard version of the
+// cache-level hook test (internal/cache.TestShardedHookConsistencyConcurrent);
+// it exercises the real server hooks (digestMu serialising per-shard
+// callbacks) and runs under -race in CI.
+func TestDigestMatchesCacheUnderConcurrency(t *testing.T) {
+	s, err := New(Config{
+		Digest: smallDigest(),
+		Cache: cache.Config{
+			// Tight enough that capacity evictions fire constantly.
+			MaxBytes: 48 * 100,
+			Clock:    time.Now,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keySpace = 256
+	keys := make([]string, keySpace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("digest-key-%d", i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			for i := 0; i < 2500; i++ {
+				k := keys[rng.Intn(keySpace)]
+				switch rng.Intn(6) {
+				case 0, 1, 2:
+					s.cache.Set(k, make([]byte, rng.Intn(32)), 0)
+				case 3:
+					s.cache.Get(k)
+				case 4:
+					s.cache.Delete(k)
+				default:
+					s.cache.Touch(k, time.Hour)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s.digestMu.Lock()
+	digestKeys := s.digest.Keys()
+	saturated := s.digest.SaturatedCounters()
+	s.digestMu.Unlock()
+	if saturated != 0 {
+		t.Fatalf("digest saturated (%d counters): result not meaningful, resize the test", saturated)
+	}
+	if got := s.cache.Len(); digestKeys != got {
+		t.Errorf("digest tracks %d keys, cache holds %d items", digestKeys, got)
+	}
+	for _, k := range keys {
+		if s.cache.Contains(k) && !s.DigestContains(k) {
+			t.Errorf("resident key %q missing from digest (false negative)", k)
+		}
+	}
+}

@@ -259,21 +259,50 @@ func (s *Server) Close() error {
 	return err
 }
 
+// connState is the per-connection scratch: buffered reader/writer plus
+// the protocol parser with its reusable line/field/request scratch.
+// Pooling it means a connection churn storm (the load generator's
+// reconnect loops, chaos tests) does not allocate fresh 4 KB buffers
+// per accept.
+type connState struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+	p  *memproto.Parser
+}
+
+var connStatePool = sync.Pool{
+	New: func() interface{} {
+		cs := &connState{
+			br: bufio.NewReader(nil),
+			bw: bufio.NewWriter(nil),
+		}
+		cs.p = memproto.NewParser(cs.br)
+		return cs
+	},
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	sp := s.tracer.Start("server.conn")
 	sp.SetAttr("remote", conn.RemoteAddr().String())
+	cs := connStatePool.Get().(*connState)
+	cs.br.Reset(conn)
+	cs.bw.Reset(conn)
 	defer func() {
 		sp.End()
 		conn.Close()
+		// Drop the conn reference before pooling so the pool does not
+		// pin closed sockets.
+		cs.br.Reset(nil)
+		cs.bw.Reset(nil)
+		connStatePool.Put(cs)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br, bw := cs.br, cs.bw
 	for {
-		req, err := memproto.ReadRequest(br)
+		req, err := cs.p.Next()
 		if err != nil {
 			if err == io.EOF {
 				return

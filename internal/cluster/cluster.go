@@ -46,8 +46,12 @@ type Config struct {
 	// one shared placement (0 or 1 disables).
 	Replicas int
 	// NewClient builds a protocol client for a node address; nil uses
-	// cacheclient.New defaults.
+	// cacheclient.New defaults (honouring ClientMaxConns below).
 	NewClient func(addr string) *cacheclient.Client
+	// ClientMaxConns bounds each default-built client's connection pool;
+	// 0 uses cacheclient.DefaultMaxConns. Ignored when NewClient is set
+	// (a custom constructor owns its own options).
+	ClientMaxConns int
 	// After schedules delayed work (the TTL expiry); nil uses
 	// time.AfterFunc. Tests inject a manual trigger.
 	After func(d time.Duration, fn func()) (cancel func())
@@ -127,7 +131,13 @@ func New(cfg Config) (*Coordinator, error) {
 	placement := replicated.Placement()
 	newClient := cfg.NewClient
 	if newClient == nil {
-		newClient = func(addr string) *cacheclient.Client { return cacheclient.New(addr) }
+		maxConns := cfg.ClientMaxConns
+		newClient = func(addr string) *cacheclient.Client {
+			if maxConns > 0 {
+				return cacheclient.New(addr, cacheclient.WithMaxConns(maxConns))
+			}
+			return cacheclient.New(addr)
+		}
 	}
 	after := cfg.After
 	if after == nil {

@@ -82,6 +82,10 @@ func Fig6(scale Scale) (*Fig6Result, error) {
 			caches[i] = cache.New(cache.Config{
 				MaxBytes: int64(pages) * keyOverhead,
 				Clock:    func() time.Time { return epoch },
+				// One shard: the figure sweeps exact global LRU
+				// capacity, which per-shard budgets would distort at
+				// the small end of the sweep.
+				Shards: 1,
 			})
 		}
 		var hits, total uint64

@@ -70,6 +70,43 @@ func (c *cache) getRacy() {
 	c.stats.gets++ // want `counter c\.stats\.gets mutated without holding c's mutex`
 }
 
+// The sharded-cache idiom: per-shard counters live behind the shard's
+// own mutex, while cross-shard totals use atomics so readers never take
+// all the locks.
+type shard struct {
+	mu        sync.Mutex
+	liveBytes int
+}
+
+type sharded struct {
+	shards []shard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// touch mutates the shard counter under that shard's lock and the
+// global tally through an atomic — both accepted.
+func (c *sharded) touch(i, n int) {
+	s := &c.shards[i]
+	s.mu.Lock()
+	s.liveBytes += n
+	s.mu.Unlock()
+	c.hits.Add(1)
+}
+
+// touchRacy reaches into a shard without its lock.
+func (c *sharded) touchRacy(i, n int) {
+	s := &c.shards[i]
+	s.liveBytes += n // want `counter s\.liveBytes mutated without holding s's mutex`
+	c.misses.Add(1)
+}
+
+// evictLocked follows the lock-held naming convention — accepted even
+// though the lock is taken by the caller.
+func (c *sharded) evictLocked(i, n int) {
+	c.shards[i].liveBytes -= n
+}
+
 // hist is registered in its declaration — accepted.
 var hist = metrics.New()
 

@@ -74,8 +74,10 @@ const (
 	// MaxValueLen is the largest accepted value (memcached's 1 MB
 	// default; Proteus digests of the paper's recommended size fit).
 	MaxValueLen = 8 << 20
-	// maxLineLen bounds a command line.
-	maxLineLen = 4096
+	// MaxLineLen bounds a command line. Clients batching multi-key
+	// gets must split key lists so each line stays within it.
+	MaxLineLen = 4096
+	maxLineLen = MaxLineLen
 )
 
 // Errors shared by the codec.

@@ -1,0 +1,127 @@
+package memproto
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Parser.Next must hand back requests whose scratch is safely reused:
+// the Request and Keys slice are invalidated by the next call, but Data
+// and the key strings are fresh allocations the caller may keep.
+func TestParserPipelinedStream(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString("set k1 7 0 3\r\nabc\r\n")
+	in.WriteString("get k1 k2 k3\r\n")
+	in.WriteString("delete k1 noreply\r\n")
+	in.WriteString("incr n 5\r\n")
+	p := NewParser(bufio.NewReader(&in))
+
+	req, err := p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Command != CmdSet || req.Key() != "k1" || req.Flags != 7 || string(req.Data) != "abc" {
+		t.Fatalf("set parsed as %+v", req)
+	}
+	keptKey, keptData := req.Key(), req.Data
+
+	req, err = p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Command != CmdGet || len(req.Keys) != 3 || req.Keys[2] != "k3" {
+		t.Fatalf("get parsed as %+v", req)
+	}
+	// Values retained from the previous request must be unaffected by
+	// the parser reusing its scratch.
+	if keptKey != "k1" || string(keptData) != "abc" {
+		t.Fatalf("retained key/data corrupted by reuse: %q %q", keptKey, keptData)
+	}
+
+	req, err = p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Command != CmdDelete || !req.NoReply {
+		t.Fatalf("delete parsed as %+v", req)
+	}
+
+	req, err = p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Command != CmdIncr || req.Delta != 5 {
+		t.Fatalf("incr parsed as %+v", req)
+	}
+
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("end of stream error = %v, want io.EOF", err)
+	}
+}
+
+// Steady-state parsing of a single-key GET allocates only the key
+// string itself (the line buffer, field table and Request are scratch).
+func TestParserGetAllocs(t *testing.T) {
+	payload := []byte("get somekey\r\n")
+	r := bytes.NewReader(payload)
+	br := bufio.NewReader(r)
+	p := NewParser(br)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := r.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		br.Reset(r)
+		req, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Key() != "somekey" {
+			t.Fatalf("parsed key %q", req.Key())
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("GET parse allocates %.1f objects/op, want <= 1 (the key string)", allocs)
+	}
+}
+
+// The numeric field parsers must agree with strconv on bounds.
+func TestParseNumericBytes(t *testing.T) {
+	if _, ok := parseUintBytes([]byte("4294967295"), 32); !ok {
+		t.Error("uint32 max rejected")
+	}
+	if _, ok := parseUintBytes([]byte("4294967296"), 32); ok {
+		t.Error("uint32 overflow accepted")
+	}
+	if _, ok := parseUintBytes([]byte("18446744073709551615"), 64); !ok {
+		t.Error("uint64 max rejected")
+	}
+	if _, ok := parseUintBytes([]byte("18446744073709551616"), 64); ok {
+		t.Error("uint64 overflow accepted")
+	}
+	if _, ok := parseUintBytes([]byte("-1"), 64); ok {
+		t.Error("negative accepted as uint")
+	}
+	if _, ok := parseUintBytes([]byte(""), 64); ok {
+		t.Error("empty accepted as uint")
+	}
+	if n, ok := parseIntBytes([]byte("-9223372036854775808")); !ok || n != -9223372036854775808 {
+		t.Errorf("int64 min = %d, %v", n, ok)
+	}
+	if _, ok := parseIntBytes([]byte("-9223372036854775809")); ok {
+		t.Error("int64 underflow accepted")
+	}
+	if n, ok := parseIntBytes([]byte("9223372036854775807")); !ok || n != 9223372036854775807 {
+		t.Errorf("int64 max = %d, %v", n, ok)
+	}
+	if _, ok := parseIntBytes([]byte("9223372036854775808")); ok {
+		t.Error("int64 overflow accepted")
+	}
+	if n, ok := parseIntBytes([]byte("+42")); !ok || n != 42 {
+		t.Errorf("+42 = %d, %v", n, ok)
+	}
+	if _, ok := parseIntBytes([]byte("-")); ok {
+		t.Error("bare sign accepted")
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // Request is one parsed client command.
@@ -28,64 +26,115 @@ func (r *Request) Key() string {
 	return r.Keys[0]
 }
 
+// Parser reads requests from one connection, reusing per-connection
+// scratch (the line buffer, the field table, the Request struct and its
+// Keys backing array) so steady-state parsing allocates only what the
+// caller may retain: the key strings and, for storage commands, the
+// freshly allocated Data payload. cacheserver keeps one Parser per
+// connection (pooled across connections via sync.Pool).
+type Parser struct {
+	br     *bufio.Reader
+	req    Request
+	keys   []string // reused backing array for req.Keys
+	fields [][]byte // reused field table, aliasing the reader's buffer
+}
+
+// NewParser builds a Parser reading from br. The bufio.Reader's buffer
+// must be at least maxLineLen bytes (the bufio.NewReader default) so a
+// maximal command line fits without copying.
+func NewParser(br *bufio.Reader) *Parser { return &Parser{br: br} }
+
+// Reset rebinds the parser to a new stream, keeping its scratch.
+func (p *Parser) Reset(br *bufio.Reader) { p.br = br }
+
 // ReadRequest parses one command from the stream. io.EOF is returned
-// unwrapped when the connection closes cleanly between commands.
+// unwrapped when the connection closes cleanly between commands. The
+// returned Request is freshly allocated and owned by the caller; hot
+// server loops use Parser.Next instead to avoid the per-request
+// allocations.
 func ReadRequest(br *bufio.Reader) (*Request, error) {
-	line, err := readLine(br)
+	p := &Parser{br: br}
+	return p.Next()
+}
+
+// Next parses one command. The returned Request points into the
+// parser's scratch: it, and its Keys slice, are valid only until the
+// following Next call. Data (storage payloads) and the key strings are
+// freshly allocated and may be retained.
+func (p *Parser) Next() (*Request, error) {
+	line, err := p.readLineSlice()
 	if err != nil {
 		return nil, err
 	}
-	fields := strings.Fields(line)
+	fields := splitFields(line, p.fields[:0])
+	p.fields = fields
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("%w: empty command line", ErrProtocol)
 	}
-	switch fields[0] {
+	p.req = Request{}
+	switch string(fields[0]) {
 	case "get", "gets":
-		return parseGet(fields)
+		return p.parseGet(fields)
 	case "set", "add", "replace", "cas", "append", "prepend":
-		return parseStore(br, fields)
+		return p.parseStore(fields)
 	case "incr", "decr":
-		return parseArith(fields)
+		return p.parseArith(fields)
 	case "delete":
-		return parseDelete(fields)
+		return p.parseDelete(fields)
 	case "touch":
-		return parseTouch(fields)
+		return p.parseTouch(fields)
 	case "stats":
-		return &Request{Command: CmdStats}, nil
+		p.req.Command = CmdStats
+		return &p.req, nil
 	case "flush_all":
-		req := &Request{Command: CmdFlushAll}
-		req.NoReply = hasNoReply(fields[1:])
-		return req, nil
+		p.req.Command = CmdFlushAll
+		p.req.NoReply = hasNoReply(fields[1:])
+		return &p.req, nil
 	case "version":
-		return &Request{Command: CmdVersion}, nil
+		p.req.Command = CmdVersion
+		return &p.req, nil
 	case "quit":
-		return &Request{Command: CmdQuit}, nil
+		p.req.Command = CmdQuit
+		return &p.req, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
 	}
 }
 
-func parseGet(fields []string) (*Request, error) {
+// setKeys fills req.Keys from raw key fields, reusing the backing
+// array. Each key string is a fresh allocation (it may be retained as a
+// map key by the store).
+func (p *Parser) setKeys(raw [][]byte) error {
+	p.keys = p.keys[:0]
+	for _, f := range raw {
+		if !validKeyBytes(f) {
+			return fmt.Errorf("%w: %q", ErrBadKey, f)
+		}
+		p.keys = append(p.keys, string(f))
+	}
+	p.req.Keys = p.keys
+	return nil
+}
+
+func (p *Parser) parseGet(fields [][]byte) (*Request, error) {
 	cmd := CmdGet
-	if fields[0] == "gets" {
+	if len(fields[0]) == 4 { // "gets"
 		cmd = CmdGets
 	}
 	if len(fields) < 2 {
 		return nil, fmt.Errorf("%w: %s needs at least one key", ErrProtocol, fields[0])
 	}
-	keys := fields[1:]
-	for _, k := range keys {
-		if !ValidKey(k) {
-			return nil, fmt.Errorf("%w: %q", ErrBadKey, k)
-		}
+	if err := p.setKeys(fields[1:]); err != nil {
+		return nil, err
 	}
-	return &Request{Command: cmd, Keys: keys}, nil
+	p.req.Command = cmd
+	return &p.req, nil
 }
 
-func parseStore(br *bufio.Reader, fields []string) (*Request, error) {
+func (p *Parser) parseStore(fields [][]byte) (*Request, error) {
 	// <cmd> <key> <flags> <exptime> <bytes> [cas] [noreply]
 	var cmd Command
-	switch fields[0] {
+	switch string(fields[0]) {
 	case "set":
 		cmd = CmdSet
 	case "add":
@@ -106,20 +155,19 @@ func parseStore(br *bufio.Reader, fields []string) (*Request, error) {
 	if len(fields) < minFields || len(fields) > maxFields {
 		return nil, fmt.Errorf("%w: bad %s syntax", ErrProtocol, fields[0])
 	}
-	key := fields[1]
-	if !ValidKey(key) {
-		return nil, fmt.Errorf("%w: %q", ErrBadKey, key)
+	if err := p.setKeys(fields[1:2]); err != nil {
+		return nil, err
 	}
-	flags, err := strconv.ParseUint(fields[2], 10, 32)
-	if err != nil {
+	flags, ok := parseUintBytes(fields[2], 32)
+	if !ok {
 		return nil, fmt.Errorf("%w: bad flags %q", ErrProtocol, fields[2])
 	}
-	exptime, err := strconv.ParseInt(fields[3], 10, 64)
-	if err != nil {
+	exptime, ok := parseIntBytes(fields[3])
+	if !ok {
 		return nil, fmt.Errorf("%w: bad exptime %q", ErrProtocol, fields[3])
 	}
-	size, err := strconv.ParseInt(fields[4], 10, 64)
-	if err != nil || size < 0 {
+	size, ok := parseIntBytes(fields[4])
+	if !ok || size < 0 {
 		return nil, fmt.Errorf("%w: bad bytes %q", ErrProtocol, fields[4])
 	}
 	if size > MaxValueLen {
@@ -128,74 +176,202 @@ func parseStore(br *bufio.Reader, fields []string) (*Request, error) {
 	var cas uint64
 	rest := fields[5:]
 	if cmd == CmdCas {
-		cas, err = strconv.ParseUint(fields[5], 10, 64)
-		if err != nil {
+		cas, ok = parseUintBytes(fields[5], 64)
+		if !ok {
 			return nil, fmt.Errorf("%w: bad cas token %q", ErrProtocol, fields[5])
 		}
 		rest = fields[6:]
 	}
 	noReply := hasNoReply(rest)
 	data := make([]byte, size)
-	if _, err := io.ReadFull(br, data); err != nil {
+	if _, err := io.ReadFull(p.br, data); err != nil {
 		return nil, fmt.Errorf("%w: short data block: %v", ErrProtocol, err)
 	}
-	if err := expectCRLF(br); err != nil {
+	if err := expectCRLF(p.br); err != nil {
 		return nil, err
 	}
-	return &Request{
-		Command: cmd, Keys: []string{key}, Flags: uint32(flags),
-		Exptime: exptime, Data: data, CAS: cas, NoReply: noReply,
-	}, nil
+	p.req.Command = cmd
+	p.req.Flags = uint32(flags)
+	p.req.Exptime = exptime
+	p.req.Data = data
+	p.req.CAS = cas
+	p.req.NoReply = noReply
+	return &p.req, nil
 }
 
 // parseArith handles incr/decr: <cmd> <key> <delta> [noreply].
-func parseArith(fields []string) (*Request, error) {
+func (p *Parser) parseArith(fields [][]byte) (*Request, error) {
 	if len(fields) < 3 || len(fields) > 4 {
 		return nil, fmt.Errorf("%w: bad %s syntax", ErrProtocol, fields[0])
 	}
 	cmd := CmdIncr
-	if fields[0] == "decr" {
+	if fields[0][0] == 'd' {
 		cmd = CmdDecr
 	}
-	if !ValidKey(fields[1]) {
-		return nil, fmt.Errorf("%w: %q", ErrBadKey, fields[1])
+	if err := p.setKeys(fields[1:2]); err != nil {
+		return nil, err
 	}
-	delta, err := strconv.ParseUint(fields[2], 10, 64)
-	if err != nil {
+	delta, ok := parseUintBytes(fields[2], 64)
+	if !ok {
 		return nil, fmt.Errorf("%w: bad delta %q", ErrProtocol, fields[2])
 	}
-	return &Request{Command: cmd, Keys: []string{fields[1]}, Delta: delta, NoReply: hasNoReply(fields[3:])}, nil
+	p.req.Command = cmd
+	p.req.Delta = delta
+	p.req.NoReply = hasNoReply(fields[3:])
+	return &p.req, nil
 }
 
-func parseDelete(fields []string) (*Request, error) {
+func (p *Parser) parseDelete(fields [][]byte) (*Request, error) {
 	if len(fields) < 2 || len(fields) > 3 {
 		return nil, fmt.Errorf("%w: bad delete syntax", ErrProtocol)
 	}
-	if !ValidKey(fields[1]) {
-		return nil, fmt.Errorf("%w: %q", ErrBadKey, fields[1])
+	if err := p.setKeys(fields[1:2]); err != nil {
+		return nil, err
 	}
-	return &Request{Command: CmdDelete, Keys: []string{fields[1]}, NoReply: hasNoReply(fields[2:])}, nil
+	p.req.Command = CmdDelete
+	p.req.NoReply = hasNoReply(fields[2:])
+	return &p.req, nil
 }
 
-func parseTouch(fields []string) (*Request, error) {
+func (p *Parser) parseTouch(fields [][]byte) (*Request, error) {
 	if len(fields) < 3 || len(fields) > 4 {
 		return nil, fmt.Errorf("%w: bad touch syntax", ErrProtocol)
 	}
-	if !ValidKey(fields[1]) {
-		return nil, fmt.Errorf("%w: %q", ErrBadKey, fields[1])
+	if err := p.setKeys(fields[1:2]); err != nil {
+		return nil, err
 	}
-	exptime, err := strconv.ParseInt(fields[2], 10, 64)
-	if err != nil {
+	exptime, ok := parseIntBytes(fields[2])
+	if !ok {
 		return nil, fmt.Errorf("%w: bad exptime %q", ErrProtocol, fields[2])
 	}
-	return &Request{Command: CmdTouch, Keys: []string{fields[1]}, Exptime: exptime, NoReply: hasNoReply(fields[3:])}, nil
+	p.req.Command = CmdTouch
+	p.req.Exptime = exptime
+	p.req.NoReply = hasNoReply(fields[3:])
+	return &p.req, nil
 }
 
-func hasNoReply(rest []string) bool {
-	return len(rest) == 1 && rest[0] == "noreply"
+func hasNoReply(rest [][]byte) bool {
+	return len(rest) == 1 && string(rest[0]) == "noreply"
+}
+
+// readLineSlice reads one CRLF- (or LF-) terminated line without the
+// terminator, rejecting oversized lines. The returned slice aliases the
+// reader's buffer and is valid only until the next read.
+func (p *Parser) readLineSlice() ([]byte, error) {
+	line, err := p.br.ReadSlice('\n')
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return nil, io.EOF
+		}
+		if err == bufio.ErrBufferFull {
+			return nil, fmt.Errorf("%w: line too long", ErrProtocol)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if len(line) > maxLineLen {
+		return nil, fmt.Errorf("%w: line too long", ErrProtocol)
+	}
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}
+
+// splitFields splits a command line into whitespace-separated fields,
+// appending into dst (whose backing array is reused call to call). The
+// separator set is the ASCII whitespace bytes a command line can
+// contain; key validation independently rejects anything at or below
+// the space byte.
+func splitFields(line []byte, dst [][]byte) [][]byte {
+	start := -1
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\v', '\f', '\r', '\n':
+			if start >= 0 {
+				dst = append(dst, line[start:i])
+				start = -1
+			}
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, line[start:])
+	}
+	return dst
+}
+
+// validKeyBytes is ValidKey for a raw field.
+func validKeyBytes(key []byte) bool {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// parseUintBytes parses an unsigned decimal without allocating,
+// rejecting values that overflow the given bit width.
+func parseUintBytes(b []byte, bits int) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	max := uint64(1)<<uint(bits) - 1
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (max-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// parseIntBytes parses a signed decimal (optional +/-) without
+// allocating, rejecting int64 overflow.
+func parseIntBytes(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	limit := uint64(1) << 63 // |math.MinInt64|
+	if !neg {
+		limit--
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (limit-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	if neg {
+		return -int64(n), true
+	}
+	return int64(n), true
 }
 
 // WriteTo encodes the request for the client side of the connection.
+// The encoding is allocation-free so pipelined batches (MultiGet) cost
+// nothing beyond the buffered bytes.
 func (r *Request) WriteTo(bw *bufio.Writer) error {
 	switch r.Command {
 	case CmdGet, CmdGets:
@@ -222,55 +398,67 @@ func (r *Request) WriteTo(bw *bufio.Writer) error {
 		if len(r.Data) > MaxValueLen {
 			return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(r.Data))
 		}
-		casField := ""
+		bw.WriteString(r.Command.String())
+		bw.WriteByte(' ')
+		bw.WriteString(r.Key())
+		bw.WriteByte(' ')
+		writeUint(bw, uint64(r.Flags))
+		bw.WriteByte(' ')
+		writeInt(bw, r.Exptime)
+		bw.WriteByte(' ')
+		writeUint(bw, uint64(len(r.Data)))
 		if r.Command == CmdCas {
-			casField = fmt.Sprintf(" %d", r.CAS)
+			bw.WriteByte(' ')
+			writeUint(bw, r.CAS)
 		}
-		suffix := ""
 		if r.NoReply {
-			suffix = " noreply"
+			bw.WriteString(" noreply")
 		}
-		if _, err := fmt.Fprintf(bw, "%s %s %d %d %d%s%s\r\n",
-			r.Command, r.Key(), r.Flags, r.Exptime, len(r.Data), casField, suffix); err != nil {
-			return err
-		}
-		if _, err := bw.Write(r.Data); err != nil {
-			return err
-		}
+		bw.WriteString("\r\n")
+		bw.Write(r.Data)
 		_, err := bw.WriteString("\r\n")
 		return err
 	case CmdIncr, CmdDecr:
 		if !ValidKey(r.Key()) {
 			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
 		}
-		suffix := ""
+		bw.WriteString(r.Command.String())
+		bw.WriteByte(' ')
+		bw.WriteString(r.Key())
+		bw.WriteByte(' ')
+		writeUint(bw, r.Delta)
 		if r.NoReply {
-			suffix = " noreply"
+			bw.WriteString(" noreply")
 		}
-		_, err := fmt.Fprintf(bw, "%s %s %d%s\r\n", r.Command, r.Key(), r.Delta, suffix)
+		_, err := bw.WriteString("\r\n")
 		return err
 	case CmdDelete:
 		if !ValidKey(r.Key()) {
 			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
 		}
-		suffix := ""
+		bw.WriteString("delete ")
+		bw.WriteString(r.Key())
 		if r.NoReply {
-			suffix = " noreply"
+			bw.WriteString(" noreply")
 		}
-		_, err := fmt.Fprintf(bw, "delete %s%s\r\n", r.Key(), suffix)
+		_, err := bw.WriteString("\r\n")
 		return err
 	case CmdTouch:
 		if !ValidKey(r.Key()) {
 			return fmt.Errorf("%w: %q", ErrBadKey, r.Key())
 		}
-		suffix := ""
+		bw.WriteString("touch ")
+		bw.WriteString(r.Key())
+		bw.WriteByte(' ')
+		writeInt(bw, r.Exptime)
 		if r.NoReply {
-			suffix = " noreply"
+			bw.WriteString(" noreply")
 		}
-		_, err := fmt.Fprintf(bw, "touch %s %d%s\r\n", r.Key(), r.Exptime, suffix)
+		_, err := bw.WriteString("\r\n")
 		return err
 	case CmdStats, CmdFlushAll, CmdVersion, CmdQuit:
-		_, err := fmt.Fprintf(bw, "%s\r\n", r.Command)
+		bw.WriteString(r.Command.String())
+		_, err := bw.WriteString("\r\n")
 		return err
 	default:
 		return fmt.Errorf("%w: cannot encode %v", ErrProtocol, r.Command)
@@ -278,20 +466,16 @@ func (r *Request) WriteTo(bw *bufio.Writer) error {
 }
 
 // readLine reads one CRLF- (or LF-) terminated line without the
-// terminator, rejecting oversized lines.
+// terminator, rejecting oversized lines. Client-side response readers
+// use it; the server-side Parser uses the alias-returning
+// readLineSlice.
 func readLine(br *bufio.Reader) (string, error) {
-	line, err := br.ReadString('\n')
+	p := Parser{br: br}
+	line, err := p.readLineSlice()
 	if err != nil {
-		if err == io.EOF && line == "" {
-			return "", io.EOF
-		}
-		return "", fmt.Errorf("%w: %v", ErrProtocol, err)
+		return "", err
 	}
-	if len(line) > maxLineLen {
-		return "", fmt.Errorf("%w: line too long", ErrProtocol)
-	}
-	line = strings.TrimRight(line, "\r\n")
-	return line, nil
+	return string(line), nil
 }
 
 func expectCRLF(br *bufio.Reader) error {

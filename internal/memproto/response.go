@@ -10,29 +10,60 @@ import (
 )
 
 // Server-side response writers.
+//
+// The hot-path writers (WriteValue, WriteNumber, WriteReply, WriteEnd)
+// are allocation-free: numbers are formatted with strconv.AppendUint
+// into stack arrays and lines are emitted as a sequence of WriteString
+// and Write calls so a GET hit costs zero heap allocations end to end.
+
+// maxDecimalLen is the longest decimal rendering the writers emit
+// (math.MinInt64 with its sign).
+const maxDecimalLen = 20
+
+// writeUint appends n in decimal without allocating. The digits are
+// appended into the writer's own buffer (AvailableBuffer); a stack
+// array would escape through the Write call and defeat the zero-alloc
+// contract.
+func writeUint(bw *bufio.Writer, n uint64) {
+	if bw.Available() < maxDecimalLen {
+		// Make room; a short early flush is harmless and its error is
+		// sticky — the Write below reports it.
+		_ = bw.Flush()
+	}
+	bw.Write(strconv.AppendUint(bw.AvailableBuffer(), n, 10))
+}
+
+// writeInt appends n in decimal without allocating.
+func writeInt(bw *bufio.Writer, n int64) {
+	if bw.Available() < maxDecimalLen {
+		_ = bw.Flush() // as in writeUint: sticky error, reported below
+	}
+	bw.Write(strconv.AppendInt(bw.AvailableBuffer(), n, 10))
+}
 
 // WriteValue emits one VALUE block of a retrieval response. When
 // v.HasCAS is set the CAS token is appended ("gets" responses).
 func WriteValue(bw *bufio.Writer, v Value) error {
-	var err error
+	bw.WriteString("VALUE ")
+	bw.WriteString(v.Key)
+	bw.WriteByte(' ')
+	writeUint(bw, uint64(v.Flags))
+	bw.WriteByte(' ')
+	writeUint(bw, uint64(len(v.Data)))
 	if v.HasCAS {
-		_, err = fmt.Fprintf(bw, "VALUE %s %d %d %d\r\n", v.Key, v.Flags, len(v.Data), v.CAS)
-	} else {
-		_, err = fmt.Fprintf(bw, "VALUE %s %d %d\r\n", v.Key, v.Flags, len(v.Data))
+		bw.WriteByte(' ')
+		writeUint(bw, v.CAS)
 	}
-	if err != nil {
-		return err
-	}
-	if _, err := bw.Write(v.Data); err != nil {
-		return err
-	}
-	_, err = bw.WriteString("\r\n")
+	bw.WriteString("\r\n")
+	bw.Write(v.Data)
+	_, err := bw.WriteString("\r\n")
 	return err
 }
 
 // WriteNumber emits an incr/decr result line.
 func WriteNumber(bw *bufio.Writer, n uint64) error {
-	_, err := fmt.Fprintf(bw, "%d\r\n", n)
+	writeUint(bw, n)
+	_, err := bw.WriteString("\r\n")
 	return err
 }
 
@@ -44,7 +75,10 @@ func WriteEnd(bw *bufio.Writer) error {
 
 // WriteReply emits a single reply line such as STORED or NOT_FOUND.
 func WriteReply(bw *bufio.Writer, reply string) error {
-	_, err := bw.WriteString(reply + "\r\n")
+	if _, err := bw.WriteString(reply); err != nil {
+		return err
+	}
+	_, err := bw.WriteString("\r\n")
 	return err
 }
 
@@ -56,7 +90,11 @@ func WriteStats(bw *bufio.Writer, stats map[string]string) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if _, err := fmt.Fprintf(bw, "STAT %s %s\r\n", name, stats[name]); err != nil {
+		bw.WriteString("STAT ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(stats[name])
+		if _, err := bw.WriteString("\r\n"); err != nil {
 			return err
 		}
 	}
@@ -65,13 +103,17 @@ func WriteStats(bw *bufio.Writer, stats map[string]string) error {
 
 // WriteClientError emits a CLIENT_ERROR line (bad request syntax).
 func WriteClientError(bw *bufio.Writer, msg string) error {
-	_, err := fmt.Fprintf(bw, "CLIENT_ERROR %s\r\n", msg)
+	bw.WriteString("CLIENT_ERROR ")
+	bw.WriteString(msg)
+	_, err := bw.WriteString("\r\n")
 	return err
 }
 
 // WriteServerError emits a SERVER_ERROR line (server-side failure).
 func WriteServerError(bw *bufio.Writer, msg string) error {
-	_, err := fmt.Fprintf(bw, "SERVER_ERROR %s\r\n", msg)
+	bw.WriteString("SERVER_ERROR ")
+	bw.WriteString(msg)
+	_, err := bw.WriteString("\r\n")
 	return err
 }
 
@@ -108,14 +150,21 @@ func errorReply(line string) *ServerError {
 // ReadValues consumes a retrieval response: zero or more VALUE blocks
 // terminated by END.
 func ReadValues(br *bufio.Reader) ([]Value, error) {
-	var values []Value
+	return ReadValuesAppend(br, nil)
+}
+
+// ReadValuesAppend is ReadValues appending into dst, so pipelined
+// clients can reuse one scratch slice across batches. The Value structs
+// are appended to dst's backing array; each Data payload is still a
+// fresh allocation (callers retain it).
+func ReadValuesAppend(br *bufio.Reader, dst []Value) ([]Value, error) {
 	for {
 		line, err := readLine(br)
 		if err != nil {
 			return nil, err
 		}
 		if line == ReplyEnd {
-			return values, nil
+			return dst, nil
 		}
 		if se := errorReply(line); se != nil {
 			return nil, se
@@ -148,7 +197,7 @@ func ReadValues(br *bufio.Reader) ([]Value, error) {
 			return nil, err
 		}
 		value.Data = data
-		values = append(values, value)
+		dst = append(dst, value)
 	}
 }
 

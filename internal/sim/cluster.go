@@ -80,6 +80,10 @@ func newCacheNode(eng *Engine, id int, capacityBytes int64, ttl time.Duration, d
 		Clock:      eng.Clock(),
 		OnLink:     func(key string) { n.digest.Insert(key) },
 		OnUnlink:   func(key string) { n.digest.Delete(key) },
+		// The DES is single-threaded, so sharding buys nothing; one
+		// shard keeps the paper's exact global-LRU eviction order in
+		// every replay.
+		Shards: 1,
 	})
 	return n, nil
 }

@@ -1,0 +1,131 @@
+package webtier
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// FetchMany must resolve a mixed batch — some keys cached, some cold —
+// with the cached subset served from the pipelined per-owner batches
+// and the cold subset taking the database path with write-through.
+func TestFetchManyMixedResidency(t *testing.T) {
+	e := newEnv(t, 3, 3)
+	var keys []string
+	for i := 0; i < 12; i++ {
+		keys = append(keys, e.corpus.Key(i))
+	}
+	// Warm half the batch.
+	for i := 0; i < 6; i++ {
+		if _, _, err := e.front.Fetch(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.front.Stats()
+
+	got, err := e.front.FetchMany(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("FetchMany resolved %d of %d keys", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if string(got[k]) != string(e.corpus.Page(i)) {
+			t.Fatalf("key %q: wrong body", k)
+		}
+	}
+	after := e.front.Stats()
+	if hits := after.Hits - before.Hits; hits != 6 {
+		t.Errorf("batched fetch recorded %d hits, want 6", hits)
+	}
+	if db := after.DBFetches - before.DBFetches; db != 6 {
+		t.Errorf("batched fetch hit the database %d times, want 6", db)
+	}
+
+	// The whole batch is now resident: a second call is pure cache.
+	before = e.front.Stats()
+	if _, err := e.front.FetchMany(keys...); err != nil {
+		t.Fatal(err)
+	}
+	after = e.front.Stats()
+	if db := after.DBFetches - before.DBFetches; db != 0 {
+		t.Errorf("fully warm batch still hit the database %d times", db)
+	}
+	if hits := after.Hits - before.Hits; hits != uint64(len(keys)) {
+		t.Errorf("fully warm batch recorded %d hits, want %d", hits, len(keys))
+	}
+}
+
+// Duplicate keys in the request resolve to one fetch each and still
+// appear once in the result.
+func TestFetchManyDuplicateKeys(t *testing.T) {
+	e := newEnv(t, 2, 2)
+	k := e.corpus.Key(3)
+	got, err := e.front.FetchMany(k, k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[k]) != string(e.corpus.Page(3)) {
+		t.Fatalf("FetchMany(dup) = %v", got)
+	}
+	if db := e.front.Stats().DBFetches; db != 1 {
+		t.Errorf("duplicate keys caused %d DB fetches, want 1", db)
+	}
+}
+
+// Chunked objects resolve through FetchMany too: the manifest arrives
+// in the owner batch and the pieces are gathered with per-owner
+// pipelined batches.
+func TestFetchManyChunked(t *testing.T) {
+	e := newChunkedEnv(t, 4, 4, 64)
+	var keys []string
+	for i := 0; i < 4; i++ {
+		keys = append(keys, e.corpus.Key(i))
+	}
+	// Warm so manifests and pieces are resident.
+	for _, k := range keys {
+		if _, _, err := e.front.Fetch(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.front.Stats().DBFetches
+	got, err := e.front.FetchMany(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if string(got[k]) != string(e.corpus.Page(i)) {
+			t.Fatalf("key %q: wrong reassembled body", k)
+		}
+	}
+	if db := e.front.Stats().DBFetches - before; db != 0 {
+		t.Errorf("warm chunked batch hit the database %d times", db)
+	}
+}
+
+// The /pages route serves a JSON map of the batched fetch.
+func TestHTTPPagesBatch(t *testing.T) {
+	e := newEnv(t, 2, 2)
+	k0, k1 := e.corpus.Key(0), e.corpus.Key(1)
+	req := httptest.NewRequest("GET", fmt.Sprintf("/pages?keys=%s,%s", k0, k1), nil)
+	rec := httptest.NewRecorder()
+	e.front.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /pages = %d: %s", rec.Code, rec.Body.String())
+	}
+	var got map[string][]byte
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[k0]) != string(e.corpus.Page(0)) || string(got[k1]) != string(e.corpus.Page(1)) {
+		t.Fatalf("/pages returned wrong bodies")
+	}
+
+	rec = httptest.NewRecorder()
+	e.front.ServeHTTP(rec, httptest.NewRequest("GET", "/pages", nil))
+	if rec.Code != 400 {
+		t.Errorf("GET /pages without keys = %d, want 400", rec.Code)
+	}
+}
