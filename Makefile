@@ -5,7 +5,12 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke cover
+
+# Minimum total statement coverage for `make cover`, recorded when the
+# conformance harness landed. Raise it when coverage rises; never
+# lower it to make a PR pass.
+COVER_MIN ?= 80.0
 
 all: build test lint
 
@@ -41,6 +46,44 @@ bench-compare:
 # machine-independent — unlike bench-compare's timing thresholds).
 allocs-check:
 	$(GO) test -run 'Alloc' ./internal/cacheserver ./internal/memproto
+
+# Conformance smoke: the model-based checker (internal/check) over a
+# fixed seed set on both execution planes, under the race detector,
+# plus a byte-identity diff of two same-seed runs (the determinism
+# proof CI relies on) and an end-to-end probe+shrink validation via
+# the deliberately seeded bug. Budget: well under 60 s.
+CHECK_SEEDS := 11 12 13
+check-smoke:
+	@$(GO) build -race -o /tmp/proteus-check-race ./cmd/proteus-check
+	@for seed in $(CHECK_SEEDS); do \
+		echo "check-smoke: seed $$seed, 5000 steps, both planes"; \
+		/tmp/proteus-check-race -seed $$seed -steps 5000 -plane both -o /dev/null \
+			> /tmp/proteus-check-$$seed.a || exit 1; \
+	done
+	@/tmp/proteus-check-race -seed 11 -steps 5000 -plane both -o /dev/null \
+		> /tmp/proteus-check-11.b
+	@diff /tmp/proteus-check-11.a /tmp/proteus-check-11.b \
+		|| { echo "check-smoke: same seed produced different reports"; exit 1; }
+	@echo "check-smoke: seeded-bug catch + shrink"
+	@if /tmp/proteus-check-race -seed 3 -steps 2000 -seed-bug -o /tmp/proteus-viol.check \
+		> /tmp/proteus-check-bug.out 2>&1; then \
+		echo "check-smoke: seeded bug NOT caught"; exit 1; fi
+	@grep -q "power-safety" /tmp/proteus-check-bug.out \
+		|| { echo "check-smoke: wrong probe"; cat /tmp/proteus-check-bug.out; exit 1; }
+	@if /tmp/proteus-check-race -replay /tmp/proteus-viol.check \
+		> /dev/null 2>&1; then \
+		echo "check-smoke: artifact replay did not reproduce"; exit 1; fi
+	@echo "check-smoke: ok"
+
+# Total statement coverage across the tree; fails below COVER_MIN.
+cover:
+	@$(GO) test -count=1 -coverprofile=/tmp/proteus-cover.out \
+		-coverpkg=./internal/...,./cmd/... ./... > /dev/null
+	@total=$$($(GO) tool cover -func=/tmp/proteus-cover.out \
+		| awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 >= m+0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% fell below the $(COVER_MIN)% floor"; exit 1; }
 
 fmt:
 	@out="$$(gofmt -l .)"; \

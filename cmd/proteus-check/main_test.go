@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanExploration(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-seed", "1", "-steps", "150", "-plane", "both"}, &out)
+	if err != nil {
+		t.Fatalf("clean run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "outcome: ok") {
+		t.Fatalf("report missing ok outcome:\n%s", out.String())
+	}
+}
+
+// -seed-bug must produce a non-zero outcome, write a replayable
+// artifact, and -replay of that artifact must reproduce the violation.
+func TestRunSeededBugAndReplay(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "viol.check")
+	var out bytes.Buffer
+	err := run([]string{"-seed", "3", "-steps", "2000", "-seed-bug", "-o", artifact}, &out)
+	if err == nil {
+		t.Fatalf("seeded bug not reported as an error:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "probe violation") {
+		t.Fatalf("error %q, want a probe violation", err)
+	}
+	if !strings.Contains(out.String(), "power-safety") {
+		t.Fatalf("report missing the power-safety probe:\n%s", out.String())
+	}
+	if _, statErr := os.Stat(artifact); statErr != nil {
+		t.Fatalf("artifact not written: %v", statErr)
+	}
+
+	out.Reset()
+	err = run([]string{"-replay", artifact}, &out)
+	if err == nil || !strings.Contains(err.Error(), "probe violation") {
+		t.Fatalf("replay did not reproduce the violation: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replaying ") {
+		t.Fatalf("replay banner missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-plane", "imaginary"}, &out); err == nil {
+		t.Error("bad plane accepted")
+	}
+	if err := run([]string{"extra", "args"}, &out); err == nil {
+		t.Error("positional arguments accepted")
+	}
+	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "nope.check")}, &out); err == nil {
+		t.Error("missing artifact accepted")
+	}
+}

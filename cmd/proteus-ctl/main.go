@@ -33,28 +33,43 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("proteus-ctl: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	server := flag.String("server", "127.0.0.1:11211", "cache server address")
-	admin := flag.String("admin", "", "proteusd admin HTTP address; stats scrapes /metrics from it, traces requires it")
-	flag.Parse()
-	args := flag.Args()
+func run(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("proteus-ctl", flag.ContinueOnError)
+	server := fs.String("server", "127.0.0.1:11211", "cache server address")
+	admin := fs.String("admin", "", "proteusd admin HTTP address; stats scrapes /metrics from it, traces requires it")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		log.Fatal("missing subcommand (get, set, delete, incr, decr, stats, traces, digest, version)")
+		return fmt.Errorf("missing subcommand (get, set, delete, incr, decr, stats, traces, digest, version)")
 	}
 
 	// The admin-plane subcommands talk HTTP, not the cache protocol.
 	if args[0] == "traces" || (args[0] == "stats" && *admin != "") {
 		if *admin == "" {
-			log.Fatalf("%s: set -admin to the proteusd admin address", args[0])
+			return fmt.Errorf("%s: set -admin to the proteusd admin address", args[0])
+		}
+		body, err := adminGet(*admin, map[string]string{
+			"stats":  "/metrics",
+			"traces": "/debug/traces",
+		}[args[0]])
+		if err != nil {
+			return err
 		}
 		switch args[0] {
 		case "stats":
-			printMetrics(adminGet(*admin, "/metrics"))
+			printMetrics(stdout, body)
 		case "traces":
-			os.Stdout.Write(adminGet(*admin, "/debug/traces"))
-			fmt.Println()
+			stdout.Write(body)
+			fmt.Fprintln(stdout)
 		}
-		return
+		return nil
 	}
 
 	client := cacheclient.New(*server)
@@ -62,37 +77,55 @@ func main() {
 
 	switch args[0] {
 	case "get":
-		requireArgs(args, 2)
-		value, ok, err := client.Get(args[1])
-		fatalIf(err)
-		if !ok {
-			log.Fatalf("%s: not found", args[1])
+		if err := requireArgs(args, 2); err != nil {
+			return err
 		}
-		os.Stdout.Write(value)
-		fmt.Println()
+		value, ok, err := client.Get(args[1])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%s: not found", args[1])
+		}
+		stdout.Write(value)
+		fmt.Fprintln(stdout)
 	case "set":
-		requireArgs(args, 3)
+		if err := requireArgs(args, 3); err != nil {
+			return err
+		}
 		var exptime int64
 		if len(args) > 3 {
 			var err error
 			exptime, err = strconv.ParseInt(args[3], 10, 64)
-			fatalIf(err)
+			if err != nil {
+				return err
+			}
 		}
-		fatalIf(client.Set(args[1], []byte(args[2]), exptime))
-		fmt.Println("STORED")
+		if err := client.Set(args[1], []byte(args[2]), exptime); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "STORED")
 	case "delete":
-		requireArgs(args, 2)
+		if err := requireArgs(args, 2); err != nil {
+			return err
+		}
 		deleted, err := client.Delete(args[1])
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		if deleted {
-			fmt.Println("DELETED")
+			fmt.Fprintln(stdout, "DELETED")
 		} else {
-			fmt.Println("NOT_FOUND")
+			fmt.Fprintln(stdout, "NOT_FOUND")
 		}
 	case "incr", "decr":
-		requireArgs(args, 3)
+		if err := requireArgs(args, 3); err != nil {
+			return err
+		}
 		delta, err := strconv.ParseUint(args[2], 10, 64)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		var (
 			value uint64
 			found bool
@@ -102,57 +135,72 @@ func main() {
 		} else {
 			value, found, err = client.Decrement(args[1], delta)
 		}
-		fatalIf(err)
-		if !found {
-			log.Fatalf("%s: not found", args[1])
+		if err != nil {
+			return err
 		}
-		fmt.Println(value)
+		if !found {
+			return fmt.Errorf("%s: not found", args[1])
+		}
+		fmt.Fprintln(stdout, value)
 	case "stats":
 		stats, err := client.Stats()
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		names := make([]string, 0, len(stats))
 		for name := range stats {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("%-20s %s\n", name, stats[name])
+			fmt.Fprintf(stdout, "%-20s %s\n", name, stats[name])
 		}
 	case "digest":
-		requireArgs(args, 2)
+		if err := requireArgs(args, 2); err != nil {
+			return err
+		}
 		digest, err := client.FetchDigest()
-		fatalIf(err)
-		fmt.Printf("digest: %d bits, %d hashes, fill %.4f\n",
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "digest: %d bits, %d hashes, fill %.4f\n",
 			digest.Bits(), digest.Hashes(), digest.FillRatio())
 		for _, key := range args[1:] {
-			fmt.Printf("%-30s %v\n", key, digest.Contains(key))
+			fmt.Fprintf(stdout, "%-30s %v\n", key, digest.Contains(key))
 		}
 	case "version":
 		version, err := client.Version()
-		fatalIf(err)
-		fmt.Println(version)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, version)
 	default:
-		log.Fatalf("unknown subcommand %q", args[0])
+		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+	return nil
 }
 
-// adminGet fetches one admin-endpoint path, fatally reporting transport
-// or status errors.
-func adminGet(addr, path string) []byte {
+// adminGet fetches one admin-endpoint path, reporting transport or
+// status errors.
+func adminGet(addr, path string) ([]byte, error) {
 	resp, err := http.Get("http://" + addr + path)
-	fatalIf(err)
+	if err != nil {
+		return nil, err
+	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
-	fatalIf(err)
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("GET %s: %s", path, resp.Status)
+	if err != nil {
+		return nil, err
 	}
-	return body
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return body, nil
 }
 
 // printMetrics renders Prometheus exposition text as an aligned table,
 // turning each family's HELP line into a section header.
-func printMetrics(body []byte) {
+func printMetrics(stdout io.Writer, body []byte) {
 	type sample struct{ name, value string }
 	var samples []sample
 	flush := func() {
@@ -163,7 +211,7 @@ func printMetrics(body []byte) {
 			}
 		}
 		for _, s := range samples {
-			fmt.Printf("  %-*s %s\n", width, s.name, s.value)
+			fmt.Fprintf(stdout, "  %-*s %s\n", width, s.name, s.value)
 		}
 		samples = samples[:0]
 	}
@@ -174,7 +222,7 @@ func printMetrics(body []byte) {
 			flush()
 			rest := strings.TrimPrefix(line, "# HELP ")
 			name, help, _ := strings.Cut(rest, " ")
-			fmt.Printf("%s — %s\n", name, help)
+			fmt.Fprintf(stdout, "%s — %s\n", name, help)
 		case strings.HasPrefix(line, "#"):
 		default:
 			// Samples are "name{labels} value"; the value never
@@ -187,14 +235,9 @@ func printMetrics(body []byte) {
 	flush()
 }
 
-func requireArgs(args []string, n int) {
+func requireArgs(args []string, n int) error {
 	if len(args) < n {
-		log.Fatalf("%s: missing arguments", args[0])
+		return fmt.Errorf("%s: missing arguments", args[0])
 	}
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	return nil
 }

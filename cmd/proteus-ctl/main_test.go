@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proteus/internal/cacheserver"
+	"proteus/internal/testutil"
+)
+
+// startServer launches a cache server on a loopback port and returns
+// its address; teardown rides t.Cleanup.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := cacheserver.New(cacheserver.Config{Digest: testutil.SmallDigest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// ctl runs one subcommand against addr and returns its stdout.
+func ctl(t *testing.T, addr string, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(append([]string{"-server", addr}, args...), &out); err != nil {
+		t.Fatalf("ctl %v: %v", args, err)
+	}
+	return out.String()
+}
+
+func TestDataPlaneSubcommands(t *testing.T) {
+	addr := startServer(t)
+
+	if got := ctl(t, addr, "set", "page:1", "hello"); got != "STORED\n" {
+		t.Fatalf("set output %q", got)
+	}
+	if got := ctl(t, addr, "get", "page:1"); got != "hello\n" {
+		t.Fatalf("get output %q", got)
+	}
+
+	ctl(t, addr, "set", "ctr", "5")
+	if got := ctl(t, addr, "incr", "ctr", "3"); got != "8\n" {
+		t.Fatalf("incr output %q", got)
+	}
+	if got := ctl(t, addr, "decr", "ctr", "2"); got != "6\n" {
+		t.Fatalf("decr output %q", got)
+	}
+
+	if got := ctl(t, addr, "delete", "page:1"); got != "DELETED\n" {
+		t.Fatalf("delete output %q", got)
+	}
+	if got := ctl(t, addr, "delete", "page:1"); got != "NOT_FOUND\n" {
+		t.Fatalf("second delete output %q", got)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-server", addr, "get", "page:1"}, &out); err == nil {
+		t.Fatal("get of a deleted key succeeded")
+	}
+
+	if got := ctl(t, addr, "stats"); !strings.Contains(got, "curr_items") {
+		t.Fatalf("stats output missing curr_items:\n%s", got)
+	}
+	if got := ctl(t, addr, "version"); strings.TrimSpace(got) == "" {
+		t.Fatal("empty version")
+	}
+}
+
+// The digest subcommand fetches the server's counting filter and
+// answers per-key membership: a stored key is present, an unknown key
+// (almost surely) is not.
+func TestDigestSubcommand(t *testing.T) {
+	addr := startServer(t)
+	ctl(t, addr, "set", "page:7", "x")
+	got := ctl(t, addr, "digest", "page:7", "never-stored")
+	if !strings.Contains(got, "digest:") {
+		t.Fatalf("digest header missing:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 probes, got:\n%s", got)
+	}
+	if !strings.Contains(lines[1], "true") {
+		t.Fatalf("stored key reported absent: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "false") {
+		t.Fatalf("unknown key reported present: %q", lines[2])
+	}
+}
+
+// The admin-plane subcommands scrape the proteusd admin HTTP endpoints
+// instead of speaking the cache protocol.
+func TestAdminPlaneSubcommands(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics":
+			w.Write([]byte("# HELP proteus_cache_hits Cache hits.\n# TYPE proteus_cache_hits counter\nproteus_cache_hits 42\n"))
+		case "/debug/traces":
+			w.Write([]byte(`[{"span":"get"}]`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out bytes.Buffer
+	if err := run([]string{"-admin", addr, "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "proteus_cache_hits — Cache hits.") ||
+		!strings.Contains(got, "42") {
+		t.Fatalf("admin stats output:\n%s", got)
+	}
+
+	out.Reset()
+	if err := run([]string{"-admin", addr, "traces"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"span":"get"`) {
+		t.Fatalf("traces output: %q", out.String())
+	}
+
+	// traces without -admin is an error, not a cache-protocol call.
+	if err := run([]string{"traces"}, &out); err == nil {
+		t.Fatal("traces without -admin accepted")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	// None of these paths reach the network: argument validation happens
+	// before any connection is dialed.
+	addr := "127.0.0.1:1"
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"-server", addr, "frobnicate"}, &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"-server", addr, "set", "k"}, &out); err == nil {
+		t.Error("set without a value accepted")
+	}
+	if err := run([]string{"-server", addr, "incr", "k", "NaN"}, &out); err == nil {
+		t.Error("non-numeric delta accepted")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -22,71 +23,80 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("proteus-placement: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	n := flag.Int("n", 10, "number of cache servers in the provisioning order")
-	showRanges := flag.Bool("ranges", false, "print the full host-range table")
-	export := flag.String("export", "", "write the binary placement encoding to this path")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("proteus-placement", flag.ContinueOnError)
+	n := fs.Int("n", 10, "number of cache servers in the provisioning order")
+	showRanges := fs.Bool("ranges", false, "print the full host-range table")
+	export := fs.String("export", "", "write the binary placement encoding to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p, err := core.New(*n)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("placement for N=%d servers\n", *n)
-	fmt.Printf("  virtual nodes: %d (Theorem 1 lower bound: %d)\n",
+	fmt.Fprintf(stdout, "placement for N=%d servers\n", *n)
+	fmt.Fprintf(stdout, "  virtual nodes: %d (Theorem 1 lower bound: %d)\n",
 		p.NumVirtualNodes(), core.VirtualNodeLowerBound(*n))
-	fmt.Printf("  fingerprint:   %016x\n\n", p.Fingerprint())
+	fmt.Fprintf(stdout, "  fingerprint:   %016x\n\n", p.Fingerprint())
 
 	if *showRanges {
-		fmt.Printf("%-6s %-22s %-22s %s\n", "idx", "start", "length", "ownership chain")
+		fmt.Fprintf(stdout, "%-6s %-22s %-22s %s\n", "idx", "start", "length", "ownership chain")
 		for i, r := range p.Ranges() {
-			fmt.Printf("%-6d %-22d %-22d %v\n", i, r.Start, r.Length, r.Chain)
+			fmt.Fprintf(stdout, "%-6d %-22d %-22d %v\n", i, r.Start, r.Length, r.Chain)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println("balance: per-server key-space share at each fleet size")
-	fmt.Printf("%-4s", "n")
+	fmt.Fprintln(stdout, "balance: per-server key-space share at each fleet size")
+	fmt.Fprintf(stdout, "%-4s", "n")
 	for s := 0; s < *n; s++ {
-		fmt.Printf(" s%-7d", s)
+		fmt.Fprintf(stdout, " s%-7d", s)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for active := 1; active <= *n; active++ {
-		fmt.Printf("%-4d", active)
+		fmt.Fprintf(stdout, "%-4d", active)
 		for s := 0; s < *n; s++ {
 			frac := p.OwnedFraction(s, active)
 			if frac == 0 {
-				fmt.Printf(" %-8s", "-")
+				fmt.Fprintf(stdout, " %-8s", "-")
 			} else {
-				fmt.Printf(" %-8.4f", frac)
+				fmt.Fprintf(stdout, " %-8.4f", frac)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println("\nmigration matrix: fraction of key space remapped from n (row) to n' (col)")
-	fmt.Printf("%-4s", "")
+	fmt.Fprintln(stdout, "\nmigration matrix: fraction of key space remapped from n (row) to n' (col)")
+	fmt.Fprintf(stdout, "%-4s", "")
 	for to := 1; to <= *n; to++ {
-		fmt.Printf(" %-7d", to)
+		fmt.Fprintf(stdout, " %-7d", to)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for from := 1; from <= *n; from++ {
-		fmt.Printf("%-4d", from)
+		fmt.Fprintf(stdout, "%-4d", from)
 		for to := 1; to <= *n; to++ {
-			fmt.Printf(" %-7.3f", p.MigratedFraction(from, to))
+			fmt.Fprintf(stdout, " %-7.3f", p.MigratedFraction(from, to))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *export != "" {
 		data, err := p.MarshalBinary()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*export, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nwrote %d-byte placement encoding to %s\n", len(data), *export)
+		fmt.Fprintf(stdout, "\nwrote %d-byte placement encoding to %s\n", len(data), *export)
 	}
+	return nil
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proteus/internal/core"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"placement for N=4 servers",
+		"fingerprint:",
+		"balance: per-server key-space share",
+		"migration matrix",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The default summary omits the host-range table.
+	if strings.Contains(s, "ownership chain") {
+		t.Error("range table printed without -ranges")
+	}
+}
+
+func TestRunRanges(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", "-ranges"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ownership chain") {
+		t.Fatalf("-ranges output missing the host-range table:\n%s", out.String())
+	}
+}
+
+// The exported binary encoding must decode to a placement with the same
+// fingerprint the summary printed.
+func TestRunExportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.bin")
+	var out bytes.Buffer
+	if err := run([]string{"-n", "5", "-export", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.UnmarshalPlacement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("exported fingerprint %016x, want %016x", p.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-n", "6"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two runs with identical flags produced different output")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -24,33 +25,37 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("proteus-tracegen: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	out := flag.String("out", "-", "output path ('-' for stdout)")
-	duration := flag.Duration("duration", time.Hour, "trace length")
-	meanRPS := flag.Float64("mean-rps", 100, "mean request rate")
-	corpusPages := flag.Int("corpus-pages", 100000, "page population")
-	zipf := flag.Float64("zipf", workload.DefaultZipfAlpha, "popularity skew (negative for uniform)")
-	seed := flag.Int64("seed", 1, "reproducibility seed")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("proteus-tracegen", flag.ContinueOnError)
+	out := fs.String("out", "-", "output path ('-' for stdout)")
+	duration := fs.Duration("duration", time.Hour, "trace length")
+	meanRPS := fs.Float64("mean-rps", 100, "mean request rate")
+	corpusPages := fs.Int("corpus-pages", 100000, "page population")
+	zipf := fs.Float64("zipf", workload.DefaultZipfAlpha, "popularity skew (negative for uniform)")
+	seed := fs.Int64("seed", 1, "reproducibility seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	corpus, err := wiki.New(*corpusPages, wiki.DefaultPageSize)
 	if err != nil {
-		log.Fatalf("corpus: %v", err)
+		return fmt.Errorf("corpus: %w", err)
 	}
 
 	var w *bufio.Writer
 	if *out == "-" {
-		w = bufio.NewWriter(os.Stdout)
+		w = bufio.NewWriter(stdout)
 	} else {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("create: %v", err)
+			return fmt.Errorf("create: %w", err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatalf("close: %v", err)
-			}
-		}()
+		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
 
@@ -71,13 +76,14 @@ func main() {
 		return true
 	})
 	if err != nil {
-		log.Fatalf("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
 	if genErr != nil {
-		log.Fatalf("write: %v", genErr)
+		return fmt.Errorf("write: %w", genErr)
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatalf("flush: %v", err)
+		return fmt.Errorf("flush: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d events covering %v\n", count, *duration)
+	fmt.Fprintf(stderr, "wrote %d events covering %v\n", count, *duration)
+	return nil
 }

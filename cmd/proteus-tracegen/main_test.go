@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/workload"
+)
+
+func genArgs(out string, seed string) []string {
+	return []string{
+		"-out", out,
+		"-duration", "30s",
+		"-mean-rps", "40",
+		"-corpus-pages", "200",
+		"-seed", seed,
+	}
+}
+
+// The generated file must parse back through workload.ReadTrace with
+// non-decreasing timestamps inside the requested duration.
+func TestRunWritesParseableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "day.trace")
+	var stdout, stderr bytes.Buffer
+	if err := run(genArgs(path, "7"), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "wrote ") {
+		t.Fatalf("stderr missing event count: %q", stderr.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	count, last := 0, time.Duration(-1)
+	err = workload.ReadTrace(f, func(e workload.Event) bool {
+		if e.At < last {
+			t.Fatalf("timestamps regressed: %v after %v", e.At, last)
+		}
+		if e.At > 30*time.Second {
+			t.Fatalf("event at %v beyond the 30s duration", e.At)
+		}
+		if e.Key == "" {
+			t.Fatal("empty key in trace")
+		}
+		last = e.At
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~40 rps * 30 s = ~1200 events; diurnal shaping moves it around.
+	if count < 100 {
+		t.Fatalf("only %d events in a 30s/40rps trace", count)
+	}
+}
+
+func TestRunStdoutDash(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(genArgs("-", "7"), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("no trace written to stdout for -out -")
+	}
+}
+
+func TestRunSeedDeterminism(t *testing.T) {
+	var a, b, c, discard bytes.Buffer
+	if err := run(genArgs("-", "3"), &a, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(genArgs("-", "3"), &b, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(genArgs("-", "4"), &c, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("one seed produced two different traces")
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-corpus-pages", "0"}, &stdout, &stderr); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"proteus/internal/memproto"
 	"proteus/internal/telemetry"
+	"proteus/internal/testutil"
 )
 
 // The zero-alloc contract for the request hot path (ISSUE: hot-path
@@ -16,7 +17,7 @@ import (
 
 func allocServer(t *testing.T) *Server {
 	t.Helper()
-	s, err := New(Config{Digest: smallDigest(), Telemetry: telemetry.NewRegistry()})
+	s, err := New(Config{Digest: testutil.SmallDigest(), Telemetry: telemetry.NewRegistry()})
 	if err != nil {
 		t.Fatal(err)
 	}

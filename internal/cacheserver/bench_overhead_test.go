@@ -7,6 +7,7 @@ import (
 
 	"proteus/internal/memproto"
 	"proteus/internal/telemetry"
+	"proteus/internal/testutil"
 )
 
 // benchGetServer builds a server with one resident key and returns a
@@ -14,7 +15,7 @@ import (
 // benchmark isolates the handle() hot path.
 func benchGetServer(b *testing.B, reg *telemetry.Registry) (*Server, *memproto.Request) {
 	b.Helper()
-	s, err := New(Config{Digest: smallDigest(), Telemetry: reg})
+	s, err := New(Config{Digest: testutil.SmallDigest(), Telemetry: reg})
 	if err != nil {
 		b.Fatal(err)
 	}

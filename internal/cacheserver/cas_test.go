@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"proteus/internal/cacheclient"
+	"proteus/internal/testutil"
 )
 
 func TestGetsAndCompareAndSwapOverTCP(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	if err := c.Set("k", []byte("v1"), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -35,14 +36,14 @@ func TestGetsAndCompareAndSwapOverTCP(t *testing.T) {
 }
 
 func TestGetsMissOmitsValue(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	if _, ok, err := c.Gets("nope"); err != nil || ok {
 		t.Fatalf("Gets(miss) = ok=%v err=%v", ok, err)
 	}
 }
 
 func TestIncrDecrOverTCP(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	if err := c.Set("n", []byte("41"), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestIncrDecrOverTCP(t *testing.T) {
 }
 
 func TestAppendPrependOverTCP(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	if stored, err := c.Append("k", []byte("x")); err != nil || stored {
 		t.Fatalf("Append(absent) = %v,%v", stored, err)
 	}
@@ -93,7 +94,7 @@ func TestAppendPrependOverTCP(t *testing.T) {
 // The digest must remain consistent through concat/arith mutations:
 // the key stays resident and the digest keeps reporting it.
 func TestDigestSurvivesMutatingOps(t *testing.T) {
-	s, c := startServer(t, Config{Digest: smallDigest()})
+	s, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	if err := c.Set("n", []byte("1"), 0); err != nil {
 		t.Fatal(err)
 	}

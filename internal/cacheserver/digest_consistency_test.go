@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"proteus/internal/cache"
+	"proteus/internal/testutil"
 )
 
 // The paper's digest contract: the counting Bloom filter tracks cache
@@ -20,7 +21,7 @@ import (
 // callbacks) and runs under -race in CI.
 func TestDigestMatchesCacheUnderConcurrency(t *testing.T) {
 	s, err := New(Config{
-		Digest: smallDigest(),
+		Digest: testutil.SmallDigest(),
 		Cache: cache.Config{
 			// Tight enough that capacity evictions fire constantly.
 			MaxBytes: 48 * 100,

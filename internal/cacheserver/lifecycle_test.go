@@ -7,10 +7,11 @@ import (
 	"time"
 
 	"proteus/internal/cacheclient"
+	"proteus/internal/testutil"
 )
 
 func TestListenAndServe(t *testing.T) {
-	s, err := New(Config{Digest: smallDigest()})
+	s, err := New(Config{Digest: testutil.SmallDigest()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestListenAndServe(t *testing.T) {
 }
 
 func TestListenAndServeBadAddr(t *testing.T) {
-	s, err := New(Config{Digest: smallDigest()})
+	s, err := New(Config{Digest: testutil.SmallDigest()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestListenAndServeBadAddr(t *testing.T) {
 }
 
 func TestServeAfterCloseRejected(t *testing.T) {
-	s, err := New(Config{Digest: smallDigest()})
+	s, err := New(Config{Digest: testutil.SmallDigest()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestServeAfterCloseRejected(t *testing.T) {
 }
 
 func TestAddrBeforeServeIsNil(t *testing.T) {
-	s, err := New(Config{Digest: smallDigest()})
+	s, err := New(Config{Digest: testutil.SmallDigest()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestAddrBeforeServeIsNil(t *testing.T) {
 }
 
 func TestCloseDrainsOpenConnections(t *testing.T) {
-	s, c := startServer(t, Config{Digest: smallDigest()})
+	s, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	// Hold an idle raw connection open; Close must not hang on it.
 	nc, err := net.Dial("tcp", c.Addr())
 	if err != nil {
@@ -112,7 +113,7 @@ func TestCloseDrainsOpenConnections(t *testing.T) {
 }
 
 func TestStatsIncludeDigestFields(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	for i := 0; i < 10; i++ {
 		if err := c.Set(strings.Repeat("x", i+1), []byte("v"), 0); err != nil {
 			t.Fatal(err)

@@ -9,9 +9,9 @@ import (
 	"testing"
 	"time"
 
-	"proteus/internal/bloom"
 	"proteus/internal/cache"
 	"proteus/internal/cacheclient"
+	"proteus/internal/testutil"
 )
 
 // startServer launches a server on a loopback port and returns it with
@@ -41,12 +41,8 @@ func startServer(t *testing.T, cfg Config) (*Server, *cacheclient.Client) {
 	return s, c
 }
 
-func smallDigest() bloom.Params {
-	return bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4}
-}
-
 func TestGetSetDeleteOverTCP(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 
 	if _, ok, err := c.Get("missing"); err != nil || ok {
 		t.Fatalf("Get(missing) = ok=%v err=%v", ok, err)
@@ -69,7 +65,7 @@ func TestGetSetDeleteOverTCP(t *testing.T) {
 }
 
 func TestAddReplaceOverTCP(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	stored, err := c.Add("k", []byte("1"), 0)
 	if err != nil || !stored {
 		t.Fatalf("Add = %v,%v", stored, err)
@@ -89,7 +85,7 @@ func TestAddReplaceOverTCP(t *testing.T) {
 }
 
 func TestMultiGet(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	for i := 0; i < 5; i++ {
 		if err := c.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
 			t.Fatal(err)
@@ -105,7 +101,7 @@ func TestMultiGet(t *testing.T) {
 }
 
 func TestTouchAndExpiry(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	if err := c.Set("k", []byte("v"), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +123,7 @@ func TestTouchAndExpiry(t *testing.T) {
 }
 
 func TestStatsAndVersionAndFlush(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	c.Set("a", []byte("1"), 0)
 	c.Get("a")
 	c.Get("zzz")
@@ -156,7 +152,7 @@ func TestStatsAndVersionAndFlush(t *testing.T) {
 // The paper's digest flow: get(SET_BLOOM_FILTER) snapshots; then
 // get(BLOOM_FILTER) retrieves the bit array as ordinary data.
 func TestDigestSnapshotProtocol(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	for i := 0; i < 500; i++ {
 		if err := c.Set(fmt.Sprintf("page:%d", i), []byte("data"), 0); err != nil {
 			t.Fatal(err)
@@ -198,7 +194,7 @@ func TestDigestSnapshotProtocol(t *testing.T) {
 }
 
 func TestDigestFetchBeforeSnapshotIsMiss(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	_, ok, err := c.Get(KeyFetchDigest)
 	if err != nil || ok {
 		t.Fatalf("BLOOM_FILTER before snapshot: ok=%v err=%v, want miss", ok, err)
@@ -208,7 +204,7 @@ func TestDigestFetchBeforeSnapshotIsMiss(t *testing.T) {
 func TestEvictionKeepsDigestConsistent(t *testing.T) {
 	s, c := startServer(t, Config{
 		Cache:  cache.Config{MaxBytes: 20 * 1024},
-		Digest: smallDigest(),
+		Digest: testutil.SmallDigest(),
 	})
 	value := make([]byte, 1024)
 	for i := 0; i < 100; i++ {
@@ -230,7 +226,7 @@ func TestEvictionKeepsDigestConsistent(t *testing.T) {
 }
 
 func TestRawProtocolSession(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	nc, err := net.Dial("tcp", c.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -269,7 +265,7 @@ func TestRawProtocolSession(t *testing.T) {
 }
 
 func TestMalformedCommandGetsClientError(t *testing.T) {
-	_, c := startServer(t, Config{Digest: smallDigest()})
+	_, c := startServer(t, Config{Digest: testutil.SmallDigest()})
 	nc, err := net.Dial("tcp", c.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -289,7 +285,7 @@ func TestMalformedCommandGetsClientError(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	s, cc := startServer(t, Config{Digest: smallDigest()})
+	s, cc := startServer(t, Config{Digest: testutil.SmallDigest()})
 	addr := cc.Addr()
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
@@ -330,7 +326,7 @@ func TestNewRejectsHookedCacheConfig(t *testing.T) {
 }
 
 func TestCloseIdempotent(t *testing.T) {
-	s, err := New(Config{Digest: smallDigest()})
+	s, err := New(Config{Digest: testutil.SmallDigest()})
 	if err != nil {
 		t.Fatal(err)
 	}

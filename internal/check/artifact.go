@@ -1,0 +1,174 @@
+package check
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The .check artifact is the replayable record of a violation: a
+// line-oriented header carrying the run options, the (minimal)
+// schedule, the violation, and the violating plane's telemetry event
+// stream. The format is append-only versioned: parsers reject unknown
+// versions, ignore the trailing events (they are evidence, not input),
+// and re-derive everything else by replaying the schedule.
+//
+//	proteus-check/v1
+//	seed 42
+//	plane sim
+//	servers 5
+//	initial 3
+//	keys 48
+//	ttl 30s
+//	seed-bug true
+//	violation power-safety at step 7: node 2 powered off ...
+//	history 3
+//	scale 2
+//	get k013
+//	advance 30s
+//	events
+//	[ ...event JSON... ]
+
+const artifactMagic = "proteus-check/v1"
+
+// WriteArtifact renders a report's reproducing schedule as a .check
+// artifact. The schedule written is the minimal one when shrinking
+// succeeded, the full violating prefix otherwise.
+func WriteArtifact(w io.Writer, rep *Report) error {
+	if rep.Violation == nil {
+		return fmt.Errorf("check: nothing to write: the run was clean")
+	}
+	steps, v := rep.History, rep.Violation
+	if rep.Min != nil {
+		steps, v = rep.Min, rep.MinViolation
+	}
+	bw := bufio.NewWriter(w)
+	o := rep.Opt
+	fmt.Fprintln(bw, artifactMagic)
+	fmt.Fprintf(bw, "seed %d\n", o.Seed)
+	fmt.Fprintf(bw, "plane %s\n", o.Plane)
+	fmt.Fprintf(bw, "servers %d\n", o.Servers)
+	fmt.Fprintf(bw, "initial %d\n", o.InitialActive)
+	fmt.Fprintf(bw, "keys %d\n", o.Keys)
+	fmt.Fprintf(bw, "ttl %s\n", o.TTL)
+	fmt.Fprintf(bw, "seed-bug %v\n", o.SeedBug)
+	if v != nil {
+		fmt.Fprintf(bw, "violation %s\n", v)
+	}
+	fmt.Fprintf(bw, "history %d\n", len(steps))
+	for _, s := range steps {
+		fmt.Fprintln(bw, s)
+	}
+	if len(rep.Events) > 0 {
+		fmt.Fprintln(bw, "events")
+		bw.Write(rep.Events)
+		if rep.Events[len(rep.Events)-1] != '\n' {
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseArtifact reads a .check artifact back into the options and the
+// schedule needed to replay it. The recorded violation and events are
+// not trusted: a replay re-derives both.
+func ParseArtifact(r io.Reader) (Options, []Step, error) {
+	sc := bufio.NewScanner(r)
+	var opt Options
+	if !sc.Scan() || sc.Text() != artifactMagic {
+		return opt, nil, fmt.Errorf("check: not a %s artifact", artifactMagic)
+	}
+	historyLen := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		field, rest, _ := strings.Cut(line, " ")
+		var err error
+		switch field {
+		case "seed":
+			opt.Seed, err = strconv.ParseInt(rest, 10, 64)
+		case "plane":
+			opt.Plane, err = ParsePlane(rest)
+		case "servers":
+			opt.Servers, err = strconv.Atoi(rest)
+		case "initial":
+			opt.InitialActive, err = strconv.Atoi(rest)
+		case "keys":
+			opt.Keys, err = strconv.Atoi(rest)
+		case "ttl":
+			opt.TTL, err = time.ParseDuration(rest)
+		case "seed-bug":
+			opt.SeedBug, err = strconv.ParseBool(rest)
+		case "violation":
+			// Recorded evidence; replay re-derives it.
+		case "history":
+			historyLen, err = strconv.Atoi(rest)
+		default:
+			return opt, nil, fmt.Errorf("check: artifact: unknown field %q", field)
+		}
+		if err != nil {
+			return opt, nil, fmt.Errorf("check: artifact: field %q: %v", field, err)
+		}
+		if historyLen >= 0 {
+			break
+		}
+	}
+	if historyLen < 0 {
+		return opt, nil, fmt.Errorf("check: artifact: missing history section")
+	}
+	steps := make([]Step, 0, historyLen)
+	for len(steps) < historyLen && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		st, err := parseStep(line)
+		if err != nil {
+			return opt, nil, err
+		}
+		steps = append(steps, st)
+	}
+	if err := sc.Err(); err != nil {
+		return opt, nil, err
+	}
+	if len(steps) != historyLen {
+		return opt, nil, fmt.Errorf("check: artifact: history promises %d steps, found %d", historyLen, len(steps))
+	}
+	return opt, steps, nil
+}
+
+func parseStep(line string) (Step, error) {
+	verb, rest, _ := strings.Cut(line, " ")
+	switch verb {
+	case "get":
+		return Step{Kind: StepGet, Key: rest}, nil
+	case "set":
+		return Step{Kind: StepSet, Key: rest}, nil
+	case "scale":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return Step{}, fmt.Errorf("check: artifact: scale target %q: %v", rest, err)
+		}
+		return Step{Kind: StepScale, Target: n}, nil
+	case "crash", "partition", "heal":
+		s, err := strconv.Atoi(rest)
+		if err != nil {
+			return Step{}, fmt.Errorf("check: artifact: %s server %q: %v", verb, rest, err)
+		}
+		kind := map[string]StepKind{"crash": StepCrash, "partition": StepPartition, "heal": StepHeal}[verb]
+		return Step{Kind: kind, Server: s}, nil
+	case "advance":
+		d, err := time.ParseDuration(rest)
+		if err != nil {
+			return Step{}, fmt.Errorf("check: artifact: advance %q: %v", rest, err)
+		}
+		return Step{Kind: StepAdvance, Skip: d}, nil
+	default:
+		return Step{}, fmt.Errorf("check: artifact: unknown step %q", line)
+	}
+}

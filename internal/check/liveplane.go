@@ -1,0 +1,205 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"proteus/internal/faultinject"
+	"proteus/internal/telemetry"
+	"proteus/internal/testutil/clustertest"
+	"proteus/internal/webtier"
+)
+
+// vtimer is a cancellable virtual timer for the live plane: the
+// coordinator's TTL expiry schedules through After, and the clock only
+// moves when the schedule says so (StepAdvance). Cancellation must be
+// real — an overlapping transition cancels the pending expiry, and a
+// stale fire would finalize the newer window early, which is exactly
+// the premature power-off the checker exists to catch.
+type vtimer struct {
+	now     time.Duration
+	entries []*ventry
+}
+
+type ventry struct {
+	deadline time.Duration
+	fn       func()
+	canceled bool
+}
+
+func (vt *vtimer) After(d time.Duration, fn func()) func() {
+	e := &ventry{deadline: vt.now + d, fn: fn}
+	vt.entries = append(vt.entries, e)
+	return func() { e.canceled = true }
+}
+
+// Advance moves the clock and fires due entries in deadline order
+// (registration order breaks ties). Fired callbacks may schedule or
+// cancel further entries.
+func (vt *vtimer) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	target := vt.now + d
+	for {
+		best := -1
+		for i, e := range vt.entries {
+			if e.canceled || e.deadline > target {
+				continue
+			}
+			if best == -1 || e.deadline < vt.entries[best].deadline {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := vt.entries[best]
+		vt.entries = append(vt.entries[:best], vt.entries[best+1:]...)
+		// Fire at the entry's own deadline: a callback that schedules a
+		// relative delay measures from its fire time, not the skip's end.
+		vt.now = e.deadline
+		e.fn()
+	}
+	vt.now = target
+	live := vt.entries[:0]
+	for _, e := range vt.entries {
+		if !e.canceled {
+			live = append(live, e)
+		}
+	}
+	vt.entries = live
+}
+
+// backingFunc adapts the oracle's versioned map to webtier.Backing.
+type backingFunc func(key string) (string, bool)
+
+func (f backingFunc) Get(key string) ([]byte, error) {
+	v, ok := f(key)
+	if !ok {
+		return nil, fmt.Errorf("check: backing store has no key %q", key)
+	}
+	return []byte(v), nil
+}
+
+// livePlane drives the real stack — cluster.Coordinator over TCP
+// cacheserver.LocalNodes, fronted by webtier.Frontend — through the
+// checker's step vocabulary.
+type livePlane struct {
+	env   *clustertest.Env
+	front *webtier.Frontend
+	inj   *faultinject.Injector
+	vt    *vtimer
+	log   *telemetry.EventLog
+}
+
+func newLivePlane(opt Options, db func(key string) (string, bool)) (*livePlane, error) {
+	if opt.SeedBug {
+		return nil, fmt.Errorf("check: the seeded-bug hook is sim-plane only")
+	}
+	inj := faultinject.New(opt.Seed)
+	vt := &vtimer{}
+	log := telemetry.NewEventLog(telemetry.EventLogConfig{Clock: func() time.Duration { return vt.now }})
+	env, err := clustertest.New(clustertest.Opts{
+		Nodes:         opt.Servers,
+		InitialActive: opt.InitialActive,
+		TTL:           opt.TTL,
+		Faults:        inj,
+		Seed:          opt.Seed,
+		After:         vt.After,
+		Events:        log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	front, err := webtier.New(webtier.Config{
+		Coordinator: env.Coord,
+		DB:          backingFunc(db),
+		Events:      log,
+	})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	return &livePlane{env: env, front: front, inj: inj, vt: vt, log: log}, nil
+}
+
+func (p *livePlane) Name() string { return "live" }
+
+func (p *livePlane) Get(key string) Observation {
+	data, src, err := p.front.Fetch(key)
+	if err != nil {
+		return Observation{Err: err.Error()}
+	}
+	obs := Observation{Value: string(data), Found: true}
+	switch src {
+	case webtier.SourceNewCache:
+		obs.Src = SourceHit
+	case webtier.SourceOldCache:
+		obs.Src = SourceMigrated
+	default:
+		obs.Src = SourceDB
+	}
+	return obs
+}
+
+func (p *livePlane) Set(key, value string) Observation {
+	if err := p.front.Update(key, []byte(value)); err != nil {
+		return Observation{Err: err.Error()}
+	}
+	return Observation{}
+}
+
+func (p *livePlane) Scale(n int) Observation {
+	err := p.env.Coord.SetActive(n)
+	if err != nil && strings.HasPrefix(err.Error(), "cluster: digest from node") {
+		// A relocation source that cannot produce a digest degrades its
+		// keys to the database path; the transition proceeds. The oracle
+		// models the degradation, so the surfaced error is expected
+		// whenever a source is unreachable — not a violation.
+		err = nil
+	}
+	if err != nil {
+		return Observation{Err: err.Error()}
+	}
+	return Observation{}
+}
+
+func (p *livePlane) Crash(server int) {
+	if server < 0 || server >= len(p.env.Locals) {
+		return
+	}
+	_ = p.env.Locals[server].PowerOff()
+}
+
+func (p *livePlane) Partition(server int) { p.inj.Partition(server) }
+func (p *livePlane) Heal(server int)      { p.inj.Heal(server) }
+
+func (p *livePlane) Advance(d time.Duration) { p.vt.Advance(d) }
+
+func (p *livePlane) State() PlaneState {
+	st := PlaneState{Active: p.env.Coord.Active(), Transition: p.env.Coord.InTransition()}
+	for _, l := range p.env.Locals {
+		ns := NodeState{On: l.Running()}
+		if srv := l.Server(); srv != nil {
+			keys := srv.Cache().Keys() // LRU order; probes want a canonical order
+			sort.Strings(keys)
+			ns.Keys = keys
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	st.Digest = func(node int, key string) bool {
+		srv := p.env.Locals[node].Server()
+		if srv == nil {
+			return false
+		}
+		return srv.DigestContains(key)
+	}
+	return st
+}
+
+func (p *livePlane) Events() *telemetry.EventLog { return p.log }
+
+func (p *livePlane) Close() { p.env.Close() }

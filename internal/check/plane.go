@@ -1,0 +1,162 @@
+package check
+
+import (
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/faultinject"
+	"proteus/internal/sim"
+	"proteus/internal/telemetry"
+)
+
+// Plane is one execution of the cluster semantics the checker can
+// drive: the discrete-event simulator or the live TCP stack. Both
+// consume the same step vocabulary; the probes compare each against the
+// oracle and (in lockstep mode) against each other.
+type Plane interface {
+	// Name is "sim" or "live" in reports.
+	Name() string
+	// Get runs Algorithm 2 for one key.
+	Get(key string) Observation
+	// Set writes value through to the current owner. The backing store
+	// has already advanced (the oracle owns it).
+	Set(key, value string) Observation
+	// Scale executes SetActive(n).
+	Scale(n int) Observation
+	// Crash powers a server off outside any provisioning decision.
+	Crash(server int)
+	// Partition blackholes a server in this plane's fault injector.
+	Partition(server int)
+	// Heal lifts the partition.
+	Heal(server int)
+	// Advance skips the plane's virtual clock, firing any transition
+	// deadline it crosses.
+	Advance(d time.Duration)
+	// State snapshots the observable cluster state for the probes.
+	State() PlaneState
+	// Events returns the plane's telemetry event log.
+	Events() *telemetry.EventLog
+	// Close releases the plane's resources.
+	Close()
+}
+
+// NodeState is one server's observable state.
+type NodeState struct {
+	On   bool
+	Keys []string // sorted resident keys; nil when off
+}
+
+// PlaneState is the probe-visible cluster snapshot.
+type PlaneState struct {
+	Active     int
+	Transition bool
+	Nodes      []NodeState
+	// Digest probes server node's live counting filter; false for a
+	// powered-off server.
+	Digest func(node int, key string) bool
+}
+
+// digestParams returns the counting-filter sizing conformance runs use
+// on both planes: identical parameters and an identical insert stream
+// give bit-identical filters, so even false positives agree across
+// planes.
+func digestParams() bloom.Params {
+	return bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4}
+}
+
+// simPlane adapts sim.Harness to the Plane interface.
+type simPlane struct {
+	h   *sim.Harness
+	inj *faultinject.Injector
+	log *telemetry.EventLog
+}
+
+func newSimPlane(opt Options, db func(key string) (string, bool)) (*simPlane, error) {
+	inj := faultinject.New(opt.Seed)
+	p := &simPlane{inj: inj}
+	p.log = telemetry.NewEventLog(telemetry.EventLogConfig{Clock: func() time.Duration {
+		if p.h == nil {
+			return 0
+		}
+		return p.h.Now()
+	}})
+	h, err := sim.NewHarness(sim.HarnessConfig{
+		Servers:       opt.Servers,
+		InitialActive: opt.InitialActive,
+		TTL:           opt.TTL,
+		DigestParams:  digestParams(),
+		DB: func(key string) ([]byte, bool) {
+			v, ok := db(key)
+			if !ok {
+				return nil, false
+			}
+			return []byte(v), true
+		},
+		Faults:              inj,
+		Events:              p.log,
+		UnsafeEarlyPowerOff: opt.SeedBug,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.h = h
+	return p, nil
+}
+
+func (p *simPlane) Name() string { return "sim" }
+
+func (p *simPlane) Get(key string) Observation {
+	v, src, ok := p.h.Get(key)
+	obs := Observation{Value: string(v), Found: ok}
+	switch src {
+	case sim.SourceHit:
+		obs.Src = SourceHit
+	case sim.SourceMigrated:
+		obs.Src = SourceMigrated
+	default:
+		obs.Src = SourceDB
+	}
+	return obs
+}
+
+func (p *simPlane) Set(key, value string) Observation {
+	p.h.Set(key, []byte(value))
+	return Observation{}
+}
+
+func (p *simPlane) Scale(n int) Observation {
+	if err := p.h.SetActive(n); err != nil {
+		return Observation{Err: err.Error()}
+	}
+	return Observation{}
+}
+
+func (p *simPlane) Crash(server int)     { p.h.Crash(server) }
+func (p *simPlane) Partition(server int) { p.inj.Partition(server) }
+func (p *simPlane) Heal(server int)      { p.inj.Heal(server) }
+func (p *simPlane) Advance(d time.Duration) {
+	p.h.AdvanceClock(d)
+}
+
+func (p *simPlane) State() PlaneState {
+	st := PlaneState{Active: p.h.Active()}
+	open, _ := p.h.InTransition()
+	st.Transition = open
+	for i := 0; i < p.h.Servers(); i++ {
+		ns := NodeState{On: p.h.NodeOn(i)}
+		if ns.On {
+			ns.Keys = p.h.ResidentKeys(i)
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	st.Digest = func(node int, key string) bool {
+		if !p.h.NodeOn(node) {
+			return false
+		}
+		return p.h.DigestContains(node, key)
+	}
+	return st
+}
+
+func (p *simPlane) Events() *telemetry.EventLog { return p.log }
+func (p *simPlane) Close()                      {}

@@ -1,0 +1,271 @@
+package check
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProbeContext is everything a probe may inspect after one step: the
+// reference model (already advanced past the step), the plane's
+// observable state, and what the plane and oracle each said about the
+// step itself.
+type ProbeContext struct {
+	Oracle     *Oracle
+	State      PlaneState
+	StepIndex  int
+	Step       Step
+	Obs        Observation
+	Expected   Observation
+	PrevActive int // active-prefix size before this step applied
+}
+
+// Probe is one pluggable invariant. Probes may carry state across steps
+// (a fresh set is built per run); Check returns nil when the invariant
+// holds.
+type Probe interface {
+	Name() string
+	Check(pc *ProbeContext) *Violation
+}
+
+// defaultProbes builds the standard probe set, strongest first.
+func defaultProbes() []Probe {
+	return []Probe{
+		&conformanceProbe{},
+		&powerProbe{},
+		&residencyProbe{},
+		&digestProbe{},
+		&transitionProbe{},
+		&balanceProbe{},
+		&migrationBoundProbe{},
+		newDoubleMigrationProbe(),
+	}
+}
+
+func violation(name string, pc *ProbeContext, format string, args ...interface{}) *Violation {
+	return &Violation{Probe: name, Step: pc.StepIndex, Detail: fmt.Sprintf(format, args...)}
+}
+
+// conformanceProbe compares every observation with the oracle's
+// prediction: reads must return exactly the predicted value from the
+// predicted source (which encodes the no-stale-read-after-flip
+// guarantee — the oracle serves the freshest copy Algorithm 2 can
+// reach), and no step may surface a client-visible error.
+type conformanceProbe struct{}
+
+func (conformanceProbe) Name() string { return "conformance" }
+
+func (conformanceProbe) Check(pc *ProbeContext) *Violation {
+	if pc.Obs.Err != "" {
+		return violation("conformance", pc, "%s: plane error: %s", pc.Step, pc.Obs.Err)
+	}
+	if pc.Step.Kind != StepGet {
+		return nil
+	}
+	if pc.Obs.Found != pc.Expected.Found {
+		return violation("conformance", pc, "%s: plane found=%v, oracle expects found=%v",
+			pc.Step, pc.Obs.Found, pc.Expected.Found)
+	}
+	if pc.Obs.Value != pc.Expected.Value {
+		return violation("conformance", pc, "%s: plane returned %q, oracle expects %q (stale or corrupt read)",
+			pc.Step, pc.Obs.Value, pc.Expected.Value)
+	}
+	if pc.Obs.Src != pc.Expected.Src {
+		return violation("conformance", pc, "%s: plane served from %s, oracle expects %s",
+			pc.Step, pc.Obs.Src, pc.Expected.Src)
+	}
+	return nil
+}
+
+// powerProbe checks power-state agreement, which encodes the Section IV
+// safety property: a dying server must stay powered until the TTL
+// window closes (monotonic power-off safety), and no server powers off
+// except by crash or finalize.
+type powerProbe struct{}
+
+func (powerProbe) Name() string { return "power-safety" }
+
+func (powerProbe) Check(pc *ProbeContext) *Violation {
+	for i := 0; i < pc.Oracle.Servers(); i++ {
+		want, got := pc.Oracle.NodeOn(i), pc.State.Nodes[i].On
+		if want == got {
+			continue
+		}
+		if open, from, to := pc.Oracle.InTransition(); open && to < from && i >= to && i < from && want && !got {
+			return violation("power-safety", pc,
+				"node %d powered off during the open shrink window %d->%d (TTL not expired)", i, from, to)
+		}
+		return violation("power-safety", pc, "node %d power=%v, oracle expects %v", i, got, want)
+	}
+	return nil
+}
+
+// residencyProbe checks that every node's resident key set matches the
+// model exactly — write-throughs, migrations, flushes, and crash data
+// loss all land where Algorithm 2 says they do.
+type residencyProbe struct{}
+
+func (residencyProbe) Name() string { return "residency" }
+
+func (residencyProbe) Check(pc *ProbeContext) *Violation {
+	for i := 0; i < pc.Oracle.Servers(); i++ {
+		if !pc.State.Nodes[i].On {
+			continue // power mismatches are powerProbe's report
+		}
+		want := pc.Oracle.Resident(i)
+		got := pc.State.Nodes[i].Keys
+		if len(want) != len(got) {
+			return violation("residency", pc, "node %d holds %d keys, oracle expects %d",
+				i, len(got), len(want))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				return violation("residency", pc, "node %d resident set diverges at %q (oracle %q)",
+					i, got[j], want[j])
+			}
+		}
+	}
+	return nil
+}
+
+// digestProbe checks digest↔cache exactness in the direction membership
+// queries can decide: every resident key must be in its node's counting
+// filter. (The converse — filter-positive but non-resident — is
+// indistinguishable from a hash collision by membership queries, and
+// harmless: Algorithm 2 treats it as a false positive and degrades to
+// the database.)
+type digestProbe struct{}
+
+func (digestProbe) Name() string { return "digest-exact" }
+
+func (digestProbe) Check(pc *ProbeContext) *Violation {
+	for i := 0; i < pc.Oracle.Servers(); i++ {
+		if !pc.State.Nodes[i].On {
+			continue
+		}
+		for _, k := range pc.State.Nodes[i].Keys {
+			if !pc.State.Digest(i, k) {
+				return violation("digest-exact", pc, "node %d resident key %q missing from its digest", i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// transitionProbe checks that the plane's transition window opens and
+// closes exactly when the model's does.
+type transitionProbe struct{}
+
+func (transitionProbe) Name() string { return "transition-window" }
+
+func (transitionProbe) Check(pc *ProbeContext) *Violation {
+	open, from, to := pc.Oracle.InTransition()
+	if pc.State.Transition != open {
+		if open {
+			return violation("transition-window", pc, "window %d->%d open in the model but closed on the plane", from, to)
+		}
+		return violation("transition-window", pc, "plane reports an open window; the model's is closed")
+	}
+	return nil
+}
+
+// balanceProbe checks the paper's Balance Condition once per run: under
+// the deterministic placement every active server owns 1/n of the ring,
+// for every prefix size n.
+type balanceProbe struct{ ran bool }
+
+func (balanceProbe) Name() string { return "balance" }
+
+func (p *balanceProbe) Check(pc *ProbeContext) *Violation {
+	if p.ran {
+		return nil
+	}
+	p.ran = true
+	const eps = 1e-9
+	pl := pc.Oracle.Placement()
+	for n := 1; n <= pc.Oracle.Servers(); n++ {
+		for s := 0; s < n; s++ {
+			f := pl.OwnedFraction(s, n)
+			if math.Abs(f-1/float64(n)) > eps {
+				return violation("balance", pc,
+					"prefix %d: server %d owns fraction %.12f, balance condition wants %.12f", n, s, f, 1/float64(n))
+			}
+		}
+	}
+	return nil
+}
+
+// migrationBoundProbe checks, at every scale step, the paper's
+// transition cost bound: the re-mapped fraction of the ring is at most
+// |Δn|/max(n, n').
+type migrationBoundProbe struct{}
+
+func (migrationBoundProbe) Name() string { return "migration-bound" }
+
+func (migrationBoundProbe) Check(pc *ProbeContext) *Violation {
+	if pc.Step.Kind != StepScale {
+		return nil
+	}
+	from, to := pc.PrevActive, pc.Oracle.Active()
+	if from == to {
+		return nil
+	}
+	const eps = 1e-9
+	frac := pc.Oracle.Placement().MigratedFraction(from, to)
+	delta := to - from
+	if delta < 0 {
+		delta = -delta
+	}
+	maxN := from
+	if to > maxN {
+		maxN = to
+	}
+	bound := float64(delta) / float64(maxN)
+	if frac > bound+eps {
+		return violation("migration-bound", pc,
+			"transition %d->%d re-maps fraction %.12f, above the |Δn|/max bound %.12f", from, to, frac, bound)
+	}
+	return nil
+}
+
+// doubleMigrationProbe checks migration amortization: within one
+// transition window a key migrates over the wire at most once, unless
+// the copy installed on the new owner was genuinely lost (owner crash)
+// or the install was impossible (owner unreachable at migration time).
+type doubleMigrationProbe struct {
+	seen map[string]migrationRecord
+}
+
+type migrationRecord struct {
+	flip       int
+	installed  bool
+	owner      int
+	ownerEpoch int
+}
+
+func newDoubleMigrationProbe() *doubleMigrationProbe {
+	return &doubleMigrationProbe{seen: make(map[string]migrationRecord)}
+}
+
+func (*doubleMigrationProbe) Name() string { return "double-migration" }
+
+func (p *doubleMigrationProbe) Check(pc *ProbeContext) *Violation {
+	if pc.Step.Kind != StepGet || pc.Obs.Src != SourceMigrated {
+		return nil
+	}
+	key := pc.Step.Key
+	owner := pc.Oracle.Owner(key)
+	rec, ok := p.seen[key]
+	if ok && rec.flip == pc.Oracle.Flips() && rec.installed &&
+		pc.Oracle.Epoch(rec.owner) == rec.ownerEpoch {
+		return violation("double-migration", pc,
+			"key %q migrated twice in transition %d although owner %d kept the first copy",
+			key, rec.flip, rec.owner)
+	}
+	p.seen[key] = migrationRecord{
+		flip:       pc.Oracle.Flips(),
+		installed:  pc.Oracle.Reachable(owner),
+		owner:      owner,
+		ownerEpoch: pc.Oracle.Epoch(owner),
+	}
+	return nil
+}

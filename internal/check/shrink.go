@@ -1,0 +1,78 @@
+package check
+
+// Shrink delta-debugs a violating history down to a minimal reproducing
+// schedule (ddmin over step subsets, then a greedy single-step sweep).
+// Every trial replays the candidate subset on fresh plane(s) — steps
+// reference absolute keys, servers, and targets, so any subsequence is
+// itself a well-formed schedule. It returns the minimal schedule, the
+// violation it triggers, and the violating plane's event stream at that
+// failure; minV is nil if the input history does not actually violate
+// (a caller bug or a nondeterministic plane, both worth surfacing
+// rather than masking).
+func Shrink(opt Options, history []Step) (min []Step, minV *Violation, events []byte, err error) {
+	fails := func(steps []Step) (*Violation, []byte, error) {
+		v, _, ev, _, err := runHistory(opt, steps)
+		return v, ev, err
+	}
+
+	cur := append([]Step(nil), history...)
+	curV, curEvents, err := fails(cur)
+	if err != nil || curV == nil {
+		return nil, nil, nil, err
+	}
+
+	// ddmin: try dropping ever-finer chunks while the violation
+	// survives.
+	n := 2
+	for len(cur) >= 2 {
+		chunkLen := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunkLen {
+			end := start + chunkLen
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Step, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			v, ev, err := fails(cand)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if v != nil {
+				cur, curV, curEvents = cand, v, ev
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+
+	// Greedy sweep: drop single steps until the schedule is 1-minimal.
+	for i := 0; i < len(cur); {
+		cand := make([]Step, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		v, ev, err := fails(cand)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if v != nil {
+			cur, curV, curEvents = cand, v, ev
+		} else {
+			i++
+		}
+	}
+	return cur, curV, curEvents, nil
+}

@@ -1,0 +1,147 @@
+package chunk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// A zero-length object is legal: zero pieces, an empty reassembly, and
+// a manifest that still round-trips — the frontend stores it as a bare
+// manifest with no piece keys at all.
+func TestZeroLengthObject(t *testing.T) {
+	m, pieces := Split(nil, 4096)
+	if m.Size != 0 || m.Pieces() != 0 || len(pieces) != 0 {
+		t.Fatalf("Split(nil) = %+v with %d pieces", m, len(pieces))
+	}
+	back, err := Reassemble(m, nil)
+	if err != nil {
+		t.Fatalf("Reassemble of empty object: %v", err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty object reassembled to %d bytes", len(back))
+	}
+	decoded, err := DecodeManifest(m.Encode())
+	if err != nil || decoded != m {
+		t.Fatalf("empty manifest round trip = %+v, %v", decoded, err)
+	}
+	// Handing it a spurious piece must fail, not silently concatenate.
+	if _, err := Reassemble(m, [][]byte{{1}}); err == nil {
+		t.Fatal("spurious piece accepted for a zero-length object")
+	}
+}
+
+// An object smaller than one piece stays a single (short) piece.
+func TestSinglePieceObject(t *testing.T) {
+	data := []byte("tiny")
+	m, pieces := Split(data, 4096)
+	if m.Pieces() != 1 || len(pieces) != 1 {
+		t.Fatalf("want exactly one piece, got %d (manifest %+v)", len(pieces), m)
+	}
+	if !bytes.Equal(pieces[0], data) {
+		t.Fatal("single piece does not equal the object")
+	}
+	back, err := Reassemble(m, pieces)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("Reassemble = %q, %v", back, err)
+	}
+}
+
+// When the size is an exact multiple of the piece size, the final piece
+// is full-length — the "may be shorter" clause must not shave it.
+func TestExactMultipleBoundary(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 3*512)
+	m, pieces := Split(data, 512)
+	if m.Pieces() != 3 {
+		t.Fatalf("Pieces = %d, want 3", m.Pieces())
+	}
+	if got := len(pieces[2]); got != 512 {
+		t.Fatalf("final piece is %d bytes, want 512", got)
+	}
+	if _, err := Reassemble(m, pieces); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every shape of missing piece must be rejected: none at all, one
+// dropped from the middle, and a piece replaced by an empty slice.
+func TestMissingPieceError(t *testing.T) {
+	data := make([]byte, 3000)
+	m, pieces := Split(data, 1024)
+	if _, err := Reassemble(m, nil); err == nil {
+		t.Error("nil piece list accepted")
+	}
+	gap := append(append([][]byte{}, pieces[:1]...), pieces[2:]...)
+	if _, err := Reassemble(m, gap); err == nil {
+		t.Error("dropped middle piece accepted")
+	}
+	hole := append([][]byte{}, pieces...)
+	hole[1] = nil
+	if _, err := Reassemble(m, hole); err == nil {
+		t.Error("nil middle piece accepted")
+	}
+}
+
+// Pieces() must be defensive about manifests that never came from
+// Split: non-positive piece sizes yield zero pieces rather than a
+// divide-by-zero or a negative count.
+func TestManifestDegenerateFields(t *testing.T) {
+	if n := (Manifest{Size: 100, PieceSize: 0}).Pieces(); n != 0 {
+		t.Errorf("PieceSize 0: Pieces = %d", n)
+	}
+	if n := (Manifest{Size: 100, PieceSize: -4}).Pieces(); n != 0 {
+		t.Errorf("negative PieceSize: Pieces = %d", n)
+	}
+	// An on-the-wire manifest with a zero piece size is corrupt.
+	raw := make([]byte, manifestLen)
+	binary.BigEndian.PutUint32(raw[0:], manifestMagic)
+	binary.BigEndian.PutUint32(raw[4:], 100)
+	binary.BigEndian.PutUint32(raw[8:], 0)
+	if _, err := DecodeManifest(raw); err == nil {
+		t.Error("zero-piece-size manifest decoded")
+	}
+}
+
+// FuzzManifestRoundTrip drives DecodeManifest with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode to exactly
+// the input (the encoding is canonical) with a sane piece count.
+func FuzzManifestRoundTrip(f *testing.F) {
+	f.Add(Manifest{Size: 0, PieceSize: 4096}.Encode())
+	f.Add(Manifest{Size: 10000, PieceSize: 4096}.Encode())
+	f.Add(Manifest{Size: 1, PieceSize: 1}.Encode())
+	f.Add([]byte("PMANxxxxyyyy"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.PieceSize <= 0 || m.Size < 0 {
+			t.Fatalf("decoder accepted degenerate manifest %+v", m)
+		}
+		if m.Pieces() < 0 {
+			t.Fatalf("negative piece count for %+v", m)
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Fatalf("re-encode of %+v differs from accepted input %x", m, data)
+		}
+	})
+}
+
+// FuzzSplitRoundTrip asserts the core identity on arbitrary data and
+// piece sizes, including the degenerate empty object.
+func FuzzSplitRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 1)
+	f.Add([]byte("hello world"), 4)
+	f.Add(bytes.Repeat([]byte{9}, 4096), 4096)
+	f.Fuzz(func(t *testing.T, data []byte, pieceSize int) {
+		m, pieces := Split(data, pieceSize)
+		back, err := Reassemble(m, pieces)
+		if err != nil {
+			t.Fatalf("Reassemble of fresh split: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("round trip lost data")
+		}
+	})
+}

@@ -5,41 +5,21 @@ import (
 	"testing"
 	"time"
 
-	"proteus/internal/bloom"
 	"proteus/internal/cache"
+	"proteus/internal/testutil"
 )
 
-func testDigest() bloom.Params {
-	return bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4}
-}
-
-// manualTimer lets tests fire the TTL expiry deterministically.
-type manualTimer struct {
-	fns []func()
-}
-
-func (m *manualTimer) After(d time.Duration, fn func()) func() {
-	m.fns = append(m.fns, fn)
-	return func() {}
-}
-
-func (m *manualTimer) fire() {
-	fns := m.fns
-	m.fns = nil
-	for _, fn := range fns {
-		fn()
-	}
-}
-
 // newTestCluster builds n local nodes and a coordinator with initial
-// active servers and a manual TTL timer.
-func newTestCluster(t *testing.T, n, initial int) (*Coordinator, []*LocalNode, *manualTimer) {
+// active servers and a manual TTL timer. It cannot use clustertest
+// (which imports this package); testutil's leaf helpers carry the
+// shared digest parameters and timer.
+func newTestCluster(t *testing.T, n, initial int) (*Coordinator, []*LocalNode, *testutil.ManualTimer) {
 	t.Helper()
-	timer := &manualTimer{}
+	timer := &testutil.ManualTimer{}
 	nodes := make([]Node, n)
 	locals := make([]*LocalNode, n)
 	for i := range nodes {
-		local := NewLocalNode(cache.Config{}, testDigest())
+		local := NewLocalNode(cache.Config{}, testutil.SmallDigest())
 		locals[i] = local
 		nodes[i] = local
 	}
@@ -65,7 +45,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("empty config accepted")
 	}
-	node := NewLocalNode(cache.Config{}, testDigest())
+	node := NewLocalNode(cache.Config{}, testutil.SmallDigest())
 	defer node.PowerOff()
 	if _, err := New(Config{Nodes: []Node{node}, InitialActive: 2, TTL: time.Minute}); err == nil {
 		t.Error("InitialActive > nodes accepted")
@@ -160,7 +140,7 @@ func TestScaleDownSmoothTransition(t *testing.T) {
 	}
 
 	// TTL expiry powers the dying server off and ends the transition.
-	timer.fire()
+	timer.Fire()
 	if coord.InTransition() {
 		t.Fatal("transition still pending after TTL")
 	}
@@ -202,7 +182,7 @@ func TestScaleUpBootsAndMigrates(t *testing.T) {
 	if flagged == 0 {
 		t.Fatal("no keys flagged for migration on scale-up")
 	}
-	timer.fire()
+	timer.Fire()
 	// Scale-up finalization powers nothing off.
 	for i, l := range locals {
 		if !l.Running() {
@@ -265,7 +245,7 @@ func TestCloseRejectsFurtherDecisions(t *testing.T) {
 }
 
 func TestLocalNodePowerCycleKeepsAddr(t *testing.T) {
-	node := NewLocalNode(cache.Config{}, testDigest())
+	node := NewLocalNode(cache.Config{}, testutil.SmallDigest())
 	addr := node.Addr()
 	if err := node.PowerOn(); err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"proteus/internal/cache"
+	"proteus/internal/testutil"
 )
 
 // A node that cannot produce a digest (here: crashed just before the
@@ -52,11 +53,11 @@ func TestTransitionProceedsWithoutDigest(t *testing.T) {
 
 // Replication plumbing at the coordinator level.
 func TestCoordinatorReplication(t *testing.T) {
-	timer := &manualTimer{}
+	timer := &testutil.ManualTimer{}
 	nodes := make([]Node, 4)
 	locals := make([]*LocalNode, 4)
 	for i := range nodes {
-		locals[i] = NewLocalNode(cache.Config{}, testDigest())
+		locals[i] = NewLocalNode(cache.Config{}, testutil.SmallDigest())
 		nodes[i] = locals[i]
 	}
 	coord, err := New(Config{
@@ -126,7 +127,7 @@ func TestCurrentTransitionSnapshot(t *testing.T) {
 	if tr.Deadline.IsZero() {
 		t.Fatal("transition has no deadline")
 	}
-	timer.fire()
+	timer.Fire()
 	if coord.CurrentTransition() != nil {
 		t.Fatal("transition reported after finalize")
 	}

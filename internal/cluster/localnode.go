@@ -19,11 +19,12 @@ type LocalNode struct {
 	digest    bloom.Params
 	fixedAddr string
 
-	mu     sync.Mutex
-	server *cacheserver.Server
-	ln     net.Listener
-	addr   string
-	done   chan error
+	mu       sync.Mutex
+	server   *cacheserver.Server
+	ln       net.Listener
+	reserved net.Listener
+	addr     string
+	done     chan error
 }
 
 // NewLocalNode prepares a node (not yet powered). The first PowerOn
@@ -45,7 +46,12 @@ func (n *LocalNode) Addr() string {
 	if addr != "" {
 		return addr
 	}
-	// Reserve a port without serving: bind, remember, release.
+	// Reserve a port without serving. The listener is HELD, not
+	// released: an initially-inactive node may not power on until a
+	// scale-up minutes later, and a released port can be stolen by any
+	// concurrent process in the meantime (observed as bind flakes under
+	// parallel package tests). The first PowerOn adopts the reservation
+	// instead of re-binding.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "127.0.0.1:0"
@@ -53,10 +59,14 @@ func (n *LocalNode) Addr() string {
 	n.mu.Lock()
 	if n.addr == "" {
 		n.addr = ln.Addr().String()
+		n.reserved = ln
+		ln = nil
 	}
 	addr = n.addr
 	n.mu.Unlock()
-	_ = ln.Close() // reservation release; nothing useful to do on error
+	if ln != nil {
+		_ = ln.Close() // losing racer discards its reservation
+	}
 	return addr
 }
 
@@ -72,10 +82,14 @@ func (n *LocalNode) PowerOn() error {
 	if err != nil {
 		return err
 	}
-	//lint:allow locksafety power transitions are serialized by design; binding under n.mu is what prevents a double PowerOn from racing two servers onto one port
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("cluster: local node bind %s: %w", addr, err)
+	ln := n.reserved
+	n.reserved = nil
+	if ln == nil {
+		//lint:allow locksafety power transitions are serialized by design; binding under n.mu is what prevents a double PowerOn from racing two servers onto one port
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("cluster: local node bind %s: %w", addr, err)
+		}
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -88,8 +102,12 @@ func (n *LocalNode) PowerOn() error {
 func (n *LocalNode) PowerOff() error {
 	n.mu.Lock()
 	srv, done := n.server, n.done
-	n.server, n.ln, n.done = nil, nil, nil
+	reserved := n.reserved
+	n.server, n.ln, n.done, n.reserved = nil, nil, nil, nil
 	n.mu.Unlock()
+	if reserved != nil {
+		_ = reserved.Close() // never powered on; release the held port
+	}
 	if srv == nil {
 		return nil
 	}

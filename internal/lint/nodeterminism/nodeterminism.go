@@ -23,6 +23,7 @@ import (
 var ReplayCritical = map[string]bool{
 	"proteus/internal/bloom":       true,
 	"proteus/internal/cache":       true,
+	"proteus/internal/check":       true,
 	"proteus/internal/chunk":       true,
 	"proteus/internal/core":        true,
 	"proteus/internal/database":    true,

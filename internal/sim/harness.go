@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"proteus/internal/bloom"
+	"proteus/internal/core"
+	"proteus/internal/faultinject"
+	"proteus/internal/telemetry"
+)
+
+// Harness is the DES execution plane of the conformance checker
+// (internal/check): the same substrate the figure-replay runner uses —
+// Engine virtual clock, cache.Cache stores with counting-filter
+// digests, core.Placement routing, Section IV transitions — but driven
+// one operation at a time by an external schedule instead of a closed
+// workload loop. Every method is synchronous in virtual time and the
+// whole state is a pure function of the operation sequence, so the
+// explorer can interleave client ops, transitions, faults, and clock
+// skips arbitrarily and replay them byte-for-byte.
+//
+// The harness mirrors the live plane's semantics operation for
+// operation: Get is Algorithm 2 exactly as webtier.Frontend.fetch runs
+// it (try the new owner, consult the old owner's digest during a
+// transition, fall back to the backing store and write through), and
+// SetActive is cluster.Coordinator.SetActive (finalize a pending
+// window, power on growth, snapshot reachable relocation sources,
+// flip, arm the TTL deadline). Lockstep conformance between the two
+// planes depends on this mirroring.
+type Harness struct {
+	cfg       HarnessConfig
+	eng       *Engine
+	placement *core.Placement
+	nodes     []*cacheNode
+	events    *telemetry.EventLog
+
+	active int
+	trans  *transition
+}
+
+// HarnessConfig configures a Harness. Servers, InitialActive, TTL, and
+// DB are required.
+type HarnessConfig struct {
+	// Servers is the provisioning-order length.
+	Servers int
+	// InitialActive is the starting active prefix (>= 1).
+	InitialActive int
+	// TTL is the transition hot-data window in virtual time.
+	TTL time.Duration
+	// DigestParams sizes each node's counting filter.
+	DigestParams bloom.Params
+	// DB resolves a key in the backing store. It must be deterministic
+	// for replay; the conformance oracle passes its own versioned map.
+	DB func(key string) ([]byte, bool)
+	// Faults, when set, is consulted for partitions exactly where the
+	// live plane consults it (per-operation Decide, digest snapshots,
+	// TransitionStarted). Conformance runs use rule-free injectors —
+	// partitions via Partition/Heal only — so both planes observe
+	// identical schedules; probability rules would advance per-plane
+	// match counters differently (live consults on dial/read/write,
+	// the DES on get/set).
+	Faults *faultinject.Injector
+	// Events, when set, receives the transition timeline on the
+	// harness's virtual clock.
+	Events *telemetry.EventLog
+	// UnsafeEarlyPowerOff is a conformance-test hook: shrink
+	// transitions power dying servers off at the ownership flip
+	// instead of after the TTL window — the exact premature power-off
+	// bug Section IV's safety argument rules out. It exists so the
+	// checker's probes and shrinker can be validated against a known
+	// violation; production configurations never set it.
+	UnsafeEarlyPowerOff bool
+}
+
+// NewHarness builds a harness with the initial prefix powered on.
+func NewHarness(cfg HarnessConfig) (*Harness, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("sim: harness needs at least 1 server, got %d", cfg.Servers)
+	}
+	if cfg.InitialActive < 1 || cfg.InitialActive > cfg.Servers {
+		return nil, fmt.Errorf("sim: harness InitialActive %d out of range 1..%d", cfg.InitialActive, cfg.Servers)
+	}
+	if cfg.TTL <= 0 {
+		return nil, fmt.Errorf("sim: harness TTL must be positive")
+	}
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("sim: harness DB resolver required")
+	}
+	placement, err := core.New(cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		cfg:       cfg,
+		eng:       NewEngine(),
+		placement: placement,
+		events:    cfg.Events,
+		active:    cfg.InitialActive,
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		// Unlimited capacity and no per-item TTL: conformance runs
+		// keep eviction out of the picture so the oracle's residency
+		// mirror is exact.
+		node, err := newCacheNode(h.eng, i, 0, 0, cfg.DigestParams, 1)
+		if err != nil {
+			return nil, err
+		}
+		h.nodes = append(h.nodes, node)
+	}
+	for i := 0; i < cfg.InitialActive; i++ {
+		h.nodes[i].state = nodeOn
+		h.events.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: i})
+	}
+	return h, nil
+}
+
+// Now returns the harness's virtual time.
+func (h *Harness) Now() time.Duration { return h.eng.Now() }
+
+// Active returns the current active-prefix size.
+func (h *Harness) Active() int { return h.active }
+
+// Servers returns the provisioning-order length.
+func (h *Harness) Servers() int { return len(h.nodes) }
+
+// NodeOn reports whether server i is powered.
+func (h *Harness) NodeOn(i int) bool { return h.nodes[i].state == nodeOn }
+
+// InTransition reports whether a smooth-transition window is open, and
+// its deadline.
+func (h *Harness) InTransition() (open bool, deadline time.Duration) {
+	if h.trans == nil {
+		return false, 0
+	}
+	return true, h.trans.deadline
+}
+
+// ResidentKeys returns server i's cached keys, sorted.
+func (h *Harness) ResidentKeys(i int) []string {
+	keys := h.nodes[i].store.Keys()
+	sort.Strings(keys)
+	return keys
+}
+
+// DigestContains probes server i's live counting filter.
+func (h *Harness) DigestContains(i int, key string) bool {
+	return h.nodes[i].digest.Contains(key)
+}
+
+// reachable reports whether an operation against server i would
+// succeed: powered on and not partitioned away.
+func (h *Harness) reachable(i int) bool {
+	if h.nodes[i].state != nodeOn {
+		return false
+	}
+	if h.cfg.Faults != nil && h.cfg.Faults.Partitioned(i) {
+		return false
+	}
+	return true
+}
+
+// Get runs Algorithm 2 for one key, mirroring webtier.Frontend.fetch
+// (single ring): try the new owner; during a transition consult the old
+// owner's broadcast digest and migrate on demand; otherwise fall back
+// to the backing store and write through. ok is false only when the
+// backing store does not know the key.
+func (h *Harness) Get(key string) (value []byte, src RequestSource, ok bool) {
+	owner := h.placement.Lookup(key, h.active)
+	if h.reachable(owner) {
+		if v, hit := h.nodes[owner].store.Get(key); hit {
+			return v, SourceHit, true
+		}
+	}
+	// Digest consult (Algorithm 2 lines 6-8). The snapshot digests are
+	// immutable; a consult against an unreachable old owner degrades to
+	// the database, exactly like the live tier's error path.
+	if tr := h.trans; tr != nil {
+		old := h.placement.Lookup(key, tr.fromN)
+		if old != owner && tr.digests[old] != nil && tr.digests[old].Contains(key) && h.reachable(old) {
+			if v, hit := h.nodes[old].store.Get(key); hit {
+				h.events.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: old})
+				// Amortized migration: install on the new owner so the
+				// next request hits there. An unreachable new owner
+				// leaves the key un-migrated, never wrong.
+				if h.reachable(owner) {
+					h.nodes[owner].store.Set(key, v, 0)
+				}
+				return v, SourceMigrated, true
+			}
+			h.events.Record(telemetry.Event{Kind: telemetry.EventMigrationMiss, Node: old})
+		}
+	}
+	data, found := h.cfg.DB(key)
+	if !found {
+		return nil, SourceDB, false
+	}
+	if h.reachable(owner) {
+		h.nodes[owner].store.Set(key, data, 0)
+	}
+	return data, SourceDB, true
+}
+
+// Set installs a new value write-through, mirroring webtier.Update
+// (single ring, whole objects): the current owner gets the value; an
+// unreachable owner stays cold, not wrong. The backing store is the
+// caller's (the oracle updates its versioned map before calling).
+func (h *Harness) Set(key string, value []byte) {
+	owner := h.placement.Lookup(key, h.active)
+	if h.reachable(owner) {
+		h.nodes[owner].store.Set(key, value, 0)
+	}
+}
+
+// Crash powers a server off outside any provisioning decision, losing
+// its in-memory data — the DES mirror of killing a LocalNode.
+func (h *Harness) Crash(server int) {
+	if server < 0 || server >= len(h.nodes) {
+		return
+	}
+	if h.nodes[server].state == nodeOn {
+		h.nodes[server].powerOff()
+	}
+}
+
+// SetActive executes one provisioning decision, mirroring
+// cluster.Coordinator.SetActive: finalize any pending window first,
+// power on growth, snapshot every reachable relocation source's digest,
+// flip routing, and arm the TTL deadline (fired by AdvanceClock).
+func (h *Harness) SetActive(n int) error {
+	if n < 1 || n > len(h.nodes) {
+		return fmt.Errorf("sim: harness target %d out of range 1..%d", n, len(h.nodes))
+	}
+	if n == h.active && h.trans == nil {
+		return nil
+	}
+	h.finalizeTransition()
+	from := h.active
+	if n == from {
+		return nil
+	}
+	if n > from {
+		for i := from; i < n; i++ {
+			h.nodes[i].state = nodeOn
+			h.events.Record(telemetry.Event{Kind: telemetry.EventPowerOn, Node: i})
+		}
+	}
+	digests := make([]*bloom.Filter, len(h.nodes))
+	lo, hi := n, from // shrink: the dying nodes [n, from) hold the re-mapped keys
+	if n > from {
+		lo, hi = 0, from // growth: every old-prefix node may hold re-mapped keys
+	}
+	for i := lo; i < hi; i++ {
+		if !h.reachable(i) {
+			// The live coordinator's FetchDigest fails here and the
+			// node's keys degrade to the database path; mirror that.
+			continue
+		}
+		digests[i] = h.nodes[i].snapshotDigest()
+		h.events.Record(telemetry.Event{Kind: telemetry.EventDigestBuild, Node: i})
+	}
+	h.events.Record(telemetry.Event{Kind: telemetry.EventDigestBroadcast, Node: -1})
+	h.trans = &transition{fromN: from, toN: n, digests: digests, deadline: h.eng.Now() + h.cfg.TTL}
+	h.active = n
+	h.events.Record(telemetry.Event{Kind: telemetry.EventOwnershipFlip, Node: -1, From: from, To: n})
+	if h.cfg.Faults != nil {
+		h.cfg.Faults.TransitionStarted()
+	}
+	if h.cfg.UnsafeEarlyPowerOff && n < from {
+		// Conformance-test hook: the premature power-off bug.
+		h.finalizeTransition()
+	}
+	return nil
+}
+
+// AdvanceClock moves virtual time forward, firing the transition
+// deadline if the skip crosses it. This is the DES mirror of the live
+// plane's virtual timer: expiry happens when the schedule advances the
+// clock, never behind the explorer's back.
+func (h *Harness) AdvanceClock(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	h.eng.Run(h.eng.Now() + d)
+	if h.trans != nil && h.eng.Now() >= h.trans.deadline {
+		h.finalizeTransition()
+	}
+}
+
+// finalizeTransition closes the window: dying servers power off (the
+// Section IV safety point) and the broadcast digests are discarded.
+func (h *Harness) finalizeTransition() {
+	if h.trans == nil {
+		return
+	}
+	tr := h.trans
+	h.trans = nil
+	if tr.toN < tr.fromN {
+		for i := tr.toN; i < tr.fromN; i++ {
+			if h.nodes[i].state == nodeOn {
+				h.nodes[i].powerOff()
+			}
+			h.events.Record(telemetry.Event{Kind: telemetry.EventPowerOff, Node: i})
+		}
+	}
+	h.events.Record(telemetry.Event{Kind: telemetry.EventTTLExpiry, Node: -1, From: tr.fromN, To: tr.toN})
+}

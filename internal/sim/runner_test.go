@@ -4,17 +4,14 @@ import (
 	"testing"
 	"time"
 
-	"proteus/internal/wiki"
+	"proteus/internal/testutil"
 )
 
 // testConfig builds a fast compressed-day configuration: 8 simulated
 // minutes with 16 provisioning slots.
 func testConfig(t testing.TB, scenario Scenario) Config {
 	t.Helper()
-	corpus, err := wiki.New(50000, 256)
-	if err != nil {
-		t.Fatal(err)
-	}
+	corpus := testutil.NewCorpus(t, 50000, 256)
 	cfg := NewConfig(scenario, corpus, 8*time.Minute, 600)
 	cfg.CachePagesPerServer = 4000
 	cfg.SlotWidth = 30 * time.Second

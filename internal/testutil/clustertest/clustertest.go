@@ -1,0 +1,137 @@
+// Package clustertest brings up a live-plane Proteus cluster — in-process
+// cacheserver.LocalNodes behind a cluster.Coordinator — with the
+// deterministic wiring the chaos and conformance suites standardise on:
+// a manual transition timer instead of wall-clock TTLs, and (optionally)
+// a fault injector spliced into every client dialer plus the
+// coordinator's transition hook.
+//
+// It lives in its own package (not testutil proper) because it imports
+// the coordinator: test suites below cluster in the import graph
+// (cacheserver, cluster itself) use testutil's leaf helpers instead.
+package clustertest
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"proteus/internal/cache"
+	"proteus/internal/cacheclient"
+	"proteus/internal/cluster"
+	"proteus/internal/faultinject"
+	"proteus/internal/telemetry"
+	"proteus/internal/testutil"
+)
+
+// Opts configures a test cluster. The zero value of every optional
+// field is usable.
+type Opts struct {
+	// Nodes is the provisioning-order length (required, >= 1).
+	Nodes int
+	// InitialActive is the starting active prefix (required, >= 1).
+	InitialActive int
+	// Replicas enables Section III-E replication (0 or 1 disables).
+	Replicas int
+	// TTL is the transition hot-data window; it only shapes the
+	// recorded deadline — expiry fires via the manual timer. Defaults
+	// to one minute.
+	TTL time.Duration
+	// Faults, when set, is wired into every client dialer (per-server
+	// indices bound from the provisioning order) and into the
+	// coordinator's transition hook, with retries made deterministic:
+	// no real sleeps, no circuit breaker, seeded jitter.
+	Faults *faultinject.Injector
+	// Seed salts the per-client jitter streams when Faults is set.
+	Seed int64
+	// After, when set, replaces the default ManualTimer for transition
+	// TTL scheduling. The conformance harness injects a cancellable
+	// virtual timer here: overlapping transitions cancel the pending
+	// expiry, which a fire-everything manual timer cannot express.
+	After func(d time.Duration, fn func()) func()
+	// Events, when set, receives the coordinator's transition timeline.
+	Events *telemetry.EventLog
+}
+
+// Env is a running test cluster, torn down via t.Cleanup.
+type Env struct {
+	Coord  *cluster.Coordinator
+	Locals []*cluster.LocalNode
+	Timer  *testutil.ManualTimer
+}
+
+// Start brings up Opts.Nodes local cache servers and a coordinator over
+// them, registering teardown with t.Cleanup.
+func Start(t testing.TB, o Opts) *Env {
+	t.Helper()
+	env, err := New(o)
+	if err != nil {
+		t.Fatalf("clustertest: %v", err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+// New is Start without the testing.TB: the conformance harness
+// (internal/check) builds clusters outside any test. Callers own Close.
+func New(o Opts) (*Env, error) {
+	if o.TTL <= 0 {
+		o.TTL = time.Minute
+	}
+	timer := &testutil.ManualTimer{}
+	after := o.After
+	if after == nil {
+		after = timer.After
+	}
+	nodes := make([]cluster.Node, o.Nodes)
+	locals := make([]*cluster.LocalNode, o.Nodes)
+	addrIdx := make(map[string]int, o.Nodes)
+	for i := range nodes {
+		locals[i] = cluster.NewLocalNode(cache.Config{}, testutil.SmallDigest())
+		nodes[i] = locals[i]
+		addrIdx[locals[i].Addr()] = i
+	}
+	cfg := cluster.Config{
+		Nodes:         nodes,
+		InitialActive: o.InitialActive,
+		TTL:           o.TTL,
+		Replicas:      o.Replicas,
+		After:         after,
+		Faults:        o.Faults,
+		Events:        o.Events,
+	}
+	if inj := o.Faults; inj != nil {
+		seed := o.Seed
+		cfg.NewClient = func(addr string) *cacheclient.Client {
+			server := addrIdx[addr]
+			return cacheclient.New(addr,
+				cacheclient.WithDialer(func(a string, to time.Duration) (net.Conn, error) {
+					return inj.Dial(server, a, to)
+				}),
+				cacheclient.WithTimeout(2*time.Second),
+				cacheclient.WithJitterSeed(seed+int64(server)),
+				// No real sleeps and no breaker: the fault schedule must
+				// be a pure function of the operation sequence, free of
+				// wall-clock state, so two runs with one seed match
+				// event for event.
+				cacheclient.WithSleep(func(time.Duration) {}),
+				cacheclient.WithBreaker(0, 0),
+			)
+		}
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		for _, l := range locals {
+			_ = l.PowerOff()
+		}
+		return nil, err
+	}
+	return &Env{Coord: coord, Locals: locals, Timer: timer}, nil
+}
+
+// Close finalizes any transition and powers every node off.
+func (e *Env) Close() {
+	e.Coord.Close()
+	for _, l := range e.Locals {
+		_ = l.PowerOff()
+	}
+}

@@ -1,16 +1,12 @@
 package webtier
 
 import (
-	"net"
 	"testing"
-	"time"
 
-	"proteus/internal/bloom"
-	"proteus/internal/cache"
-	"proteus/internal/cacheclient"
 	"proteus/internal/cluster"
-	"proteus/internal/database"
 	"proteus/internal/faultinject"
+	"proteus/internal/testutil"
+	"proteus/internal/testutil/clustertest"
 	"proteus/internal/wiki"
 )
 
@@ -21,7 +17,7 @@ type chaosEnv struct {
 	coord  *cluster.Coordinator
 	front  *Frontend
 	corpus *wiki.Corpus
-	timer  *manualTimer
+	timer  *testutil.ManualTimer
 	inj    *faultinject.Injector
 }
 
@@ -33,18 +29,6 @@ const crashedServer = 3
 
 func newChaosEnv(t *testing.T, seed int64) *chaosEnv {
 	t.Helper()
-	corpus, err := wiki.New(400, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db, err := database.New(database.Config{
-		Shards: 3,
-		Corpus: corpus,
-		Sleep:  func(time.Duration) {},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	inj := faultinject.New(seed,
 		// ~1% of client writes fail mid-request: broken connections,
 		// discarded pool entries, retries.
@@ -53,56 +37,10 @@ func newChaosEnv(t *testing.T, seed int64) *chaosEnv {
 		// routing table is installed.
 		faultinject.Rule{Server: crashedServer, Op: faultinject.OpTransition, Kind: faultinject.KindCrash, At: 1},
 	)
-
-	timer := &manualTimer{}
-	const n = 4
-	ns := make([]cluster.Node, n)
-	locals := make([]*cluster.LocalNode, n)
-	addrIdx := make(map[string]int, n)
-	for i := range ns {
-		locals[i] = cluster.NewLocalNode(cache.Config{},
-			bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4})
-		ns[i] = locals[i]
-		addrIdx[locals[i].Addr()] = i
-	}
-	coord, err := cluster.New(cluster.Config{
-		Nodes:         ns,
-		InitialActive: n,
-		TTL:           time.Minute,
-		Replicas:      2,
-		After:         timer.After,
-		Faults:        inj,
-		NewClient: func(addr string) *cacheclient.Client {
-			server := addrIdx[addr]
-			return cacheclient.New(addr,
-				cacheclient.WithDialer(func(a string, to time.Duration) (net.Conn, error) {
-					return inj.Dial(server, a, to)
-				}),
-				cacheclient.WithTimeout(2*time.Second),
-				cacheclient.WithJitterSeed(seed+int64(server)),
-				// No real sleeps and no breaker: the fault schedule must
-				// be a pure function of the operation sequence, free of
-				// wall-clock state, so two runs with one seed match
-				// event for event.
-				cacheclient.WithSleep(func(time.Duration) {}),
-				cacheclient.WithBreaker(0, 0),
-			)
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	front, err := New(Config{Coordinator: coord, DB: db})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		coord.Close()
-		for _, l := range locals {
-			l.PowerOff()
-		}
-	})
-	return &chaosEnv{coord: coord, front: front, corpus: corpus, timer: timer, inj: inj}
+	e := buildEnv(t,
+		clustertest.Opts{Nodes: 4, InitialActive: 4, Replicas: 2, Faults: inj, Seed: seed},
+		envShape{pages: 400})
+	return &chaosEnv{coord: e.coord, front: e.front, corpus: e.corpus, timer: e.timer, inj: inj}
 }
 
 // chaosRun executes the chaos scenario once and returns the frontend

@@ -3,60 +3,19 @@ package webtier
 import (
 	"bytes"
 	"testing"
-	"time"
 
-	"proteus/internal/bloom"
-	"proteus/internal/cache"
 	"proteus/internal/chunk"
-	"proteus/internal/cluster"
-	"proteus/internal/database"
-	"proteus/internal/wiki"
+	"proteus/internal/testutil/clustertest"
 )
 
 // newChunkedEnv builds an environment with big pages and the piece
 // layer enabled.
 func newChunkedEnv(t *testing.T, nodes, active, pieceSize int) *env {
 	t.Helper()
-	corpus, err := wiki.New(60, 8192) // big pages: ~4 pieces each at 2 KB
-	if err != nil {
-		t.Fatal(err)
-	}
-	db, err := database.New(database.Config{
-		Shards: 3,
-		Corpus: corpus,
-		Sleep:  func(time.Duration) {},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	timer := &manualTimer{}
-	ns := make([]cluster.Node, nodes)
-	locals := make([]*cluster.LocalNode, nodes)
-	for i := range ns {
-		locals[i] = cluster.NewLocalNode(cache.Config{},
-			bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4})
-		ns[i] = locals[i]
-	}
-	coord, err := cluster.New(cluster.Config{
-		Nodes:         ns,
-		InitialActive: active,
-		TTL:           time.Minute,
-		After:         timer.After,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	front, err := New(Config{Coordinator: coord, DB: db, PieceSize: pieceSize})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		coord.Close()
-		for _, l := range locals {
-			l.PowerOff()
-		}
-	})
-	return &env{coord: coord, locals: locals, front: front, corpus: corpus, timer: timer}
+	return buildEnv(t,
+		clustertest.Opts{Nodes: nodes, InitialActive: active},
+		// Big pages: ~4 pieces each at 2 KB.
+		envShape{pages: 60, pageSize: 8192, pieceSize: pieceSize})
 }
 
 func TestChunkedFetchRoundTrip(t *testing.T) {

@@ -64,7 +64,7 @@ func TestTransitionUnderConcurrentLoad(t *testing.T) {
 	}
 
 	// TTL elapses: the dying server powers off; its data has migrated.
-	e.timer.fire()
+	e.timer.Fire()
 
 	// Phase 2: scale back up 2 -> 3 under load. The re-mapped keys'
 	// old owners (the survivors) hold every hot item, so the digest

@@ -2,59 +2,16 @@ package webtier
 
 import (
 	"testing"
-	"time"
 
-	"proteus/internal/bloom"
-	"proteus/internal/cache"
-	"proteus/internal/cluster"
-	"proteus/internal/database"
-	"proteus/internal/wiki"
+	"proteus/internal/testutil/clustertest"
 )
 
 // newReplicatedEnv builds a cluster with r-way replication enabled.
 func newReplicatedEnv(t *testing.T, nodes, active, replicas int) *env {
 	t.Helper()
-	corpus, err := wiki.New(400, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db, err := database.New(database.Config{
-		Shards: 3,
-		Corpus: corpus,
-		Sleep:  func(time.Duration) {},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	timer := &manualTimer{}
-	ns := make([]cluster.Node, nodes)
-	locals := make([]*cluster.LocalNode, nodes)
-	for i := range ns {
-		locals[i] = cluster.NewLocalNode(cache.Config{},
-			bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4})
-		ns[i] = locals[i]
-	}
-	coord, err := cluster.New(cluster.Config{
-		Nodes:         ns,
-		InitialActive: active,
-		TTL:           time.Minute,
-		Replicas:      replicas,
-		After:         timer.After,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	front, err := New(Config{Coordinator: coord, DB: db})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		coord.Close()
-		for _, l := range locals {
-			l.PowerOff()
-		}
-	})
-	return &env{coord: coord, locals: locals, front: front, corpus: corpus, timer: timer}
+	return buildEnv(t,
+		clustertest.Opts{Nodes: nodes, InitialActive: active, Replicas: replicas},
+		envShape{pages: 400})
 }
 
 func TestReplicatedWriteThroughStoresAllCopies(t *testing.T) {
@@ -177,7 +134,7 @@ func TestReplicatedSmoothTransition(t *testing.T) {
 	if extra > uint64(e.corpus.Pages()/20) {
 		t.Fatalf("replicated transition leaked %d fetches to the database", extra)
 	}
-	e.timer.fire()
+	e.timer.Fire()
 	if e.locals[2].Running() {
 		t.Fatal("dying server still up after TTL")
 	}

@@ -7,12 +7,11 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
-	"time"
 
-	"proteus/internal/bloom"
-	"proteus/internal/cache"
 	"proteus/internal/cluster"
 	"proteus/internal/database"
+	"proteus/internal/testutil"
+	"proteus/internal/testutil/clustertest"
 	"proteus/internal/wiki"
 )
 
@@ -21,73 +20,39 @@ type env struct {
 	locals []*cluster.LocalNode
 	front  *Frontend
 	corpus *wiki.Corpus
-	timer  *manualTimer
+	timer  *testutil.ManualTimer
 }
 
-type manualTimer struct {
-	mu  sync.Mutex
-	fns []func()
+// envShape sizes the corpus and frontend of a test environment; the
+// zero value of each field selects the suite default.
+type envShape struct {
+	pages, pageSize int
+	pieceSize       int
 }
 
-func (m *manualTimer) After(d time.Duration, fn func()) func() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.fns = append(m.fns, fn)
-	return func() {}
-}
-
-func (m *manualTimer) fire() {
-	m.mu.Lock()
-	fns := m.fns
-	m.fns = nil
-	m.mu.Unlock()
-	for _, fn := range fns {
-		fn()
+// buildEnv is the one scaffolding path for the whole suite: corpus and
+// no-sleep database from testutil, cluster bring-up (manual transition
+// timer, optional faults) from clustertest.
+func buildEnv(t *testing.T, o clustertest.Opts, shape envShape) *env {
+	t.Helper()
+	if shape.pages == 0 {
+		shape.pages = 500
 	}
+	if shape.pageSize == 0 {
+		shape.pageSize = 512
+	}
+	corpus := testutil.NewCorpus(t, shape.pages, shape.pageSize)
+	db := testutil.NewDB(t, corpus, 3)
+	ce := clustertest.Start(t, o)
+	front, err := New(Config{Coordinator: ce.Coord, DB: db, PieceSize: shape.pieceSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{coord: ce.Coord, locals: ce.Locals, front: front, corpus: corpus, timer: ce.Timer}
 }
 
 func newEnv(t *testing.T, nodes, active int) *env {
-	t.Helper()
-	corpus, err := wiki.New(500, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db, err := database.New(database.Config{
-		Shards: 3,
-		Corpus: corpus,
-		Sleep:  func(time.Duration) {},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	timer := &manualTimer{}
-	ns := make([]cluster.Node, nodes)
-	locals := make([]*cluster.LocalNode, nodes)
-	for i := range ns {
-		locals[i] = cluster.NewLocalNode(cache.Config{},
-			bloom.Params{Counters: 1 << 14, CounterBits: 4, Hashes: 4})
-		ns[i] = locals[i]
-	}
-	coord, err := cluster.New(cluster.Config{
-		Nodes:         ns,
-		InitialActive: active,
-		TTL:           time.Minute,
-		After:         timer.After,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	front, err := New(Config{Coordinator: coord, DB: db})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		coord.Close()
-		for _, l := range locals {
-			l.PowerOff()
-		}
-	})
-	return &env{coord: coord, locals: locals, front: front, corpus: corpus, timer: timer}
+	return buildEnv(t, clustertest.Opts{Nodes: nodes, InitialActive: active}, envShape{})
 }
 
 func TestNewValidation(t *testing.T) {
@@ -192,7 +157,7 @@ func TestAmortizedMigrationOnScaleDown(t *testing.T) {
 		}
 	}
 	// After TTL the old server dies and requests still work.
-	e.timer.fire()
+	e.timer.Fire()
 	for _, key := range movedKeys[:10] {
 		if _, _, err := e.front.Fetch(key); err != nil {
 			t.Fatal(err)
