@@ -73,6 +73,24 @@ check-smoke:
 	@if /tmp/proteus-check-race -replay /tmp/proteus-viol.check \
 		> /dev/null 2>&1; then \
 		echo "check-smoke: artifact replay did not reproduce"; exit 1; fi
+	@for seed in $(CHECK_SEEDS); do \
+		echo "check-smoke: seed $$seed, 5000 steps, both planes, replicas=2"; \
+		/tmp/proteus-check-race -seed $$seed -steps 5000 -plane both -replicas 2 -o /dev/null \
+			> /tmp/proteus-check-rep-$$seed.a || exit 1; \
+	done
+	@/tmp/proteus-check-race -seed 11 -steps 5000 -plane both -replicas 2 -o /dev/null \
+		> /tmp/proteus-check-rep-11.b
+	@diff /tmp/proteus-check-rep-11.a /tmp/proteus-check-rep-11.b \
+		|| { echo "check-smoke: same replicated seed produced different reports"; exit 1; }
+	@echo "check-smoke: seeded fan-out bug catch + shrink"
+	@if /tmp/proteus-check-race -seed 3 -steps 2000 -replicas 2 -seed-bug-fanout \
+		-o /tmp/proteus-fanout.check > /tmp/proteus-check-fanout.out 2>&1; then \
+		echo "check-smoke: seeded fan-out bug NOT caught"; exit 1; fi
+	@grep -q "write-fanout" /tmp/proteus-check-fanout.out \
+		|| { echo "check-smoke: wrong probe"; cat /tmp/proteus-check-fanout.out; exit 1; }
+	@if /tmp/proteus-check-race -replay /tmp/proteus-fanout.check \
+		> /dev/null 2>&1; then \
+		echo "check-smoke: fan-out artifact replay did not reproduce"; exit 1; fi
 	@echo "check-smoke: ok"
 
 # Total statement coverage across the tree; fails below COVER_MIN.

@@ -14,7 +14,9 @@ import (
 	"proteus/internal/cache"
 	"proteus/internal/cacheclient"
 	"proteus/internal/cacheserver"
+	"proteus/internal/core"
 	"proteus/internal/hashring"
+	"proteus/internal/hotkey"
 	"proteus/internal/workload"
 )
 
@@ -88,6 +90,26 @@ func hotPathBenches() ([]namedBench, func(), error) {
 	zipf, err := workload.NewZipf(rand.New(rand.NewSource(1)), 0.8, nkeys)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Hot-key routing fixtures: the replicated resolver at depth 2, a
+	// warm top-k sketch, and a Zipf(0.99) draw — the skew replication
+	// exists for.
+	replicated, err := core.NewReplicated(48, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	sketch := hotkey.NewSketch(64)
+	zipfHot, err := workload.NewZipf(rand.New(rand.NewSource(2)), 0.99, nkeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	hotDraws := make([]int, 1<<16)
+	for i := range hotDraws {
+		hotDraws[i] = zipfHot.Next()
+	}
+	hotSet := make(map[string]struct{}, 8)
+	for i := 0; i < 8; i++ {
+		hotSet[keys[i]] = struct{}{}
 	}
 
 	// Loopback server + pipelined client for the end-to-end benchmarks.
@@ -168,6 +190,52 @@ func hotPathBenches() ([]namedBench, func(), error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				zipf.Next()
+			}
+		}},
+		{"hotkey_observe", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sketch.Observe(keys[hotDraws[i%len(hotDraws)]])
+			}
+		}},
+		{"hotkey_route", func(b *testing.B) {
+			// Full hot-path routing decision for a promoted key: resolve
+			// the distinct owners at depth 2 and pick the less-loaded one.
+			b.ReportAllocs()
+			loads := [2]float64{0.3, 0.7}
+			for i := 0; i < b.N; i++ {
+				owners := replicated.DistinctOwnersN(keys[hotDraws[i%len(hotDraws)]], 48, 2)
+				pick := owners[0]
+				if len(owners) > 1 && loads[1] < loads[0] {
+					pick = owners[1]
+				}
+				_ = pick
+			}
+		}},
+		{"zipf99_get_primary", func(b *testing.B) {
+			// Zipf(0.99) read routing without replication: every key
+			// resolves to its single ring-0 owner.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k := keys[hotDraws[i%len(hotDraws)]]
+				warm.Get(k)
+				_ = replicated.OwnerOnRing(k, 0, 48)
+			}
+		}},
+		{"zipf99_get_replicated", func(b *testing.B) {
+			// The same Zipf(0.99) stream with the hottest 8 keys promoted:
+			// hot keys pay the depth-2 resolution, cold keys the primary
+			// lookup — the mixed cost the web tier actually sees.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k := keys[hotDraws[i%len(hotDraws)]]
+				warm.Get(k)
+				if _, hot := hotSet[k]; hot {
+					owners := replicated.DistinctOwnersN(k, 48, 2)
+					_ = owners[len(owners)-1]
+				} else {
+					_ = replicated.OwnerOnRing(k, 0, 48)
+				}
 			}
 		}},
 		{"multiget_16", func(b *testing.B) {

@@ -133,6 +133,7 @@ func main() {
 		render("TTL ablation", func() (renderer, error) { return experiments.AblationTTL(scale) })
 		render("controller ablation", func() (renderer, error) { return experiments.AblationController(scale) })
 		render("replication", func() (renderer, error) { return experiments.AblationReplication(scale) })
+		render("hot-key balance", func() (renderer, error) { return experiments.HotBalance(scale) })
 		render("scalability", func() (renderer, error) { return experiments.Scalability(nil) })
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Truncate(time.Millisecond))

@@ -32,17 +32,19 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("proteus-check", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		seed     = fs.Int64("seed", 1, "schedule seed")
-		steps    = fs.Int("steps", 1000, "schedule length")
-		plane    = fs.String("plane", "sim", "execution plane: sim, live, or both")
-		servers  = fs.Int("servers", 5, "provisioning-order length")
-		initial  = fs.Int("initial", 3, "initial active prefix")
-		keys     = fs.Int("keys", 48, "key-universe size")
-		ttl      = fs.Duration("ttl", 30*time.Second, "transition hot-data window (virtual time)")
-		seedBug  = fs.Bool("seed-bug", false, "arm the deliberate early-power-off bug (sim plane only)")
-		noShrink = fs.Bool("no-shrink", false, "skip shrinking the history after a violation")
-		replay   = fs.String("replay", "", "replay a .check artifact instead of exploring")
-		out      = fs.String("o", "violation.check", "artifact path written on violation")
+		seed          = fs.Int64("seed", 1, "schedule seed")
+		steps         = fs.Int("steps", 1000, "schedule length")
+		plane         = fs.String("plane", "sim", "execution plane: sim, live, or both")
+		servers       = fs.Int("servers", 5, "provisioning-order length")
+		initial       = fs.Int("initial", 3, "initial active prefix")
+		keys          = fs.Int("keys", 48, "key-universe size")
+		ttl           = fs.Duration("ttl", 30*time.Second, "transition hot-data window (virtual time)")
+		replicas      = fs.Int("replicas", 0, "hot-key replica depth; >1 enables replication and the promote/demote verbs")
+		seedBug       = fs.Bool("seed-bug", false, "arm the deliberate early-power-off bug (sim plane only)")
+		seedBugFanout = fs.Bool("seed-bug-fanout", false, "arm the deliberate skip-fan-out bug (sim plane only)")
+		noShrink      = fs.Bool("no-shrink", false, "skip shrinking the history after a violation")
+		replay        = fs.String("replay", "", "replay a .check artifact instead of exploring")
+		out           = fs.String("o", "violation.check", "artifact path written on violation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +82,9 @@ func run(args []string, stdout io.Writer) error {
 			Keys:          *keys,
 			TTL:           *ttl,
 			Plane:         pk,
+			HotReplicas:   *replicas,
 			SeedBug:       *seedBug,
+			SeedBugFanout: *seedBugFanout,
 			NoShrink:      *noShrink,
 		})
 	}

@@ -29,6 +29,7 @@ import (
 
 	"proteus/internal/cluster"
 	"proteus/internal/database"
+	"proteus/internal/hotkey"
 	"proteus/internal/metrics"
 	"proteus/internal/webtier"
 	"proteus/internal/wiki"
@@ -49,6 +50,10 @@ func main() {
 	autoscale := flag.Duration("autoscale", 0, "run the delay-feedback provisioning loop with this slot width (0 = manual /admin/active only)")
 	capacity := flag.Float64("capacity", 200, "per-cache-server capacity estimate in req/s (autoscale feed-forward)")
 	cacheConns := flag.Int("cache-conns", 0, "connection pool size per cache server (0 = client default)")
+	hotReplicas := flag.Int("hot-replicas", 0, "replica depth for promoted hot keys (0 = off)")
+	hotWindow := flag.Uint64("hot-window", 4096, "hot-key tracker observations per decision window")
+	hotMax := flag.Int("hot-max", 16, "hot-key tracker promoted-set bound")
+	hotShare := flag.Float64("hot-share", 0.01, "minimum share of a window to promote a key")
 	flag.Parse()
 
 	addrs := splitNonEmpty(*cacheList)
@@ -72,13 +77,22 @@ func main() {
 	for i, addr := range addrs {
 		nodes[i] = cluster.NewRemoteNode(addr)
 	}
-	coord, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Nodes:          nodes,
 		InitialActive:  *active,
 		TTL:            *ttl,
 		Replicas:       *replicas,
 		ClientMaxConns: *cacheConns,
-	})
+		HotReplicas:    *hotReplicas,
+	}
+	if *hotReplicas > 1 {
+		cfg.HotTracker = &hotkey.TrackerConfig{
+			Window:       *hotWindow,
+			MaxHot:       *hotMax,
+			PromoteShare: *hotShare,
+		}
+	}
+	coord, err := cluster.New(cfg)
 	if err != nil {
 		log.Fatalf("coordinator: %v", err)
 	}
@@ -148,6 +162,36 @@ func main() {
 			}
 			log.Printf("provisioning: active -> %d (transition window %v)", n, *ttl)
 			fmt.Fprintf(w, "active %d\n", coord.Active())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+
+	mux.HandleFunc("/admin/hot", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			for _, k := range coord.HotKeys() {
+				fmt.Fprintln(w, k)
+			}
+		case http.MethodPost:
+			key := r.URL.Query().Get("key")
+			if key == "" {
+				http.Error(w, "missing key", http.StatusBadRequest)
+				return
+			}
+			switch op := r.URL.Query().Get("op"); op {
+			case "", "promote":
+				hot, err := coord.Promote(key)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusConflict)
+					return
+				}
+				fmt.Fprintf(w, "hot %v\n", hot)
+			case "demote":
+				fmt.Fprintf(w, "demoted %v\n", coord.Demote(key))
+			default:
+				http.Error(w, "bad op", http.StatusBadRequest)
+			}
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}

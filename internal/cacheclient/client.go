@@ -211,7 +211,8 @@ type Client struct {
 	jmu  sync.Mutex
 	jrng *rand.Rand
 
-	tel *clientTelemetry
+	tel  *clientTelemetry
+	load loadMeter
 
 	breaker breaker
 
@@ -442,13 +443,13 @@ func (c *Client) roundTrip(req *memproto.Request, fn func(*bufio.Reader) error) 
 // Protocol-level error replies and ErrClosed are terminal: the server
 // answered (or the client is gone), so retrying cannot help.
 func (c *Client) exchange(op string, write func(*bufio.Writer) error, read func(*bufio.Reader) error) error {
-	if c.tel == nil {
-		return c.doExchange(write, read)
-	}
-	start := time.Now()
+	start := c.load.begin()
 	err := c.doExchange(write, read)
-	c.tel.latency.With(c.addr, op).Observe(time.Since(start))
-	c.tel.ops.With(c.addr, op, opResult(err)).Inc()
+	c.load.end(start)
+	if c.tel != nil {
+		c.tel.latency.With(c.addr, op).Observe(time.Since(start))
+		c.tel.ops.With(c.addr, op, opResult(err)).Inc()
+	}
 	return err
 }
 

@@ -1,0 +1,73 @@
+package cacheclient
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Load estimation for replica routing. The web tier's
+// power-of-two-choices picks, among a hot key's replica owners, the
+// client that looks least loaded *right now*. "Load" here is the
+// classic latency-weighted outstanding-request product: the number of
+// in-flight operations on this client times its exponentially-weighted
+// moving average of recent operation latency. Both inputs are cheap
+// atomics maintained on every exchange, so the hot read path pays two
+// atomic adds and no locks.
+
+// ewmaAlpha weights the newest latency sample: high enough to follow a
+// server that suddenly degrades, low enough not to flap on one slow op.
+const ewmaAlpha = 0.2
+
+// loadMeter carries the per-client load signals.
+type loadMeter struct {
+	inflight atomic.Int64
+	ewma     atomic.Uint64 // math.Float64bits of the latency EWMA, in seconds
+}
+
+func (m *loadMeter) begin() time.Time {
+	m.inflight.Add(1)
+	return time.Now()
+}
+
+func (m *loadMeter) end(start time.Time) {
+	m.inflight.Add(-1)
+	sample := time.Since(start).Seconds()
+	if sample < 0 {
+		sample = 0
+	}
+	for {
+		old := m.ewma.Load()
+		prev := math.Float64frombits(old)
+		next := sample
+		if old != 0 {
+			next = prev + ewmaAlpha*(sample-prev)
+		}
+		if m.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// InFlight returns the number of operations currently outstanding on
+// this client.
+func (c *Client) InFlight() int {
+	return int(c.load.inflight.Load())
+}
+
+// EWMALatency returns the exponentially-weighted moving average of
+// operation latency (0 before the first completed operation).
+func (c *Client) EWMALatency() time.Duration {
+	return time.Duration(math.Float64frombits(c.load.ewma.Load()) * float64(time.Second))
+}
+
+// LoadEstimate scores this client for two-choices routing: lower is
+// better. It is (in-flight + 1) x EWMA latency in seconds, i.e. the
+// expected time a new request would wait behind the current queue. A
+// client with no latency history scores 0, so fresh replicas attract
+// traffic until they have a track record; callers break ties
+// deterministically (the web tier prefers the primary).
+func (c *Client) LoadEstimate() float64 {
+	ewma := math.Float64frombits(c.load.ewma.Load())
+	return float64(c.load.inflight.Load()+1) * ewma
+}

@@ -1,0 +1,63 @@
+package cacheclient
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoadMeterEWMA(t *testing.T) {
+	var m loadMeter
+	if got := m.inflight.Load(); got != 0 {
+		t.Fatalf("fresh meter in-flight %d", got)
+	}
+	start := m.begin()
+	if got := m.inflight.Load(); got != 1 {
+		t.Fatalf("in-flight during op %d, want 1", got)
+	}
+	m.end(start)
+	if got := m.inflight.Load(); got != 0 {
+		t.Fatalf("in-flight after op %d, want 0", got)
+	}
+	if m.ewma.Load() == 0 {
+		t.Fatal("EWMA not seeded by first sample")
+	}
+}
+
+func TestLoadEstimateOrdersByLatency(t *testing.T) {
+	fast, slow := New("fast:0"), New("slow:0")
+	defer fast.Close()
+	defer slow.Close()
+	// Seed the EWMAs directly through the meter: a real exchange would
+	// need a live server, and the scoring math is what is under test.
+	seed := func(c *Client, d time.Duration) {
+		start := time.Now().Add(-d)
+		c.load.inflight.Add(1) // balance the Add(-1) in end
+		c.load.end(start)
+	}
+	seed(fast, time.Millisecond)
+	seed(slow, 80*time.Millisecond)
+	if fast.LoadEstimate() >= slow.LoadEstimate() {
+		t.Fatalf("fast client scored %.6f >= slow %.6f", fast.LoadEstimate(), slow.LoadEstimate())
+	}
+	if fast.EWMALatency() <= 0 || slow.EWMALatency() < 40*time.Millisecond {
+		t.Fatalf("EWMAs off: fast %v slow %v", fast.EWMALatency(), slow.EWMALatency())
+	}
+	// Queue depth scales the score: the fast client with enough
+	// outstanding ops loses to the idle slow one.
+	fast.load.inflight.Add(1000)
+	defer fast.load.inflight.Add(-1000)
+	if fast.LoadEstimate() <= slow.LoadEstimate() {
+		t.Fatalf("deep queue not reflected: fast %.6f slow %.6f", fast.LoadEstimate(), slow.LoadEstimate())
+	}
+}
+
+func TestLoadEstimateFreshClientIsZero(t *testing.T) {
+	c := New("fresh:0")
+	defer c.Close()
+	if c.LoadEstimate() != 0 {
+		t.Fatalf("fresh client scored %.6f, want 0", c.LoadEstimate())
+	}
+	if c.InFlight() != 0 || c.EWMALatency() != 0 {
+		t.Fatal("fresh client has nonzero signals")
+	}
+}

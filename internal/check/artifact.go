@@ -16,23 +16,32 @@ import (
 // versions, ignore the trailing events (they are evidence, not input),
 // and re-derive everything else by replaying the schedule.
 //
-//	proteus-check/v1
+//	proteus-check/v2
 //	seed 42
 //	plane sim
 //	servers 5
 //	initial 3
 //	keys 48
 //	ttl 30s
+//	replicas 2
 //	seed-bug true
+//	seed-bug-fanout false
 //	violation power-safety at step 7: node 2 powered off ...
 //	history 3
 //	scale 2
-//	get k013
+//	promote k001
 //	advance 30s
 //	events
 //	[ ...event JSON... ]
+//
+// v2 added the replicas, seed-bug-fanout fields and the
+// promote/demote verbs; v1 artifacts still parse (the new fields
+// default to off).
 
-const artifactMagic = "proteus-check/v1"
+const (
+	artifactMagic   = "proteus-check/v2"
+	artifactMagicV1 = "proteus-check/v1"
+)
 
 // WriteArtifact renders a report's reproducing schedule as a .check
 // artifact. The schedule written is the minimal one when shrinking
@@ -54,7 +63,9 @@ func WriteArtifact(w io.Writer, rep *Report) error {
 	fmt.Fprintf(bw, "initial %d\n", o.InitialActive)
 	fmt.Fprintf(bw, "keys %d\n", o.Keys)
 	fmt.Fprintf(bw, "ttl %s\n", o.TTL)
+	fmt.Fprintf(bw, "replicas %d\n", o.HotReplicas)
 	fmt.Fprintf(bw, "seed-bug %v\n", o.SeedBug)
+	fmt.Fprintf(bw, "seed-bug-fanout %v\n", o.SeedBugFanout)
 	if v != nil {
 		fmt.Fprintf(bw, "violation %s\n", v)
 	}
@@ -78,7 +89,7 @@ func WriteArtifact(w io.Writer, rep *Report) error {
 func ParseArtifact(r io.Reader) (Options, []Step, error) {
 	sc := bufio.NewScanner(r)
 	var opt Options
-	if !sc.Scan() || sc.Text() != artifactMagic {
+	if !sc.Scan() || (sc.Text() != artifactMagic && sc.Text() != artifactMagicV1) {
 		return opt, nil, fmt.Errorf("check: not a %s artifact", artifactMagic)
 	}
 	historyLen := -1
@@ -102,8 +113,12 @@ func ParseArtifact(r io.Reader) (Options, []Step, error) {
 			opt.Keys, err = strconv.Atoi(rest)
 		case "ttl":
 			opt.TTL, err = time.ParseDuration(rest)
+		case "replicas":
+			opt.HotReplicas, err = strconv.Atoi(rest)
 		case "seed-bug":
 			opt.SeedBug, err = strconv.ParseBool(rest)
+		case "seed-bug-fanout":
+			opt.SeedBugFanout, err = strconv.ParseBool(rest)
 		case "violation":
 			// Recorded evidence; replay re-derives it.
 		case "history":
@@ -149,6 +164,10 @@ func parseStep(line string) (Step, error) {
 		return Step{Kind: StepGet, Key: rest}, nil
 	case "set":
 		return Step{Kind: StepSet, Key: rest}, nil
+	case "promote":
+		return Step{Kind: StepPromote, Key: rest}, nil
+	case "demote":
+		return Step{Kind: StepDemote, Key: rest}, nil
 	case "scale":
 		n, err := strconv.Atoi(rest)
 		if err != nil {

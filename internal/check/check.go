@@ -60,6 +60,13 @@ const (
 	// StepAdvance skips the virtual clock forward by Skip, firing any
 	// transition deadline the skip crosses.
 	StepAdvance
+	// StepPromote moves Key into the hot set: its replica copies are
+	// synchronized and reads resolve at HotReplicas depth. A no-op
+	// schedule-wise when replication is disabled or an owner is
+	// unreachable (promotion is atomic or nothing).
+	StepPromote
+	// StepDemote removes Key from the hot set; copies linger invisibly.
+	StepDemote
 )
 
 // Step is one schedule entry. Only the fields its kind names are
@@ -89,6 +96,10 @@ func (s Step) String() string {
 		return fmt.Sprintf("heal %d", s.Server)
 	case StepAdvance:
 		return fmt.Sprintf("advance %s", s.Skip)
+	case StepPromote:
+		return "promote " + s.Key
+	case StepDemote:
+		return "demote " + s.Key
 	default:
 		return fmt.Sprintf("step(%d)", uint8(s.Kind))
 	}

@@ -131,6 +131,8 @@ func TestStepTextRoundTrip(t *testing.T) {
 	steps := []Step{
 		{Kind: StepGet, Key: "k007"},
 		{Kind: StepSet, Key: "k013"},
+		{Kind: StepPromote, Key: "k002"},
+		{Kind: StepDemote, Key: "k002"},
 		{Kind: StepScale, Target: 4},
 		{Kind: StepCrash, Server: 2},
 		{Kind: StepPartition, Server: 1},

@@ -128,48 +128,109 @@ func newStepGen(opt Options) *stepGen {
 
 func (g *stepGen) key() string { return g.keys[g.rng.Intn(len(g.keys))] }
 
+// hotKey draws from the hot candidate set: the first few keys of the
+// universe, so promotes, demotes, skewed reads, and writes keep
+// colliding on the same keys instead of spreading the hot set thin.
+func (g *stepGen) hotKey() string {
+	n := len(g.keys)
+	if n > 8 {
+		n = 8
+	}
+	return g.keys[g.rng.Intn(n)]
+}
+
+func (g *stepGen) scale(active int) Step {
+	target := active + 1
+	if g.rng.Intn(2) == 0 {
+		target = active - 1
+	}
+	if target < 1 {
+		target = active + 1
+	}
+	if target > g.opt.Servers {
+		target = active - 1
+	}
+	if target < 1 || target == active {
+		// Single-server universe: scaling is a no-op; read instead.
+		return Step{Kind: StepGet, Key: g.key()}
+	}
+	return Step{Kind: StepScale, Target: target}
+}
+
+func (g *stepGen) partition() Step {
+	s := g.rng.Intn(g.opt.Servers)
+	g.partitioned[s] = true
+	return Step{Kind: StepPartition, Server: s}
+}
+
+func (g *stepGen) heal() Step {
+	if len(g.partitioned) == 0 {
+		return Step{Kind: StepGet, Key: g.key()}
+	}
+	cut := make([]int, 0, len(g.partitioned))
+	for s := range g.partitioned {
+		cut = append(cut, s)
+	}
+	sort.Ints(cut)
+	s := cut[g.rng.Intn(len(cut))]
+	delete(g.partitioned, s)
+	return Step{Kind: StepHeal, Server: s}
+}
+
 func (g *stepGen) next(active int) Step {
+	if g.opt.HotReplicas > 1 {
+		return g.nextReplicated(active)
+	}
 	switch p := g.rng.Intn(100); {
 	case p < 55:
 		return Step{Kind: StepGet, Key: g.key()}
 	case p < 70:
 		return Step{Kind: StepSet, Key: g.key()}
 	case p < 78:
-		target := active + 1
-		if g.rng.Intn(2) == 0 {
-			target = active - 1
-		}
-		if target < 1 {
-			target = active + 1
-		}
-		if target > g.opt.Servers {
-			target = active - 1
-		}
-		if target < 1 || target == active {
-			// Single-server universe: scaling is a no-op; read instead.
-			return Step{Kind: StepGet, Key: g.key()}
-		}
-		return Step{Kind: StepScale, Target: target}
+		return g.scale(active)
 	case p < 86:
 		return Step{Kind: StepAdvance, Skip: g.skips[g.rng.Intn(len(g.skips))]}
 	case p < 90:
 		return Step{Kind: StepCrash, Server: g.rng.Intn(g.opt.Servers)}
 	case p < 95:
-		s := g.rng.Intn(g.opt.Servers)
-		g.partitioned[s] = true
-		return Step{Kind: StepPartition, Server: s}
+		return g.partition()
 	default:
-		if len(g.partitioned) == 0 {
-			return Step{Kind: StepGet, Key: g.key()}
+		return g.heal()
+	}
+}
+
+// nextReplicated is the replication-aware distribution: it adds the
+// promote/demote verbs and skews reads and writes toward the hot
+// candidate set, so hot keys see the read/write/scale interleavings
+// the replica probes exist to stress. It is a separate branch (not a
+// re-weighting of next) so schedules for HotReplicas <= 1 stay
+// byte-identical to earlier releases for any given seed.
+func (g *stepGen) nextReplicated(active int) Step {
+	switch p := g.rng.Intn(100); {
+	case p < 40:
+		if g.rng.Intn(2) == 0 {
+			return Step{Kind: StepGet, Key: g.hotKey()}
 		}
-		cut := make([]int, 0, len(g.partitioned))
-		for s := range g.partitioned {
-			cut = append(cut, s)
+		return Step{Kind: StepGet, Key: g.key()}
+	case p < 52:
+		if g.rng.Intn(2) == 0 {
+			return Step{Kind: StepSet, Key: g.hotKey()}
 		}
-		sort.Ints(cut)
-		s := cut[g.rng.Intn(len(cut))]
-		delete(g.partitioned, s)
-		return Step{Kind: StepHeal, Server: s}
+		return Step{Kind: StepSet, Key: g.key()}
+	case p < 60:
+		return Step{Kind: StepPromote, Key: g.hotKey()}
+	case p < 64:
+		return Step{Kind: StepDemote, Key: g.hotKey()}
+	case p < 72:
+		return g.scale(active)
+	case p < 80:
+		return Step{Kind: StepAdvance, Skip: g.skips[g.rng.Intn(len(g.skips))]}
+	case p < 85:
+		return Step{Kind: StepCrash, Server: g.rng.Intn(g.opt.Servers)}
+	case p < 92:
+		return g.partition()
+	default:
+		return g.heal()
 	}
 }
 
@@ -186,13 +247,21 @@ func eventsJSON(p Plane) []byte {
 // prints and the byte-identity acceptance check compares.
 func (r *Report) Write(w io.Writer) error {
 	o := r.Opt
-	if _, err := fmt.Fprintf(w, "proteus-check seed=%d steps=%d plane=%s servers=%d initial=%d keys=%d ttl=%s\n",
-		o.Seed, o.Steps, o.Plane, o.Servers, o.InitialActive, o.Keys, o.TTL); err != nil {
+	replicas := ""
+	if o.HotReplicas > 1 {
+		replicas = fmt.Sprintf(" replicas=%d", o.HotReplicas)
+	}
+	if _, err := fmt.Fprintf(w, "proteus-check seed=%d steps=%d plane=%s servers=%d initial=%d keys=%d ttl=%s%s\n",
+		o.Seed, o.Steps, o.Plane, o.Servers, o.InitialActive, o.Keys, o.TTL, replicas); err != nil {
 		return err
 	}
 	st := r.Stats
-	fmt.Fprintf(w, "executed %d steps: %d gets %d sets %d scales %d advances %d crashes %d partitions %d heals\n",
-		len(r.History), st.Gets, st.Sets, st.Scales, st.Advances, st.Crashes, st.Partitions, st.Heals)
+	hot := ""
+	if o.HotReplicas > 1 {
+		hot = fmt.Sprintf(" %d promotes %d demotes", st.Promotes, st.Demotes)
+	}
+	fmt.Fprintf(w, "executed %d steps: %d gets %d sets %d scales %d advances %d crashes %d partitions %d heals%s\n",
+		len(r.History), st.Gets, st.Sets, st.Scales, st.Advances, st.Crashes, st.Partitions, st.Heals, hot)
 	fmt.Fprintf(w, "sources: %d hit %d migrated %d db; %d ownership flips\n",
 		st.Hits, st.Migrated, st.DBFetches, st.Flips)
 	if r.Violation == nil {

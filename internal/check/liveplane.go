@@ -96,8 +96,8 @@ type livePlane struct {
 }
 
 func newLivePlane(opt Options, db func(key string) (string, bool)) (*livePlane, error) {
-	if opt.SeedBug {
-		return nil, fmt.Errorf("check: the seeded-bug hook is sim-plane only")
+	if opt.SeedBug || opt.SeedBugFanout {
+		return nil, fmt.Errorf("check: the seeded-bug hooks are sim-plane only")
 	}
 	inj := faultinject.New(opt.Seed)
 	vt := &vtimer{}
@@ -106,6 +106,7 @@ func newLivePlane(opt Options, db func(key string) (string, bool)) (*livePlane, 
 		Nodes:         opt.Servers,
 		InitialActive: opt.InitialActive,
 		TTL:           opt.TTL,
+		HotReplicas:   opt.HotReplicas,
 		Faults:        inj,
 		Seed:          opt.Seed,
 		After:         vt.After,
@@ -167,6 +168,18 @@ func (p *livePlane) Scale(n int) Observation {
 	return Observation{}
 }
 
+func (p *livePlane) Promote(key string) Observation {
+	hot, err := p.env.Coord.Promote(key)
+	if err != nil {
+		return Observation{Err: err.Error()}
+	}
+	return Observation{Found: hot}
+}
+
+func (p *livePlane) Demote(key string) Observation {
+	return Observation{Found: p.env.Coord.Demote(key)}
+}
+
 func (p *livePlane) Crash(server int) {
 	if server < 0 || server >= len(p.env.Locals) {
 		return
@@ -196,6 +209,14 @@ func (p *livePlane) State() PlaneState {
 			return false
 		}
 		return srv.DigestContains(key)
+	}
+	st.Value = func(node int, key string) (string, bool) {
+		srv := p.env.Locals[node].Server()
+		if srv == nil {
+			return "", false
+		}
+		v, ok := srv.Cache().Get(key)
+		return string(v), ok
 	}
 	return st
 }

@@ -17,19 +17,22 @@ import (
 // what the conformance probes compare against.
 //
 // The mirror is exact, not approximate, because the conformance
-// configuration pins down every source of divergence: one replica ring,
-// unlimited cache capacity, no per-item TTL, serial steps, and rule-free
-// fault injectors. The only plane behaviour the oracle does not model is
-// counting-filter false positives — and those are observationally
-// equivalent (an FP consult misses on the old owner and degrades to the
-// database, which is exactly what the oracle predicts from its exact
-// digest set; see oracleGet).
+// configuration pins down every source of divergence: a base depth of
+// one ring (hot keys extend to HotReplicas over the shared seeded
+// geometry), unlimited cache capacity, no per-item TTL, serial steps,
+// and rule-free fault injectors. The only plane behaviour the oracle
+// does not model is counting-filter false positives — and those are
+// observationally equivalent (an FP consult misses on the old owner
+// and degrades to the database, which is exactly what the oracle
+// predicts from its exact digest set; see ApplyGet).
 type Oracle struct {
-	placement *core.Placement
-	ttl       time.Duration
-	now       time.Duration
-	active    int
-	flips     int
+	placement  *core.Placement
+	replicated *core.Replicated
+	hotRings   int
+	ttl        time.Duration
+	now        time.Duration
+	active     int
+	flips      int
 
 	db      map[string]string
 	version map[string]int
@@ -37,6 +40,13 @@ type Oracle struct {
 	nodes []*modelNode
 	part  map[int]bool
 	trans *modelTransition
+	hot   map[string]struct{}
+
+	// Hot-sync accounting for the extended migration-bound probe: what
+	// the most recent ApplyScale did to re-establish the replica
+	// invariant.
+	lastSyncInstalls int
+	lastSyncHot      int
 }
 
 // modelNode mirrors one cache server: power state and exact residency.
@@ -58,8 +68,10 @@ type modelTransition struct {
 }
 
 // NewOracle builds the reference model with the initial prefix powered
-// on and every key at version 0 in the backing store.
-func NewOracle(servers, initialActive int, ttl time.Duration, keys []string) (*Oracle, error) {
+// on and every key at version 0 in the backing store. hotReplicas is
+// the replica depth promoted keys resolve at (<= 1 disables hot-key
+// replication, making the model single-ring exactly as before).
+func NewOracle(servers, initialActive int, ttl time.Duration, keys []string, hotReplicas int) (*Oracle, error) {
 	if servers < 1 {
 		return nil, fmt.Errorf("check: oracle needs at least 1 server, got %d", servers)
 	}
@@ -69,17 +81,25 @@ func NewOracle(servers, initialActive int, ttl time.Duration, keys []string) (*O
 	if ttl <= 0 {
 		return nil, fmt.Errorf("check: oracle TTL must be positive")
 	}
-	placement, err := core.New(servers)
+	if hotReplicas < 1 {
+		hotReplicas = 1
+	}
+	// Ring 0 of a Replicated is the unseeded primary placement, so with
+	// hot-key replication disabled this is exactly core.New(servers).
+	replicated, err := core.NewReplicated(servers, hotReplicas)
 	if err != nil {
 		return nil, err
 	}
 	o := &Oracle{
-		placement: placement,
-		ttl:       ttl,
-		active:    initialActive,
-		db:        make(map[string]string, len(keys)),
-		version:   make(map[string]int, len(keys)),
-		part:      make(map[int]bool),
+		placement:  replicated.Placement(),
+		replicated: replicated,
+		hotRings:   hotReplicas,
+		ttl:        ttl,
+		active:     initialActive,
+		db:         make(map[string]string, len(keys)),
+		version:    make(map[string]int, len(keys)),
+		part:       make(map[int]bool),
+		hot:        make(map[string]struct{}),
 	}
 	for i := 0; i < servers; i++ {
 		o.nodes = append(o.nodes, &modelNode{on: i < initialActive, store: make(map[string]string)})
@@ -110,35 +130,67 @@ func (o *Oracle) Reachable(i int) bool {
 }
 
 // ApplySet advances the key's version in the backing store and mirrors
-// the write-through (webtier.Update, single ring, whole objects): the
-// current owner takes the value if reachable, otherwise stays cold.
-// It returns the new value, which the runner hands to the plane.
+// the write-through (webtier.Update, whole objects): every distinct
+// owner takes the value if reachable; a hot key that missed a copy is
+// demoted, exactly as the plane's storeAll auto-demote rule. It
+// returns the new value, which the runner hands to the plane.
 func (o *Oracle) ApplySet(key string) string {
 	o.version[key]++
 	val := versioned(key, o.version[key])
 	o.db[key] = val
-	owner := o.placement.Lookup(key, o.active)
-	if o.Reachable(owner) {
-		o.nodes[owner].store[key] = val
-	}
+	o.fanoutWrite(key, val)
 	return val
 }
 
+// fanoutWrite mirrors webtier storeAll / sim.Harness fanoutWrite: the
+// value lands on every reachable distinct owner; any failed copy of a
+// multi-owner write demotes the key.
+func (o *Oracle) fanoutWrite(key, val string) {
+	owners := o.owners(key)
+	failed := false
+	for _, s := range owners {
+		if o.Reachable(s) {
+			o.nodes[s].store[key] = val
+		} else {
+			failed = true
+		}
+	}
+	if failed && len(owners) > 1 {
+		delete(o.hot, key)
+	}
+}
+
 // ApplyGet predicts and mirrors Algorithm 2 for one key, exactly as
-// webtier.Frontend.fetch runs it with a single ring: try the current
-// owner; during a transition consult the old owner's broadcast digest
-// and migrate on demand; otherwise fall back to the backing store and
-// write through.
+// webtier.Frontend.fetch runs it, in three phases: probe the distinct
+// current owners (order-independent under the replica invariant, so
+// the live tier's load-aware ordering needs no modelling); during a
+// transition consult each ring's old-owner broadcast digest and
+// migrate on demand; otherwise fall back to the backing store and
+// write through to every owner.
 func (o *Oracle) ApplyGet(key string) (value string, src Source, found bool) {
-	owner := o.placement.Lookup(key, o.active)
-	if o.Reachable(owner) {
-		if v, ok := o.nodes[owner].store[key]; ok {
-			return v, SourceHit, true
+	for _, s := range o.owners(key) {
+		if o.Reachable(s) {
+			if v, ok := o.nodes[s].store[key]; ok {
+				return v, SourceHit, true
+			}
 		}
 	}
 	if tr := o.trans; tr != nil {
-		old := o.placement.Lookup(key, tr.from)
-		if old != owner && tr.digests[old] != nil && tr.digests[old][key] && o.Reachable(old) {
+		var consulted []int
+		rings := o.ringsFor(key)
+		for ring := 0; ring < rings; ring++ {
+			owner := o.replicated.OwnerOnRing(key, ring, o.active)
+			old := o.replicated.OwnerOnRing(key, ring, tr.from)
+			if old == owner || tr.digests[old] == nil || !tr.digests[old][key] {
+				continue
+			}
+			if containsServer(consulted, old) {
+				continue
+			}
+			consulted = append(consulted, old)
+			if !o.Reachable(old) {
+				continue
+			}
 			if v, ok := o.nodes[old].store[key]; ok {
 				if o.Reachable(owner) {
 					o.nodes[owner].store[key] = v
@@ -156,10 +208,17 @@ func (o *Oracle) ApplyGet(key string) (value string, src Source, found bool) {
 	if !ok {
 		return "", SourceDB, false
 	}
-	if o.Reachable(owner) {
-		o.nodes[owner].store[key] = v
-	}
+	o.fanoutWrite(key, v)
 	return v, SourceDB, true
+}
+
+func containsServer(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // ApplyScale mirrors cluster.Coordinator.SetActive: finalize any pending
@@ -203,6 +262,7 @@ func (o *Oracle) ApplyScale(n int) (degraded int, err error) {
 	o.trans = &modelTransition{from: from, to: n, digests: digests, deadline: o.now + o.ttl}
 	o.active = n
 	o.flips++
+	o.hotSyncAfterFlip()
 	return degraded, nil
 }
 

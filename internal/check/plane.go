@@ -23,6 +23,12 @@ type Plane interface {
 	Set(key, value string) Observation
 	// Scale executes SetActive(n).
 	Scale(n int) Observation
+	// Promote moves key into the hot set (Found reports whether it is
+	// hot on return; promotion is atomic or nothing).
+	Promote(key string) Observation
+	// Demote removes key from the hot set (Found reports whether it
+	// was hot).
+	Demote(key string) Observation
 	// Crash powers a server off outside any provisioning decision.
 	Crash(server int)
 	// Partition blackholes a server in this plane's fault injector.
@@ -54,6 +60,12 @@ type PlaneState struct {
 	// Digest probes server node's live counting filter; false for a
 	// powered-off server.
 	Digest func(node int, key string) bool
+	// Value reads server node's stored value for key directly (no
+	// routing, no migration); false for a powered-off server or a
+	// non-resident key. The replica probes compare values, not just
+	// residency, because a stale copy has the right key and the wrong
+	// bytes.
+	Value func(node int, key string) (string, bool)
 }
 
 // digestParams returns the counting-filter sizing conformance runs use
@@ -95,6 +107,8 @@ func newSimPlane(opt Options, db func(key string) (string, bool)) (*simPlane, er
 		Faults:              inj,
 		Events:              p.log,
 		UnsafeEarlyPowerOff: opt.SeedBug,
+		HotReplicas:         opt.HotReplicas,
+		UnsafeSkipFanout:    opt.SeedBugFanout,
 	})
 	if err != nil {
 		return nil, err
@@ -131,6 +145,14 @@ func (p *simPlane) Scale(n int) Observation {
 	return Observation{}
 }
 
+func (p *simPlane) Promote(key string) Observation {
+	return Observation{Found: p.h.Promote(key)}
+}
+
+func (p *simPlane) Demote(key string) Observation {
+	return Observation{Found: p.h.Demote(key)}
+}
+
 func (p *simPlane) Crash(server int)     { p.h.Crash(server) }
 func (p *simPlane) Partition(server int) { p.inj.Partition(server) }
 func (p *simPlane) Heal(server int)      { p.inj.Heal(server) }
@@ -154,6 +176,13 @@ func (p *simPlane) State() PlaneState {
 			return false
 		}
 		return p.h.DigestContains(node, key)
+	}
+	st.Value = func(node int, key string) (string, bool) {
+		if !p.h.NodeOn(node) {
+			return "", false
+		}
+		v, ok := p.h.NodeValue(node, key)
+		return string(v), ok
 	}
 	return st
 }

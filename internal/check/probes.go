@@ -27,11 +27,16 @@ type Probe interface {
 	Check(pc *ProbeContext) *Violation
 }
 
-// defaultProbes builds the standard probe set, strongest first.
+// defaultProbes builds the standard probe set, strongest first. The
+// write-fanout probe runs before replica-consistency: a skipped
+// fan-out first shows up as a value the replicas never received, and
+// only later (after a second write) as divergence between copies.
 func defaultProbes() []Probe {
 	return []Probe{
 		&conformanceProbe{},
 		&powerProbe{},
+		&writeFanoutProbe{},
+		&replicaConsistencyProbe{},
 		&residencyProbe{},
 		&digestProbe{},
 		&transitionProbe{},
@@ -95,6 +100,82 @@ func (powerProbe) Check(pc *ProbeContext) *Violation {
 				"node %d powered off during the open shrink window %d->%d (TTL not expired)", i, from, to)
 		}
 		return violation("power-safety", pc, "node %d power=%v, oracle expects %v", i, got, want)
+	}
+	return nil
+}
+
+// writeFanoutProbe checks write-through completeness for hot keys:
+// after any step that wrote key through the cluster (an explicit Set,
+// or a Get that fell through to the database), every reachable owner
+// at the key's current replica depth must hold exactly the value the
+// model installed there. A plane that writes only the primary strands
+// the replicas on a stale copy — that stale copy is visible here
+// immediately, before any read ever routes to it.
+type writeFanoutProbe struct{}
+
+func (writeFanoutProbe) Name() string { return "write-fanout" }
+
+func (writeFanoutProbe) Check(pc *ProbeContext) *Violation {
+	key := pc.Step.Key
+	switch pc.Step.Kind {
+	case StepSet:
+	case StepGet:
+		if pc.Expected.Src != SourceDB || !pc.Expected.Found {
+			return nil
+		}
+	default:
+		return nil
+	}
+	if !pc.Oracle.IsHot(key) {
+		return nil
+	}
+	for _, owner := range pc.Oracle.Owners(key) {
+		if !pc.Oracle.Reachable(owner) {
+			continue
+		}
+		want, wantOK := pc.Oracle.NodeValue(owner, key)
+		got, gotOK := pc.State.Value(owner, key)
+		if wantOK != gotOK || (wantOK && want != got) {
+			return violation("write-fanout", pc,
+				"%s: hot key %q on owner %d: plane holds (%q, %v), fan-out should leave (%q, %v)",
+				pc.Step, key, owner, got, gotOK, want, wantOK)
+		}
+	}
+	return nil
+}
+
+// replicaConsistencyProbe checks the replica invariant after every
+// step: for each hot key, all reachable current owners that hold a
+// copy on the plane agree on its value. A missing copy is legal (a
+// replica may have crashed and restarted cold, or the key may never
+// have been written since promotion failed over) — two *different*
+// values are not, because a load-routed read could then return either.
+type replicaConsistencyProbe struct{}
+
+func (replicaConsistencyProbe) Name() string { return "replica-consistency" }
+
+func (replicaConsistencyProbe) Check(pc *ProbeContext) *Violation {
+	for _, key := range pc.Oracle.HotKeys() {
+		first := -1
+		var firstVal string
+		for _, owner := range pc.Oracle.Owners(key) {
+			if !pc.Oracle.Reachable(owner) {
+				continue
+			}
+			v, ok := pc.State.Value(owner, key)
+			if !ok {
+				continue
+			}
+			if first == -1 {
+				first, firstVal = owner, v
+				continue
+			}
+			if v != firstVal {
+				return violation("replica-consistency", pc,
+					"hot key %q diverges: owner %d holds %q, owner %d holds %q",
+					key, first, firstVal, owner, v)
+			}
+		}
 	}
 	return nil
 }
@@ -196,7 +277,10 @@ func (p *balanceProbe) Check(pc *ProbeContext) *Violation {
 
 // migrationBoundProbe checks, at every scale step, the paper's
 // transition cost bound: the re-mapped fraction of the ring is at most
-// |Δn|/max(n, n').
+// |Δn|/max(n, n'). With hot-key replication it also bounds the flip's
+// synchronous repair work: the hot-sync sweep installs at most
+// |hot| × (R−1) copies, since each hot key re-syncs at most its R−1
+// non-primary owners.
 type migrationBoundProbe struct{}
 
 func (migrationBoundProbe) Name() string { return "migration-bound" }
@@ -204,6 +288,14 @@ func (migrationBoundProbe) Name() string { return "migration-bound" }
 func (migrationBoundProbe) Check(pc *ProbeContext) *Violation {
 	if pc.Step.Kind != StepScale {
 		return nil
+	}
+	if r := pc.Oracle.HotReplicas(); r > 1 {
+		installs, hotBefore := pc.Oracle.LastHotSync()
+		if limit := hotBefore * (r - 1); installs > limit {
+			return violation("migration-bound", pc,
+				"hot-sync after flip installed %d copies, bound is %d (%d hot keys × %d extra replicas)",
+				installs, limit, hotBefore, r-1)
+		}
 	}
 	from, to := pc.PrevActive, pc.Oracle.Active()
 	if from == to {
@@ -229,8 +321,15 @@ func (migrationBoundProbe) Check(pc *ProbeContext) *Violation {
 
 // doubleMigrationProbe checks migration amortization: within one
 // transition window a key migrates over the wire at most once, unless
-// the copy installed on the new owner was genuinely lost (owner crash)
-// or the install was impossible (owner unreachable at migration time).
+// the copy installed on the new owner was genuinely lost (owner crash),
+// the install was impossible (owner unreachable at migration time), or
+// the owner is unreachable now (partitioned: the first copy exists but
+// cannot serve, so re-migrating is the correct degradation).
+// The claim is only made for singly-owned keys: a hot key consults one
+// old owner per ring, so it may migrate up to R times in one window
+// (once per replica), and the observation stream does not say which
+// ring moved. Promotion and demotion change the consulted set, so
+// either resets the key's record.
 type doubleMigrationProbe struct {
 	seen map[string]migrationRecord
 }
@@ -249,14 +348,23 @@ func newDoubleMigrationProbe() *doubleMigrationProbe {
 func (*doubleMigrationProbe) Name() string { return "double-migration" }
 
 func (p *doubleMigrationProbe) Check(pc *ProbeContext) *Violation {
+	if pc.Step.Kind == StepPromote || pc.Step.Kind == StepDemote {
+		delete(p.seen, pc.Step.Key)
+		return nil
+	}
 	if pc.Step.Kind != StepGet || pc.Obs.Src != SourceMigrated {
 		return nil
 	}
 	key := pc.Step.Key
+	if pc.Oracle.IsHot(key) {
+		delete(p.seen, key)
+		return nil
+	}
 	owner := pc.Oracle.Owner(key)
 	rec, ok := p.seen[key]
 	if ok && rec.flip == pc.Oracle.Flips() && rec.installed &&
-		pc.Oracle.Epoch(rec.owner) == rec.ownerEpoch {
+		pc.Oracle.Epoch(rec.owner) == rec.ownerEpoch &&
+		pc.Oracle.Reachable(rec.owner) {
 		return violation("double-migration", pc,
 			"key %q migrated twice in transition %d although owner %d kept the first copy",
 			key, rec.flip, rec.owner)

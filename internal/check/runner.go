@@ -58,6 +58,15 @@ type Options struct {
 	// SeedBug arms the sim harness's UnsafeEarlyPowerOff hook (the
 	// deliberate premature power-off); sim plane only.
 	SeedBug bool
+	// HotReplicas enables hot-key replication on the oracle and both
+	// planes: promoted keys resolve at this replica depth (0 or 1
+	// disables). The explorer adds promote/demote verbs and skews reads
+	// toward a hot candidate set when enabled.
+	HotReplicas int
+	// SeedBugFanout arms the sim harness's UnsafeSkipFanout hook (Set
+	// writes the primary only, stranding stale replica copies); sim
+	// plane only.
+	SeedBugFanout bool
 	// NoShrink skips delta-debugging the history after a violation.
 	NoShrink bool
 }
@@ -95,6 +104,7 @@ func keyUniverse(n int) []string {
 // Stats aggregates one run's step and outcome counts.
 type Stats struct {
 	Gets, Sets, Scales, Crashes, Partitions, Heals, Advances int
+	Promotes, Demotes                                        int
 	Hits, Migrated, DBFetches                                int
 	Flips                                                    int
 }
@@ -109,7 +119,7 @@ type session struct {
 }
 
 func newSession(opt Options, kind PlaneKind) (*session, error) {
-	oracle, err := NewOracle(opt.Servers, opt.InitialActive, opt.TTL, keyUniverse(opt.Keys))
+	oracle, err := NewOracle(opt.Servers, opt.InitialActive, opt.TTL, keyUniverse(opt.Keys), opt.HotReplicas)
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +183,22 @@ func (s *session) apply(i int, st Step) (Observation, *Violation) {
 		s.stats.Advances++
 		s.oracle.ApplyAdvance(st.Skip)
 		s.plane.Advance(st.Skip)
+	case StepPromote:
+		s.stats.Promotes++
+		exp = Observation{Found: s.oracle.ApplyPromote(st.Key)}
+		obs = s.plane.Promote(st.Key)
+		if obs.Err == "" && obs.Found != exp.Found {
+			return obs, &Violation{Probe: "conformance", Step: i, Detail: fmt.Sprintf(
+				"%s: plane promoted=%v, oracle expects %v", st, obs.Found, exp.Found)}
+		}
+	case StepDemote:
+		s.stats.Demotes++
+		exp = Observation{Found: s.oracle.ApplyDemote(st.Key)}
+		obs = s.plane.Demote(st.Key)
+		if obs.Err == "" && obs.Found != exp.Found {
+			return obs, &Violation{Probe: "conformance", Step: i, Detail: fmt.Sprintf(
+				"%s: plane demoted=%v, oracle expects %v", st, obs.Found, exp.Found)}
+		}
 	default:
 		return obs, &Violation{Probe: "schedule", Step: i, Detail: fmt.Sprintf("unknown step kind %d", st.Kind)}
 	}

@@ -18,6 +18,7 @@ import (
 	"proteus/internal/cacheclient"
 	"proteus/internal/core"
 	"proteus/internal/faultinject"
+	"proteus/internal/hotkey"
 	"proteus/internal/telemetry"
 )
 
@@ -43,8 +44,20 @@ type Config struct {
 	// owners alive for on-demand migration.
 	TTL time.Duration
 	// Replicas enables Section III-E replication: r hashing rings over
-	// one shared placement (0 or 1 disables).
+	// one shared placement (0 or 1 disables). Every key is stored at
+	// this depth.
 	Replicas int
+	// HotReplicas enables hot-key replication: keys promoted into the
+	// hot set are resolved at this replica depth (0 or 1 disables).
+	// Cold keys stay at Replicas depth; because ring k's owners are a
+	// prefix of ring k+1's, the two layers share one geometry.
+	HotReplicas int
+	// HotTracker, when non-nil, enables online hot-key detection: the
+	// web tier feeds ObserveGet, and window-boundary decisions from the
+	// space-saving tracker drive Promote/Demote automatically. Nil
+	// leaves the hot set under explicit control (the conformance
+	// harness drives it through schedule verbs).
+	HotTracker *hotkey.TrackerConfig
 	// NewClient builds a protocol client for a node address; nil uses
 	// cacheclient.New defaults (honouring ClientMaxConns below).
 	NewClient func(addr string) *cacheclient.Client
@@ -73,13 +86,22 @@ type Config struct {
 // safe for concurrent use; Route is wait-free with respect to
 // provisioning (readers see a consistent snapshot).
 type Coordinator struct {
-	placement  *core.Placement
-	replicated *core.Replicated
-	nodes      []Node
-	clients    []*cacheclient.Client
-	ttl        time.Duration
-	after      func(time.Duration, func()) func()
-	faults     *faultinject.Injector
+	placement   *core.Placement
+	replicated  *core.Replicated
+	baseRings   int // Section III-E depth: every key is stored this deep
+	hotReplicas int // promoted keys are stored this deep (>= baseRings)
+	nodes       []Node
+	clients     []*cacheclient.Client
+	ttl         time.Duration
+	after       func(time.Duration, func()) func()
+	faults      *faultinject.Injector
+
+	hotMu    sync.RWMutex
+	hotSet   map[string]struct{}
+	hotEpoch uint64
+
+	trackerMu sync.Mutex
+	tracker   *hotkey.Tracker
 
 	events          *telemetry.EventLog
 	transitions     *telemetry.Counter
@@ -124,7 +146,15 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Replicas < 1 {
 		cfg.Replicas = 1
 	}
-	replicated, err := core.NewReplicated(len(cfg.Nodes), cfg.Replicas)
+	if cfg.HotReplicas < 1 {
+		cfg.HotReplicas = 1
+	}
+	if cfg.HotReplicas < cfg.Replicas {
+		cfg.HotReplicas = cfg.Replicas
+	}
+	// One geometry serves both layers: rings [0, Replicas) hold every
+	// key, promoted keys extend into rings [Replicas, HotReplicas).
+	replicated, err := core.NewReplicated(len(cfg.Nodes), cfg.HotReplicas)
 	if err != nil {
 		return nil, err
 	}
@@ -147,14 +177,20 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 	}
 	c := &Coordinator{
-		placement:  placement,
-		replicated: replicated,
-		nodes:      cfg.Nodes,
-		ttl:        cfg.TTL,
-		after:      after,
-		faults:     cfg.Faults,
-		events:     cfg.Events,
-		active:     cfg.InitialActive,
+		placement:   placement,
+		replicated:  replicated,
+		baseRings:   cfg.Replicas,
+		hotReplicas: cfg.HotReplicas,
+		nodes:       cfg.Nodes,
+		ttl:         cfg.TTL,
+		after:       after,
+		faults:      cfg.Faults,
+		events:      cfg.Events,
+		active:      cfg.InitialActive,
+		hotSet:      make(map[string]struct{}),
+	}
+	if cfg.HotTracker != nil && cfg.HotReplicas > cfg.Replicas {
+		c.tracker = hotkey.NewTracker(*cfg.HotTracker)
 	}
 	phases := cfg.Telemetry.Counter("proteus_cluster_phase_total",
 		"smooth-transition protocol phases executed, by phase", "phase")
@@ -190,8 +226,10 @@ func New(cfg Config) (*Coordinator, error) {
 // Placement exposes the shared routing table.
 func (c *Coordinator) Placement() *core.Placement { return c.placement }
 
-// Replicas returns the replication factor (1 when disabled).
-func (c *Coordinator) Replicas() int { return c.replicated.Replicas() }
+// Replicas returns the Section III-E replication factor applied to
+// every key (1 when disabled). Promoted keys go deeper; see
+// HotReplicas and RingsFor.
+func (c *Coordinator) Replicas() int { return c.baseRings }
 
 // Active returns the current active-prefix size.
 func (c *Coordinator) Active() int {
@@ -254,11 +292,13 @@ func (c *Coordinator) RouteRing(key string, ring int) (newOwner int, oldOwner in
 
 // WriteOwners returns the distinct servers that must store the key at
 // the current active-prefix size (one per ring, deduplicated; ring
-// collisions reduce the copy count, Eq. 3).
+// collisions reduce the copy count, Eq. 3). Hot keys resolve at the
+// deeper HotReplicas depth.
 func (c *Coordinator) WriteOwners(key string) []int {
+	rings := c.RingsFor(key)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.replicated.DistinctOwners(key, c.active)
+	return c.replicated.DistinctOwnersN(key, c.active, rings)
 }
 
 // SetActive executes one provisioning decision: grow or shrink the
@@ -339,6 +379,11 @@ func (c *Coordinator) SetActive(n int) error {
 		// here lands mid-transition, the hardest point for correctness.
 		c.faults.TransitionStarted()
 	}
+	// The flip may have handed a hot key an owner set containing a node
+	// with a stale copy from an earlier hot era (scale-back returns old
+	// replicas to duty); re-establish the replica invariant before any
+	// reads race the copies.
+	c.hotSyncAfterFlip()
 	return firstErr
 }
 

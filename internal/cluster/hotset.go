@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"sort"
+
+	"proteus/internal/hotkey"
+	"proteus/internal/telemetry"
+)
+
+// Hot-key replication over the live fleet. A key promoted into the hot
+// set is resolved at HotReplicas rings instead of the Section III-E
+// base depth; because ring k's distinct owners are a prefix of ring
+// k+1's, promotion only *adds* owners and demotion only removes read
+// probes — no data has to move on a demote.
+//
+// The invariant the conformance oracle checks is:
+//
+//	hot(k) => no two current distinct owners of k hold different values
+//
+// (a missing copy is fine — reads fall through; a *divergent* copy is
+// not). The coordinator maintains it with four rules:
+//
+//  1. Promote synchronizes before it marks: every distinct owner must
+//     answer a ping, then the primary's state (value or absence) is
+//     installed on (or deleted from) every non-primary owner. Any
+//     failure aborts the promotion, leaving the key cold.
+//  2. Writes to a hot key fan out to all distinct owners; if any copy
+//     cannot be written the key is auto-demoted (reads collapse back
+//     to the primary, which did get the write first).
+//  3. Demote only unmarks. Stale copies linger invisibly — non-hot
+//     reads probe the primary only, and a re-promotion re-syncs.
+//  4. An ownership flip re-runs the promote-sync for every hot key
+//     (the new owner set may include a node holding a copy from an
+//     earlier hot era); keys whose owners are unreachable are demoted.
+
+// HotReplicas returns the replica depth for promoted keys (equals
+// Replicas() when hot-key replication is disabled).
+func (c *Coordinator) HotReplicas() int { return c.hotReplicas }
+
+// IsHot reports whether the key is currently in the hot set.
+func (c *Coordinator) IsHot(key string) bool {
+	c.hotMu.RLock()
+	defer c.hotMu.RUnlock()
+	_, ok := c.hotSet[key]
+	return ok
+}
+
+// HotKeys returns the hot set, sorted.
+func (c *Coordinator) HotKeys() []string {
+	c.hotMu.RLock()
+	keys := make([]string, 0, len(c.hotSet))
+	for k := range c.hotSet {
+		keys = append(keys, k)
+	}
+	c.hotMu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// HotSetDigest snapshots the hot set as a broadcastable digest. The
+// epoch increments on every promotion or demotion, so web servers can
+// cheaply detect staleness.
+func (c *Coordinator) HotSetDigest() *hotkey.Digest {
+	keys := c.HotKeys()
+	c.hotMu.RLock()
+	epoch := c.hotEpoch
+	c.hotMu.RUnlock()
+	return hotkey.NewDigest(epoch, c.hotReplicas, keys)
+}
+
+// RingsFor returns the replica depth a key resolves at: HotReplicas
+// for promoted keys, the base factor otherwise.
+func (c *Coordinator) RingsFor(key string) int {
+	if c.hotReplicas <= c.baseRings {
+		return c.baseRings
+	}
+	if c.IsHot(key) {
+		return c.hotReplicas
+	}
+	return c.baseRings
+}
+
+// markHot adds the key to the hot set and bumps the epoch, returning
+// false if it was already hot.
+func (c *Coordinator) markHot(key string) bool {
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	if _, ok := c.hotSet[key]; ok {
+		return false
+	}
+	c.hotSet[key] = struct{}{}
+	c.hotEpoch++
+	return true
+}
+
+// Promote moves a key into the hot set. It first pings every distinct
+// owner at full depth — promotion must be atomic, and a half-applied
+// sync (a deleted copy that cannot be restored) would be unwindable —
+// then installs the primary's state on every non-primary owner,
+// overwriting any stale copy from a previous hot era. Returns whether
+// the key is hot on return; a false return with nil error means the
+// cluster state (an unreachable owner, or a key already hot) vetoed
+// the promotion, not that anything broke.
+func (c *Coordinator) Promote(key string) (bool, error) {
+	if c.hotReplicas <= c.baseRings {
+		return false, nil
+	}
+	if c.IsHot(key) {
+		return true, nil
+	}
+	if !c.syncReplicas(key) {
+		return false, nil
+	}
+	if c.markHot(key) {
+		c.events.Record(telemetry.Event{Kind: telemetry.EventHotPromote, Node: c.primaryOwner(key)})
+	}
+	return true, nil
+}
+
+// Demote removes a key from the hot set, leaving its replica copies in
+// place (they become invisible: cold reads probe the primary only).
+// Returns whether the key was hot.
+func (c *Coordinator) Demote(key string) bool {
+	c.hotMu.Lock()
+	if _, ok := c.hotSet[key]; !ok {
+		c.hotMu.Unlock()
+		return false
+	}
+	delete(c.hotSet, key)
+	c.hotEpoch++
+	c.hotMu.Unlock()
+	c.events.Record(telemetry.Event{Kind: telemetry.EventHotDemote, Node: c.primaryOwner(key)})
+	return true
+}
+
+// ObserveGet feeds one read into the online hot-key tracker (no-op
+// unless Config.HotTracker enabled it) and applies any window-boundary
+// promote/demote decisions. A promotion the cluster vetoes (owner
+// unreachable) is simply dropped; the tracker re-decides next window.
+func (c *Coordinator) ObserveGet(key string) {
+	if c.tracker == nil {
+		return
+	}
+	c.trackerMu.Lock()
+	changes := c.tracker.Observe(key)
+	c.trackerMu.Unlock()
+	for _, ch := range changes {
+		if ch.Promote {
+			_, _ = c.Promote(ch.Key)
+		} else {
+			c.Demote(ch.Key)
+		}
+	}
+}
+
+// primaryOwner returns the key's ring-0 owner at the current active
+// size (for event attribution).
+func (c *Coordinator) primaryOwner(key string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicated.OwnerOnRing(key, 0, c.active)
+}
+
+// fullDepthOwners returns the key's distinct owners at HotReplicas
+// depth under the current active size.
+func (c *Coordinator) fullDepthOwners(key string) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicated.DistinctOwnersN(key, c.active, c.hotReplicas)
+}
+
+// syncReplicas establishes the replica invariant for one key: all
+// distinct owners reachable, then primary state copied onto every
+// non-primary owner (install if the primary holds the key, delete the
+// copy if it does not). Returns false if any owner failed; partial
+// syncs are safe — each completed step installed the primary's state.
+func (c *Coordinator) syncReplicas(key string) bool {
+	owners := c.fullDepthOwners(key)
+	for _, o := range owners {
+		if _, err := c.clients[o].Version(); err != nil {
+			return false
+		}
+	}
+	val, found, err := c.clients[owners[0]].Get(key)
+	if err != nil {
+		return false
+	}
+	for _, o := range owners[1:] {
+		if found {
+			if err := c.clients[o].Set(key, val, 0); err != nil {
+				return false
+			}
+		} else {
+			if _, err := c.clients[o].Delete(key); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hotSyncAfterFlip re-establishes the replica invariant for the whole
+// hot set after an ownership flip. A shrink can return a node holding
+// a copy from an earlier hot era to a key's owner set; a grow hands
+// hot keys brand-new (empty) replicas that should start serving. Keys
+// with an unreachable owner are demoted instead of synced. The work is
+// bounded by |hot| x (HotReplicas - 1) operations, on top of the
+// |Δn|/max(n,n') Section IV migration bound.
+func (c *Coordinator) hotSyncAfterFlip() {
+	if c.hotReplicas <= c.baseRings {
+		return
+	}
+	keys := c.HotKeys()
+	if len(keys) == 0 {
+		return
+	}
+	synced := false
+	for _, key := range keys {
+		if c.syncReplicas(key) {
+			synced = true
+		} else {
+			c.Demote(key)
+		}
+	}
+	if synced {
+		c.events.Record(telemetry.Event{Kind: telemetry.EventHotSync, Node: -1})
+	}
+}

@@ -75,9 +75,25 @@ func (r *Replicated) Owners(key string, active int) []int {
 // DistinctOwners returns Owners with duplicates removed, preserving ring
 // order; its length is the number of physical copies actually stored.
 func (r *Replicated) DistinctOwners(key string, active int) []int {
-	owners := r.Owners(key, active)
-	out := owners[:0]
-	for _, o := range owners {
+	return r.DistinctOwnersN(key, active, len(r.seeds))
+}
+
+// DistinctOwnersN is DistinctOwners restricted to the first `rings`
+// rings (clamped to 1..Replicas). The hot-key layer uses it to give
+// promoted keys a deeper replica set than cold keys over one shared
+// geometry: cold keys resolve with rings=1 (the primary ring only),
+// promoted keys with rings=R. The first entry is always the primary
+// (ring-0) owner.
+func (r *Replicated) DistinctOwnersN(key string, active, rings int) []int {
+	if rings < 1 {
+		rings = 1
+	}
+	if rings > len(r.seeds) {
+		rings = len(r.seeds)
+	}
+	out := make([]int, 0, rings)
+	for ring := 0; ring < rings; ring++ {
+		o := r.OwnerOnRing(key, ring, active)
 		dup := false
 		for _, seen := range out {
 			if seen == o {

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// Replicating the hottest keys with two-choices routing must measurably
+// flatten the Zipf(0.99) per-server load skew — the claim EXPERIMENTS.md
+// records and the whole hot-key subsystem exists to deliver.
+func TestHotBalanceImprovesLoadRatio(t *testing.T) {
+	res, err := HotBalance(Tiny())
+	if err != nil {
+		t.Fatalf("hot balance: %v", err)
+	}
+	if res.HotKeys == 0 {
+		t.Fatalf("online sketch promoted nothing; the experiment never engaged replication")
+	}
+	if res.PrimaryRatio <= 1.0 {
+		t.Fatalf("primary-only ratio %.2f shows no skew; Zipf(0.99) should produce plenty", res.PrimaryRatio)
+	}
+	// "Measurably improves": at least 20%% off the primary-only ratio.
+	if res.ReplicatedRatio > 0.8*res.PrimaryRatio {
+		t.Fatalf("replication barely helped: max/min %.2f -> %.2f", res.PrimaryRatio, res.ReplicatedRatio)
+	}
+	var pTot, rTot int
+	for i := 0; i < res.Servers; i++ {
+		pTot += res.PrimaryLoad[i]
+		rTot += res.ReplicatedLoad[i]
+	}
+	if pTot != res.Requests || rTot != res.Requests {
+		t.Fatalf("request conservation broken: %d and %d routed of %d", pTot, rTot, res.Requests)
+	}
+}
+
+// The experiment is seeded: two runs must agree exactly.
+func TestHotBalanceDeterministic(t *testing.T) {
+	a, err := HotBalance(Tiny())
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	b, err := HotBalance(Tiny())
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("seeded runs diverge:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+}

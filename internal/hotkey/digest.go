@@ -1,0 +1,148 @@
+package hotkey
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Digest is the broadcast form of a promoted hot set: which keys are
+// replicated, at what factor, as of which hot-set epoch. Web servers
+// apply the digest atomically — a key routes to its replica set exactly
+// when the digest says so, which is what keeps every front end's
+// routing view identical (the same property the placement table gives
+// cold keys).
+//
+// Keys are kept sorted and unique; the wire form is canonical, so two
+// digests are equal iff their encodings are byte-identical.
+type Digest struct {
+	// Epoch is a monotone hot-set version; receivers discard digests
+	// older than the one they hold.
+	Epoch uint64
+	// Replicas is the replica-set size R for every promoted key.
+	Replicas int
+	// Keys is the promoted set, sorted and without duplicates.
+	Keys []string
+}
+
+// digestMagic versions the wire form; decoders reject unknown magics.
+const digestMagic = "PHK1"
+
+// Wire-form sanity bounds: a digest describes a deliberately small hot
+// set, so anything past these limits is corruption, not data.
+const (
+	maxDigestReplicas = 64
+	maxDigestKeys     = 1 << 20
+	maxDigestKeyLen   = 1 << 16
+)
+
+// NewDigest builds a canonical digest: keys are copied, sorted, and
+// deduplicated.
+func NewDigest(epoch uint64, replicas int, keys []string) *Digest {
+	sorted := make([]string, len(keys))
+	copy(sorted, keys)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for _, k := range sorted {
+		if len(uniq) > 0 && uniq[len(uniq)-1] == k {
+			continue
+		}
+		uniq = append(uniq, k)
+	}
+	return &Digest{Epoch: epoch, Replicas: replicas, Keys: uniq}
+}
+
+// Encode serialises the digest: magic, then uvarint epoch, replica
+// count, key count, and length-prefixed keys in sorted order.
+func (d *Digest) Encode() ([]byte, error) {
+	if d.Replicas < 0 || d.Replicas > maxDigestReplicas {
+		return nil, fmt.Errorf("hotkey: replicas %d out of range 0..%d", d.Replicas, maxDigestReplicas)
+	}
+	if len(d.Keys) > maxDigestKeys {
+		return nil, fmt.Errorf("hotkey: %d keys exceeds limit %d", len(d.Keys), maxDigestKeys)
+	}
+	buf := make([]byte, 0, len(digestMagic)+3*binary.MaxVarintLen64+len(d.Keys)*8)
+	buf = append(buf, digestMagic...)
+	buf = binary.AppendUvarint(buf, d.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(d.Replicas))
+	buf = binary.AppendUvarint(buf, uint64(len(d.Keys)))
+	prev := ""
+	for i, k := range d.Keys {
+		if len(k) > maxDigestKeyLen {
+			return nil, fmt.Errorf("hotkey: key %d length %d exceeds limit %d", i, len(k), maxDigestKeyLen)
+		}
+		if i > 0 && k <= prev {
+			return nil, errors.New("hotkey: keys not strictly sorted")
+		}
+		prev = k
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf, nil
+}
+
+// uvarint is binary.Uvarint restricted to minimal encodings: a padded
+// varint (redundant zero continuation byte) would make two wire images
+// decode to one value, breaking the canonical-form guarantee.
+func uvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0
+	}
+	return v, n
+}
+
+// DecodeDigest parses a digest, validating the magic, bounds, and the
+// strictly-sorted key order (the canonical form Encode produces).
+func DecodeDigest(b []byte) (*Digest, error) {
+	if len(b) < len(digestMagic) || string(b[:len(digestMagic)]) != digestMagic {
+		return nil, errors.New("hotkey: bad digest magic")
+	}
+	b = b[len(digestMagic):]
+	epoch, n := uvarint(b)
+	if n <= 0 {
+		return nil, errors.New("hotkey: truncated epoch")
+	}
+	b = b[n:]
+	replicas, n := uvarint(b)
+	if n <= 0 || replicas > maxDigestReplicas {
+		return nil, errors.New("hotkey: bad replica count")
+	}
+	b = b[n:]
+	count, n := uvarint(b)
+	if n <= 0 || count > maxDigestKeys {
+		return nil, errors.New("hotkey: bad key count")
+	}
+	b = b[n:]
+	if count > uint64(len(b)) { // each key costs >= 1 byte on the wire
+		return nil, errors.New("hotkey: key count exceeds payload")
+	}
+	keys := make([]string, 0, count)
+	prev := ""
+	for i := uint64(0); i < count; i++ {
+		klen, n := uvarint(b)
+		if n <= 0 || klen > maxDigestKeyLen || klen > uint64(len(b[n:])) {
+			return nil, fmt.Errorf("hotkey: bad length for key %d", i)
+		}
+		b = b[n:]
+		k := string(b[:klen])
+		b = b[klen:]
+		if i > 0 && k <= prev {
+			return nil, errors.New("hotkey: keys not strictly sorted")
+		}
+		prev = k
+		keys = append(keys, k)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("hotkey: %d trailing bytes", len(b))
+	}
+	return &Digest{Epoch: epoch, Replicas: int(replicas), Keys: keys}, nil
+}
+
+// Contains reports whether key is in the digest (binary search; keys
+// are sorted).
+func (d *Digest) Contains(key string) bool {
+	i := sort.SearchStrings(d.Keys, key)
+	return i < len(d.Keys) && d.Keys[i] == key
+}

@@ -1,0 +1,54 @@
+package hotkey
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDigestRoundTrip throws arbitrary bytes at the digest decoder. Any
+// input it accepts must re-encode to a byte-identical image (the wire
+// form is canonical) and decode again to an equal value; everything
+// else must be rejected without panicking.
+func FuzzDigestRoundTrip(f *testing.F) {
+	seed := func(epoch uint64, replicas int, keys ...string) {
+		b, err := NewDigest(epoch, replicas, keys).Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(0, 0)
+	seed(1, 2, "a")
+	seed(7, 3, "k001", "k002", "k047")
+	seed(1<<40, 64, "a", "b", "c", "d", "e", "f", "g", "h")
+	f.Add([]byte(digestMagic))
+	f.Add([]byte("PHK1\x05\x02\x02\x01a\x01b"))
+	f.Add([]byte("not a digest"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDigest(data)
+		if err != nil {
+			return
+		}
+		enc, err := d.Encode()
+		if err != nil {
+			t.Fatalf("decoded digest failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical image:\n in %x\nout %x", data, enc)
+		}
+		d2, err := DecodeDigest(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("round trip changed value: %+v vs %+v", d, d2)
+		}
+		for _, k := range d.Keys {
+			if !d.Contains(k) {
+				t.Fatalf("digest does not contain its own key %q", k)
+			}
+		}
+	})
+}

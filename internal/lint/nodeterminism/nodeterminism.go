@@ -29,6 +29,7 @@ var ReplayCritical = map[string]bool{
 	"proteus/internal/database":    true,
 	"proteus/internal/faultinject": true,
 	"proteus/internal/hashring":    true,
+	"proteus/internal/hotkey":      true,
 	"proteus/internal/memproto":    true,
 	"proteus/internal/metrics":     true,
 	"proteus/internal/power":       true,

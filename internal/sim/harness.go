@@ -30,14 +30,17 @@ import (
 // flip, arm the TTL deadline). Lockstep conformance between the two
 // planes depends on this mirroring.
 type Harness struct {
-	cfg       HarnessConfig
-	eng       *Engine
-	placement *core.Placement
-	nodes     []*cacheNode
-	events    *telemetry.EventLog
+	cfg        HarnessConfig
+	eng        *Engine
+	placement  *core.Placement
+	replicated *core.Replicated
+	hotRings   int
+	nodes      []*cacheNode
+	events     *telemetry.EventLog
 
 	active int
 	trans  *transition
+	hot    map[string]struct{}
 }
 
 // HarnessConfig configures a Harness. Servers, InitialActive, TTL, and
@@ -72,6 +75,16 @@ type HarnessConfig struct {
 	// checker's probes and shrinker can be validated against a known
 	// violation; production configurations never set it.
 	UnsafeEarlyPowerOff bool
+	// HotReplicas enables hot-key replication: keys promoted via
+	// Promote resolve at this replica depth over seeded rings sharing
+	// the primary placement, mirroring cluster.Config.HotReplicas
+	// (0 or 1 disables).
+	HotReplicas int
+	// UnsafeSkipFanout is a conformance-test hook: Set writes the
+	// primary owner only, leaving a hot key's replicas holding stale
+	// copies — the write-fan-out bug the replica invariant forbids.
+	// Production configurations never set it.
+	UnsafeSkipFanout bool
 }
 
 // NewHarness builds a harness with the initial prefix powered on.
@@ -88,16 +101,25 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("sim: harness DB resolver required")
 	}
-	placement, err := core.New(cfg.Servers)
+	hotRings := cfg.HotReplicas
+	if hotRings < 1 {
+		hotRings = 1
+	}
+	// Ring 0 of a Replicated is the unseeded primary placement, so with
+	// HotReplicas disabled this is exactly core.New(cfg.Servers).
+	replicated, err := core.NewReplicated(cfg.Servers, hotRings)
 	if err != nil {
 		return nil, err
 	}
 	h := &Harness{
-		cfg:       cfg,
-		eng:       NewEngine(),
-		placement: placement,
-		events:    cfg.Events,
-		active:    cfg.InitialActive,
+		cfg:        cfg,
+		eng:        NewEngine(),
+		placement:  replicated.Placement(),
+		replicated: replicated,
+		hotRings:   hotRings,
+		events:     cfg.Events,
+		active:     cfg.InitialActive,
+		hot:        make(map[string]struct{}),
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		// Unlimited capacity and no per-item TTL: conformance runs
@@ -162,27 +184,45 @@ func (h *Harness) reachable(i int) bool {
 }
 
 // Get runs Algorithm 2 for one key, mirroring webtier.Frontend.fetch
-// (single ring): try the new owner; during a transition consult the old
-// owner's broadcast digest and migrate on demand; otherwise fall back
-// to the backing store and write through. ok is false only when the
-// backing store does not know the key.
+// in three phases: probe the key's distinct current owners (primary
+// first — the live tier orders by load, but the replica invariant
+// makes the answer order-independent); during a transition consult
+// each ring's old-owner digest and migrate on demand; otherwise fall
+// back to the backing store and write through to every owner. ok is
+// false only when the backing store does not know the key.
 func (h *Harness) Get(key string) (value []byte, src RequestSource, ok bool) {
-	owner := h.placement.Lookup(key, h.active)
-	if h.reachable(owner) {
-		if v, hit := h.nodes[owner].store.Get(key); hit {
-			return v, SourceHit, true
+	owners := h.owners(key)
+	for _, o := range owners {
+		if h.reachable(o) {
+			if v, hit := h.nodes[o].store.Get(key); hit {
+				return v, SourceHit, true
+			}
 		}
 	}
-	// Digest consult (Algorithm 2 lines 6-8). The snapshot digests are
-	// immutable; a consult against an unreachable old owner degrades to
-	// the database, exactly like the live tier's error path.
+	// Digest consult (Algorithm 2 lines 6-8), ring by ring. The
+	// snapshot digests are immutable; a consult against an unreachable
+	// old owner degrades to the database, exactly like the live tier's
+	// error path.
 	if tr := h.trans; tr != nil {
-		old := h.placement.Lookup(key, tr.fromN)
-		if old != owner && tr.digests[old] != nil && tr.digests[old].Contains(key) && h.reachable(old) {
+		consulted := make([]int, 0, 4)
+		rings := h.ringsFor(key)
+		for ring := 0; ring < rings; ring++ {
+			owner := h.replicated.OwnerOnRing(key, ring, h.active)
+			old := h.replicated.OwnerOnRing(key, ring, tr.fromN)
+			if old == owner || tr.digests[old] == nil || !tr.digests[old].Contains(key) {
+				continue
+			}
+			if containsNode(consulted, old) {
+				continue
+			}
+			consulted = append(consulted, old)
+			if !h.reachable(old) {
+				continue
+			}
 			if v, hit := h.nodes[old].store.Get(key); hit {
 				h.events.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: old})
-				// Amortized migration: install on the new owner so the
-				// next request hits there. An unreachable new owner
+				// Amortized migration: install on the ring's new owner so
+				// the next request hits there. An unreachable new owner
 				// leaves the key un-migrated, never wrong.
 				if h.reachable(owner) {
 					h.nodes[owner].store.Set(key, v, 0)
@@ -196,21 +236,55 @@ func (h *Harness) Get(key string) (value []byte, src RequestSource, ok bool) {
 	if !found {
 		return nil, SourceDB, false
 	}
-	if h.reachable(owner) {
-		h.nodes[owner].store.Set(key, data, 0)
-	}
+	h.fanoutWrite(key, data)
 	return data, SourceDB, true
 }
 
 // Set installs a new value write-through, mirroring webtier.Update
-// (single ring, whole objects): the current owner gets the value; an
-// unreachable owner stays cold, not wrong. The backing store is the
-// caller's (the oracle updates its versioned map before calling).
+// (whole objects): every distinct owner gets the value; an unreachable
+// owner stays cold, not wrong — but a hot key that missed a copy is
+// demoted, because the replica left behind may hold the previous
+// value. The backing store is the caller's (the oracle updates its
+// versioned map before calling). With the UnsafeSkipFanout hook the
+// write lands on the primary only — the fan-out bug the write-fanout
+// probe exists to catch.
 func (h *Harness) Set(key string, value []byte) {
-	owner := h.placement.Lookup(key, h.active)
-	if h.reachable(owner) {
-		h.nodes[owner].store.Set(key, value, 0)
+	if h.cfg.UnsafeSkipFanout {
+		owner := h.placement.Lookup(key, h.active)
+		if h.reachable(owner) {
+			h.nodes[owner].store.Set(key, value, 0)
+		}
+		return
 	}
+	h.fanoutWrite(key, value)
+}
+
+// fanoutWrite stores one key on every distinct owner, mirroring
+// webtier storeAll including its auto-demote rule: any failed copy of
+// a multi-owner write demotes the key (the stale replica must not keep
+// serving as a hot peer).
+func (h *Harness) fanoutWrite(key string, value []byte) {
+	owners := h.owners(key)
+	failed := false
+	for _, o := range owners {
+		if h.reachable(o) {
+			h.nodes[o].store.Set(key, value, 0)
+		} else {
+			failed = true
+		}
+	}
+	if failed && len(owners) > 1 {
+		h.Demote(key)
+	}
+}
+
+func containsNode(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Crash powers a server off outside any provisioning decision, losing
@@ -267,6 +341,7 @@ func (h *Harness) SetActive(n int) error {
 	if h.cfg.Faults != nil {
 		h.cfg.Faults.TransitionStarted()
 	}
+	h.hotSyncAfterFlip()
 	if h.cfg.UnsafeEarlyPowerOff && n < from {
 		// Conformance-test hook: the premature power-off bug.
 		h.finalizeTransition()

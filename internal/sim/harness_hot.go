@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"sort"
+
+	"proteus/internal/telemetry"
+)
+
+// Hot-key replication, DES side: the operation-for-operation mirror of
+// cluster.Coordinator's hot set (internal/cluster/hotset.go). The
+// conformance oracle drives Promote/Demote through explicit schedule
+// verbs so both planes change hot state at identical points; lockstep
+// equivalence depends on this file and the coordinator agreeing on
+// every reachability check and every copy installed.
+
+// ringsFor returns the replica depth key resolves at, mirroring
+// Coordinator.RingsFor (the harness's base depth is always 1).
+func (h *Harness) ringsFor(key string) int {
+	if h.hotRings <= 1 {
+		return 1
+	}
+	if _, ok := h.hot[key]; ok {
+		return h.hotRings
+	}
+	return 1
+}
+
+// owners returns the key's distinct current owners at its replica
+// depth, primary first.
+func (h *Harness) owners(key string) []int {
+	return h.replicated.DistinctOwnersN(key, h.active, h.ringsFor(key))
+}
+
+// IsHot reports whether the key is in the hot set.
+func (h *Harness) IsHot(key string) bool {
+	_, ok := h.hot[key]
+	return ok
+}
+
+// HotKeys returns the hot set, sorted.
+func (h *Harness) HotKeys() []string {
+	keys := make([]string, 0, len(h.hot))
+	for k := range h.hot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// NodeValue reads server i's stored value for key directly (probe
+// support; no routing, no migration).
+func (h *Harness) NodeValue(i int, key string) ([]byte, bool) {
+	return h.nodes[i].store.Get(key)
+}
+
+// Promote moves a key into the hot set, mirroring Coordinator.Promote:
+// every full-depth owner must be reachable (the live plane pings each
+// before touching anything — promotion is atomic or a no-op), then the
+// primary's state is installed on, or deleted from, every non-primary
+// owner, overwriting stale copies from earlier hot eras. Reports
+// whether the key is hot on return.
+func (h *Harness) Promote(key string) bool {
+	if h.hotRings <= 1 {
+		return false
+	}
+	if _, ok := h.hot[key]; ok {
+		return true
+	}
+	if !h.syncHot(key) {
+		return false
+	}
+	h.hot[key] = struct{}{}
+	h.events.Record(telemetry.Event{Kind: telemetry.EventHotPromote, Node: h.placement.Lookup(key, h.active)})
+	return true
+}
+
+// Demote removes a key from the hot set, leaving replica copies in
+// place (cold reads probe the primary only). Reports whether the key
+// was hot.
+func (h *Harness) Demote(key string) bool {
+	if _, ok := h.hot[key]; !ok {
+		return false
+	}
+	delete(h.hot, key)
+	h.events.Record(telemetry.Event{Kind: telemetry.EventHotDemote, Node: h.placement.Lookup(key, h.active)})
+	return true
+}
+
+// syncHot establishes the replica invariant for one key, mirroring
+// Coordinator.syncReplicas: all full-depth owners reachable, then the
+// primary's state copied onto every non-primary owner.
+func (h *Harness) syncHot(key string) bool {
+	owners := h.replicated.DistinctOwnersN(key, h.active, h.hotRings)
+	for _, o := range owners {
+		if !h.reachable(o) {
+			return false
+		}
+	}
+	v, hit := h.nodes[owners[0]].store.Get(key)
+	for _, o := range owners[1:] {
+		if hit {
+			h.nodes[o].store.Set(key, v, 0)
+		} else {
+			h.nodes[o].store.Delete(key)
+		}
+	}
+	return true
+}
+
+// hotSyncAfterFlip mirrors Coordinator.hotSyncAfterFlip: after an
+// ownership flip, every hot key is re-synced onto its (possibly
+// changed) owner set; keys with an unreachable owner are demoted.
+func (h *Harness) hotSyncAfterFlip() {
+	if h.hotRings <= 1 || len(h.hot) == 0 {
+		return
+	}
+	synced := false
+	for _, key := range h.HotKeys() {
+		if h.syncHot(key) {
+			synced = true
+		} else {
+			h.Demote(key)
+		}
+	}
+	if synced {
+		h.events.Record(telemetry.Event{Kind: telemetry.EventHotSync, Node: -1})
+	}
+}

@@ -35,6 +35,15 @@ const (
 	// EventTTLExpiry: the transition's TTL window closed and its
 	// digests were discarded.
 	EventTTLExpiry
+	// EventHotPromote: a key entered the hot set and its replica copies
+	// were installed.
+	EventHotPromote
+	// EventHotDemote: a key left the hot set (cooled off, or its
+	// replica fan-out failed and reads fell back to the primary).
+	EventHotDemote
+	// EventHotSync: an ownership flip re-synchronised the hot set's
+	// replica copies onto the new owner sets.
+	EventHotSync
 )
 
 var eventKindNames = map[EventKind]string{
@@ -46,6 +55,9 @@ var eventKindNames = map[EventKind]string{
 	EventMigrationHit:    "migration_hit",
 	EventMigrationMiss:   "migration_miss",
 	EventTTLExpiry:       "ttl_expiry",
+	EventHotPromote:      "hot_promote",
+	EventHotDemote:       "hot_demote",
+	EventHotSync:         "hot_sync",
 }
 
 // String returns the snake_case event name used in exports.

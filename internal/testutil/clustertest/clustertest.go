@@ -19,6 +19,7 @@ import (
 	"proteus/internal/cacheclient"
 	"proteus/internal/cluster"
 	"proteus/internal/faultinject"
+	"proteus/internal/hotkey"
 	"proteus/internal/telemetry"
 	"proteus/internal/testutil"
 )
@@ -32,6 +33,12 @@ type Opts struct {
 	InitialActive int
 	// Replicas enables Section III-E replication (0 or 1 disables).
 	Replicas int
+	// HotReplicas enables hot-key replication: promoted keys resolve
+	// at this replica depth (0 or 1 disables).
+	HotReplicas int
+	// HotTracker, when set with HotReplicas > Replicas, enables online
+	// promotion from the coordinator's top-k sketch.
+	HotTracker *hotkey.TrackerConfig
 	// TTL is the transition hot-data window; it only shapes the
 	// recorded deadline — expiry fires via the manual timer. Defaults
 	// to one minute.
@@ -95,6 +102,8 @@ func New(o Opts) (*Env, error) {
 		InitialActive: o.InitialActive,
 		TTL:           o.TTL,
 		Replicas:      o.Replicas,
+		HotReplicas:   o.HotReplicas,
+		HotTracker:    o.HotTracker,
 		After:         after,
 		Faults:        o.Faults,
 		Events:        o.Events,

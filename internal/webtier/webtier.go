@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 
 	"proteus/internal/chunk"
@@ -177,6 +178,7 @@ func (f *Frontend) Fetch(key string) ([]byte, Source, error) {
 }
 
 func (f *Frontend) fetch(key string) ([]byte, Source, error) {
+	f.coord.ObserveGet(key)
 	if raw, src, ok := f.cacheFetch(key); ok {
 		if f.pieceSize > 0 && chunk.IsManifest(raw) {
 			if data, ok := f.gatherPieces(key, raw); ok {
@@ -195,6 +197,20 @@ func (f *Frontend) fetch(key string) ([]byte, Source, error) {
 	// winner writes through so the key regains its full copy (and
 	// piece) set.
 	data, err, shared := f.flights.do(key, func() ([]byte, error) {
+		// Double-check before the database: a stampeder that missed in
+		// the cache while an earlier flight was in progress can reach
+		// here only after that flight completed — and its write-through
+		// with it — so one probe of the primary keeps the whole
+		// stampede at a single database query.
+		owner := f.coord.WriteOwners(key)[0]
+		if raw, ok, err := f.coord.Client(owner).Get(key); err == nil && ok {
+			if f.pieceSize == 0 || !chunk.IsManifest(raw) {
+				return raw, nil
+			}
+			if full, ok := f.gatherPieces(key, raw); ok {
+				return full, nil
+			}
+		}
 		data, err := f.db.Get(key)
 		if err != nil {
 			return nil, err
@@ -214,54 +230,98 @@ func (f *Frontend) fetch(key string) ([]byte, Source, error) {
 }
 
 // cacheFetch runs Algorithm 2 against the cache tier only (lines 2-8),
-// reporting whether any server produced the value.
+// reporting whether any server produced the value. It reads in two
+// phases. Phase 1 probes the key's distinct current owners, least
+// loaded first — power-of-two-choices generalized to the replica set;
+// cold keys have one owner and skip the ordering. The replica
+// invariant (a hot key's owners never hold *different* values; a
+// missing copy just falls through) makes the answer independent of
+// probe order, so load-aware routing moves work, never meaning. Phase
+// 2 consults the old owners' digests ring by ring during a transition
+// and amortized-migrates a hit onto that ring's new owner.
 func (f *Frontend) cacheFetch(key string) ([]byte, Source, bool) {
-	tried := make([]int, 0, 4)
-	for ring := 0; ring < f.coord.Replicas(); ring++ {
-		newOwner, oldOwner, tryOld := f.coord.RouteRing(key, ring)
-		if containsInt(tried, newOwner) {
-			continue // ring collision: same owner as an earlier ring
-		}
-		tried = append(tried, newOwner)
-		newClient := f.coord.Client(newOwner)
-
-		// Line 2: the ring's new owner. A transport error (crashed or
-		// partitioned server, open circuit breaker) degrades to the next
-		// ring and ultimately the database — never to a client error.
-		if data, ok, err := newClient.Get(key); err == nil && ok {
+	// Phase 1: current owners. A transport error (crashed or
+	// partitioned server, open circuit breaker) degrades to the next
+	// replica and ultimately the database — never to a client error.
+	owners := f.coord.WriteOwners(key)
+	primary := owners[0]
+	if len(owners) > 1 && f.coord.IsHot(key) {
+		// Load-aware ordering applies to promoted keys only: Section
+		// III-E base replicas keep deterministic ring order (the load
+		// signal is wall-clock and would make replica choice — and the
+		// ReplicaHits accounting — nondeterministic for every key).
+		owners = f.orderByLoad(owners)
+	}
+	for _, owner := range owners {
+		if data, ok, err := f.coord.Client(owner).Get(key); err == nil && ok {
 			f.hits.Inc()
-			if ring > 0 {
+			if owner != primary {
 				f.replicaHits.Inc()
 			}
 			return data, SourceNewCache, true
 		} else if err != nil {
 			f.cacheErrs.Inc()
 		}
+	}
 
-		// Lines 6-8: hot data still on the ring's old owner.
-		if tryOld {
-			if data, ok, err := f.coord.Client(oldOwner).Get(key); err == nil && ok {
-				f.migrated.Inc()
-				f.events.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: oldOwner})
-				// Line 12: amortized migration — install on the new
-				// owner so every subsequent request hits there. A failed
-				// install just means the next request migrates again.
-				if err := newClient.Set(key, data, f.expiry); err != nil {
-					f.cacheErrs.Inc()
-				}
-				return data, SourceOldCache, true
-			} else if err != nil {
-				// Faulted old owner: fall through to the DB path rather
-				// than surfacing the error (the digest may even have
-				// been right — the data is simply unreachable now).
-				f.cacheErrs.Inc()
-				continue
-			}
+	// Phase 2: hot data still on a ring's old owner (lines 6-8).
+	consulted := make([]int, 0, 4)
+	rings := f.coord.RingsFor(key)
+	for ring := 0; ring < rings; ring++ {
+		newOwner, oldOwner, tryOld := f.coord.RouteRing(key, ring)
+		if !tryOld || containsInt(consulted, oldOwner) {
+			continue
+		}
+		consulted = append(consulted, oldOwner)
+		data, ok, err := f.coord.Client(oldOwner).Get(key)
+		if err != nil {
+			// Faulted old owner: fall through to the DB path rather
+			// than surfacing the error (the digest may even have been
+			// right — the data is simply unreachable now).
+			f.cacheErrs.Inc()
+			continue
+		}
+		if !ok {
 			f.falsePos.Inc()
 			f.events.Record(telemetry.Event{Kind: telemetry.EventMigrationMiss, Node: oldOwner})
+			continue
 		}
+		f.migrated.Inc()
+		f.events.Record(telemetry.Event{Kind: telemetry.EventMigrationHit, Node: oldOwner})
+		// Line 12: amortized migration — install on the new owner so
+		// every subsequent request hits there. A failed install just
+		// means the next request migrates again.
+		if err := f.coord.Client(newOwner).Set(key, data, f.expiry); err != nil {
+			f.cacheErrs.Inc()
+		}
+		return data, SourceOldCache, true
 	}
 	return nil, SourceDatabase, false
+}
+
+// orderByLoad orders owners for probing: ascending load estimate,
+// stable so the primary (index 0) wins ties — fresh clients score 0
+// and an idle cluster probes in ring order. Scores are snapshotted
+// once so concurrent exchanges cannot make the comparator
+// inconsistent mid-sort.
+func (f *Frontend) orderByLoad(owners []int) []int {
+	if len(owners) < 2 {
+		return owners
+	}
+	scores := make([]float64, len(owners))
+	for i, o := range owners {
+		scores[i] = f.coord.Client(o).LoadEstimate()
+	}
+	order := make([]int, len(owners))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	out := make([]int, len(owners))
+	for i, j := range order {
+		out[i] = owners[j]
+	}
+	return out
 }
 
 // gatherPieces fetches and reassembles a chunked object. Pieces are
@@ -336,7 +396,7 @@ func (f *Frontend) FetchMany(keys ...string) (map[string][]byte, error) {
 		return out, nil
 	}
 	order := make([]string, 0, len(keys))
-	groups := make(map[int][]string) // ring-0 owner -> keys
+	groups := make(map[int][]string) // chosen owner -> keys
 	seen := make(map[string]bool, len(keys))
 	for _, k := range keys {
 		if seen[k] {
@@ -344,7 +404,14 @@ func (f *Frontend) FetchMany(keys ...string) (map[string][]byte, error) {
 		}
 		seen[k] = true
 		order = append(order, k)
-		owner, _, _ := f.coord.RouteRing(k, 0)
+		// Cold keys batch on their primary; hot keys batch on whichever
+		// replica owner looks least loaded right now, so one popular
+		// page's assets spread across its replica set.
+		owners := f.coord.WriteOwners(k)
+		owner := owners[0]
+		if len(owners) > 1 && f.coord.IsHot(k) {
+			owner = f.orderByLoad(owners)[0]
+		}
 		groups[owner] = append(groups[owner], k)
 	}
 	batched := make(map[string][]byte, len(order))
@@ -403,12 +470,22 @@ func (f *Frontend) writeThrough(key string, data []byte) {
 
 // storeAll writes one key to every distinct owner across the rings.
 func (f *Frontend) storeAll(key string, data []byte) {
-	for _, owner := range f.coord.WriteOwners(key) {
+	owners := f.coord.WriteOwners(key)
+	failed := false
+	for _, owner := range owners {
 		// A failed write-through leaves the owner cold, not wrong: the
 		// next read misses there and repopulates from the DB.
 		if err := f.coord.Client(owner).Set(key, data, f.expiry); err != nil {
 			f.cacheErrs.Inc()
+			failed = true
 		}
+	}
+	if failed && len(owners) > 1 {
+		// A replica that missed this write may still hold the previous
+		// value — divergence, which the hot-key replica invariant
+		// forbids. Demote so reads collapse to the primary (no-op for
+		// cold keys); a later promotion re-syncs the copies.
+		f.coord.Demote(key)
 	}
 }
 
@@ -506,8 +583,8 @@ func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(pages)
 	case r.URL.Path == "/stats":
 		s := f.Stats()
-		_, _ = fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\ncache_errors %d\nerrors %d\n",
-			s.Hits, s.ReplicaHits, s.Migrated, s.DigestFalsePos, s.DBFetches, s.PieceRepairs, s.CacheErrors, s.Errors)
+		_, _ = fmt.Fprintf(w, "hits %d\nreplica_hits %d\nmigrated %d\ndigest_false_pos %d\ndb_fetches %d\npiece_repairs %d\ncollapsed %d\ncache_errors %d\nerrors %d\n",
+			s.Hits, s.ReplicaHits, s.Migrated, s.DigestFalsePos, s.DBFetches, s.PieceRepairs, s.Collapsed, s.CacheErrors, s.Errors)
 	default:
 		http.NotFound(w, r)
 	}

@@ -65,16 +65,23 @@ func (f *Frontend) Invalidate(key string) (bool, error) {
 // deleteAll removes one key from every distinct owner across the rings,
 // reporting whether any server held it.
 func (f *Frontend) deleteAll(key string) bool {
-	removed := false
-	for _, owner := range f.coord.WriteOwners(key) {
+	owners := f.coord.WriteOwners(key)
+	removed, failed := false, false
+	for _, owner := range owners {
 		deleted, err := f.coord.Client(owner).Delete(key)
 		if err != nil {
 			f.cacheErrs.Add(1)
+			failed = true
 			continue
 		}
 		if deleted {
 			removed = true
 		}
+	}
+	if failed && len(owners) > 1 {
+		// Same divergence rule as storeAll: a replica that kept its copy
+		// through a failed delete must not keep serving it as a hot peer.
+		f.coord.Demote(key)
 	}
 	return removed
 }
