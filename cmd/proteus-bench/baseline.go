@@ -17,6 +17,7 @@ import (
 	"proteus/internal/core"
 	"proteus/internal/hashring"
 	"proteus/internal/hotkey"
+	"proteus/internal/lint"
 	"proteus/internal/workload"
 )
 
@@ -41,6 +42,17 @@ type baselineFile struct {
 // Wide enough to absorb machine noise on shared CI runners, tight
 // enough to catch a hot path growing a lock or a syscall.
 const nsRegressionLimit = 1.25
+
+// lintNsLimit is the looser wall-clock budget for the whole-repo
+// proteuslint run: a single multi-second measurement (type-checking
+// every package plus the call-graph fixpoint) is noisier than a
+// microbenchmark, but a 2x blowup means an analyzer went quadratic.
+const lintNsLimit = 2.0
+
+// lintAbsoluteBudget caps the selfcheck outright: CI runs it on every
+// push, so it must stay interactive regardless of what the committed
+// baseline says.
+const lintAbsoluteBudget = 60 * time.Second
 
 // baselineKeys builds a deterministic key set shared by the benchmarks.
 func baselineKeys(n int) []string {
@@ -250,14 +262,47 @@ func hotPathBenches() ([]namedBench, func(), error) {
 	return benches, cleanup, nil
 }
 
-// runBenches measures every hot-path benchmark.
+// lintSelfcheck measures one full repo-wide proteuslint run — the same
+// work CI's lint step and the lint package's selfcheck test do. One
+// iteration: the run takes seconds, and its budget is a wall-clock
+// ceiling, not a per-op microbenchmark. Allocation volume is the real
+// Mallocs delta across the run, so an analyzer that starts copying the
+// AST per function shows up even when its wall clock hides in noise.
+func lintSelfcheck() (BaselineResult, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := lint.RunRepo(root, []string{"./..."}, nil)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return BaselineResult{}, fmt.Errorf("lint selfcheck: %w", err)
+	}
+	return BaselineResult{
+		Name:        "lint_selfcheck",
+		Iterations:  1,
+		NsPerOp:     float64(res.Duration.Nanoseconds()),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+	}, nil
+}
+
+// runBenches measures every hot-path benchmark plus the lint
+// selfcheck wall clock.
 func runBenches() ([]BaselineResult, error) {
 	benches, cleanup, err := hotPathBenches()
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
-	results := make([]BaselineResult, 0, len(benches))
+	results := make([]BaselineResult, 0, len(benches)+1)
 	for _, bench := range benches {
 		r := testing.Benchmark(bench.fn)
 		results = append(results, BaselineResult{
@@ -271,6 +316,13 @@ func runBenches() ([]BaselineResult, error) {
 			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
 			r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	ls, err := lintSelfcheck()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, ls)
+	fmt.Fprintf(os.Stderr, "%-30s %12d iters %12.1f ns/op %6d B/op %4d allocs/op\n",
+		ls.Name, ls.Iterations, ls.NsPerOp, ls.BytesPerOp, ls.AllocsPerOp)
 	return results, nil
 }
 
@@ -325,12 +377,21 @@ func compareBaseline(path string) error {
 			fmt.Fprintf(os.Stderr, "NOTE  %s: not in baseline %s (regenerate with -bench-baseline)\n", r.Name, path)
 			continue
 		}
+		limit := nsRegressionLimit
+		if r.Name == "lint_selfcheck" {
+			limit = lintNsLimit
+			if r.NsPerOp > float64(lintAbsoluteBudget.Nanoseconds()) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1fs wall clock exceeds the %s CI budget",
+					r.Name, r.NsPerOp/1e9, lintAbsoluteBudget))
+			}
+		}
 		ratio := r.NsPerOp / b.NsPerOp
 		switch {
-		case ratio > nsRegressionLimit:
+		case ratio > limit:
 			failures = append(failures, fmt.Sprintf(
 				"%s: %.1f ns/op vs baseline %.1f (%.0f%% slower, limit %.0f%%)",
-				r.Name, r.NsPerOp, b.NsPerOp, (ratio-1)*100, (nsRegressionLimit-1)*100))
+				r.Name, r.NsPerOp, b.NsPerOp, (ratio-1)*100, (limit-1)*100))
 		default:
 			fmt.Fprintf(os.Stderr, "ok    %s: %.1f ns/op vs baseline %.1f (%+.0f%%)\n",
 				r.Name, r.NsPerOp, b.NsPerOp, (ratio-1)*100)

@@ -72,6 +72,7 @@ func main() {
 	var adminSrv *http.Server
 	if *admin != "" {
 		adminSrv = &http.Server{Addr: *admin, Handler: telemetry.AdminMux(registry, tracer, nil)}
+		//lint:allow goleak admin server goroutine lives for the process lifetime; adminSrv.Close at shutdown unblocks ListenAndServe
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("admin endpoint: %v", err)

@@ -1,38 +1,57 @@
 // Command proteuslint runs the repository's analyzer suite (see
 // internal/lint) over module packages — a multichecker in the
 // x/tools/go/analysis sense, built purely on the standard library so it
-// works in hermetic build environments.
+// works in hermetic build environments. Per-package analyzers run on
+// each package; the whole-program analyzers (transdeterminism,
+// lockorder, goleak, hotalloc) run once over the resolved call graph
+// of everything loaded.
 //
 // Usage:
 //
 //	go run ./cmd/proteuslint ./...
 //	go run ./cmd/proteuslint -list
+//	go run ./cmd/proteuslint -json ./... | jq .
 //	go run ./cmd/proteuslint ./internal/sim ./internal/core
 //
-// Exit status is 1 when any finding survives //lint:allow filtering.
+// Exit status is 1 when any finding survives //lint:allow filtering —
+// -json reports suppressed findings too, but they do not affect the
+// exit status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"proteus/internal/lint"
-	"proteus/internal/lint/analysis"
-	"proteus/internal/lint/loader"
 )
+
+// jsonFinding is the machine-readable shape of one finding, consumed
+// by CI to emit GitHub annotations.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
 
 func main() {
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array (including suppressed ones)")
 	verbose := flag.Bool("v", false, "report progress per package")
 	flag.Parse()
 
-	analyzers := lint.Analyzers()
 	if *listFlag {
-		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range lint.GlobalAnalyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -40,74 +59,69 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := run(analyzers, patterns, *verbose)
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	n, err := run(patterns, progress, *jsonFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteuslint:", err)
 		os.Exit(2)
 	}
 	if n > 0 {
-		fmt.Printf("proteuslint: %d finding(s)\n", n)
+		if !*jsonFlag {
+			fmt.Printf("proteuslint: %d finding(s)\n", n)
+		}
 		os.Exit(1)
 	}
 }
 
-// run reports the number of findings printed.
-func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, error) {
+// run prints findings and reports how many survive suppression.
+func run(patterns []string, progress io.Writer, asJSON bool) (int, error) {
 	wd, err := os.Getwd()
 	if err != nil {
 		return 0, err
 	}
-	root, err := findModuleRoot(wd)
+	root, err := lint.FindModuleRoot(wd)
 	if err != nil {
 		return 0, err
 	}
-	l, err := loader.NewModule(root)
+	res, err := lint.RunRepo(root, patterns, progress)
 	if err != nil {
 		return 0, err
 	}
-	paths, err := l.ExpandPatterns(patterns)
-	if err != nil {
-		return 0, err
-	}
-	var diags []analysis.Diagnostic
-	for _, path := range paths {
-		if verbose {
-			fmt.Fprintln(os.Stderr, "checking", path)
+	if asJSON {
+		out := make([]jsonFinding, 0, len(res.Findings))
+		for _, f := range res.Findings {
+			pos := res.Fset.Position(f.Pos)
+			// Module-root-relative paths: CI turns these into GitHub
+			// annotations, which want workspace-relative files.
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+			out = append(out, jsonFinding{
+				File:       file,
+				Line:       pos.Line,
+				Col:        pos.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
 		}
-		pkg, err := l.Load(path)
-		if err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			return 0, err
 		}
-		diags = append(diags, analysis.CheckDirectives(l.Fset, pkg.Files)...)
-		for _, a := range analyzers {
-			if a.AppliesTo != nil && !a.AppliesTo(path) {
-				continue
-			}
-			ds, err := analysis.Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info)
-			if err != nil {
-				return 0, err
-			}
-			diags = append(diags, ds...)
-		}
+		return res.Unsuppressed(), nil
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	for _, d := range diags {
-		pos := l.Fset.Position(d.Pos)
-		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
-	}
-	return len(diags), nil
-}
-
-// findModuleRoot walks up from dir to the nearest go.mod.
-func findModuleRoot(dir string) (string, error) {
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			continue
 		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", fmt.Errorf("no go.mod found above %s", dir)
-		}
-		dir = parent
+		pos := res.Fset.Position(f.Pos)
+		fmt.Printf("%s: %s (%s)\n", pos, f.Message, f.Analyzer)
 	}
+	return res.Unsuppressed(), nil
 }

@@ -189,6 +189,8 @@ func (c *Cache) Shards() int { return len(c.shards) }
 // shardFor routes a key to its shard by FNV-1a hash. The hash is fixed
 // and seedless so shard assignment — and therefore per-shard eviction —
 // replays identically across runs and machines.
+//
+//lint:hotpath shard routing on every operation
 func (c *Cache) shardFor(key string) *shard {
 	const (
 		offset64 = 14695981039346656037
@@ -208,6 +210,8 @@ func (c *Cache) now() time.Time { return c.cfg.Clock() }
 // Get returns the value for key and whether it was resident and fresh.
 // A hit refreshes the item's LRU position and last-access time. The
 // returned slice is the cache's own buffer; callers must not modify it.
+//
+//lint:hotpath the serving read path
 func (c *Cache) Get(key string) ([]byte, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -407,6 +411,9 @@ func (c *Cache) ColdKeys(window time.Duration) []string {
 		}
 		s.mu.Unlock()
 	}
+	// Map iteration order must not leak into replay-critical output:
+	// power-off safety decisions consume this list.
+	sort.Strings(cold)
 	return cold
 }
 

@@ -102,6 +102,7 @@ func newLivePlane(opt Options, db func(key string) (string, bool)) (*livePlane, 
 	inj := faultinject.New(opt.Seed)
 	vt := &vtimer{}
 	log := telemetry.NewEventLog(telemetry.EventLogConfig{Clock: func() time.Duration { return vt.now }})
+	//lint:allow transdeterminism the live plane half of the conformance harness drives real network components on purpose; determinism is enforced on the model side
 	env, err := clustertest.New(clustertest.Opts{
 		Nodes:         opt.Servers,
 		InitialActive: opt.InitialActive,
@@ -130,6 +131,7 @@ func newLivePlane(opt Options, db func(key string) (string, bool)) (*livePlane, 
 func (p *livePlane) Name() string { return "live" }
 
 func (p *livePlane) Get(key string) Observation {
+	//lint:allow transdeterminism the live plane half of the conformance harness drives real network components on purpose; determinism is enforced on the model side
 	data, src, err := p.front.Fetch(key)
 	if err != nil {
 		return Observation{Err: err.Error()}
@@ -147,6 +149,7 @@ func (p *livePlane) Get(key string) Observation {
 }
 
 func (p *livePlane) Set(key, value string) Observation {
+	//lint:allow transdeterminism the live plane half of the conformance harness drives real network components on purpose; determinism is enforced on the model side
 	if err := p.front.Update(key, []byte(value)); err != nil {
 		return Observation{Err: err.Error()}
 	}
@@ -154,6 +157,7 @@ func (p *livePlane) Set(key, value string) Observation {
 }
 
 func (p *livePlane) Scale(n int) Observation {
+	//lint:allow transdeterminism the live plane half of the conformance harness drives real network components on purpose; determinism is enforced on the model side
 	err := p.env.Coord.SetActive(n)
 	if err != nil && strings.HasPrefix(err.Error(), "cluster: digest from node") {
 		// A relocation source that cannot produce a digest degrades its
@@ -169,6 +173,7 @@ func (p *livePlane) Scale(n int) Observation {
 }
 
 func (p *livePlane) Promote(key string) Observation {
+	//lint:allow transdeterminism the live plane half of the conformance harness drives real network components on purpose; determinism is enforced on the model side
 	hot, err := p.env.Coord.Promote(key)
 	if err != nil {
 		return Observation{Err: err.Error()}

@@ -111,11 +111,23 @@ type Coordinator struct {
 	powerOffs       *telemetry.Counter
 	activeGauge     *telemetry.Gauge
 
-	mu     sync.RWMutex
-	active int
-	trans  *Transition
-	cancel func()
-	closed bool
+	// provMu serializes provisioning operations (SetActive, transition
+	// finalization, Close) end to end, including the node power
+	// actuation they perform. The routing lock mu below is held only
+	// for short state flips, never across power actuation or network
+	// I/O, so request routing is never stalled behind a slow power-off
+	// (a node draining connections can take seconds — exactly the
+	// latency spike the smooth transition exists to avoid).
+	// Lock order: provMu before mu; mu is never held while acquiring
+	// provMu.
+	provMu sync.Mutex
+
+	mu       sync.RWMutex
+	active   int
+	trans    *Transition
+	transGen uint64 // incremented per installed transition; stale TTL callbacks no-op
+	cancel   func()
+	closed   bool
 }
 
 // Transition is the in-flight smooth-transition window.
@@ -305,6 +317,8 @@ func (c *Coordinator) WriteOwners(key string) []int {
 // active prefix to n with a smooth transition. A decision arriving
 // while a transition is pending finalizes the pending one first.
 func (c *Coordinator) SetActive(n int) error {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -318,9 +332,11 @@ func (c *Coordinator) SetActive(n int) error {
 		c.mu.Unlock()
 		return nil
 	}
-	c.finalizeLocked()
+	expired := c.finalizeLocked()
 	from := c.active
 	c.mu.Unlock()
+	//lint:allow lockorder provMu is the provisioning serialization lock, held across power actuation by design; request routing takes only mu and never waits on provMu
+	c.powerOffExpired(expired)
 
 	if n == from {
 		return nil
@@ -368,7 +384,9 @@ func (c *Coordinator) SetActive(n int) error {
 	}
 	c.trans = &Transition{FromActive: from, ToActive: n, Digests: digests, Deadline: time.Now().Add(c.ttl)}
 	c.active = n
-	c.cancel = c.after(c.ttl, c.expireTransition)
+	c.transGen++
+	gen := c.transGen
+	c.cancel = c.after(c.ttl, func() { c.expireTransition(gen) })
 	c.mu.Unlock()
 	c.transitions.Inc()
 	c.activeGauge.Set(float64(n))
@@ -397,17 +415,33 @@ func relocationSources(from, to int) (lo, hi int) {
 	return to, from
 }
 
-func (c *Coordinator) expireTransition() {
+// expireTransition is the TTL callback for transition generation gen.
+// A stale callback — one whose transition was already finalized by a
+// later SetActive while the callback waited for provMu — must not
+// finalize the transition that replaced it.
+func (c *Coordinator) expireTransition(gen uint64) {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.finalizeLocked()
+	if c.transGen != gen {
+		c.mu.Unlock()
+		return
+	}
+	tr := c.finalizeLocked()
+	c.mu.Unlock()
+	//lint:allow lockorder provMu is the provisioning serialization lock, held across power actuation by design; request routing takes only mu and never waits on provMu
+	c.powerOffExpired(tr)
 }
 
-// finalizeLocked ends the transition window: after TTL every still-hot
-// key has migrated, so dying servers can be powered off safely.
-func (c *Coordinator) finalizeLocked() {
+// finalizeLocked ends the transition window's routing bookkeeping:
+// after TTL every still-hot key has migrated, so the routing state
+// forgets the old prefix and the TTL timer is cancelled. It returns
+// the finalized transition; the caller must pass it to
+// powerOffExpired after releasing mu (and while holding provMu), so
+// dying servers drain without stalling request routing.
+func (c *Coordinator) finalizeLocked() *Transition {
 	if c.trans == nil {
-		return
+		return nil
 	}
 	if c.cancel != nil {
 		c.cancel()
@@ -415,6 +449,16 @@ func (c *Coordinator) finalizeLocked() {
 	}
 	tr := c.trans
 	c.trans = nil
+	return tr
+}
+
+// powerOffExpired powers off a finalized transition's dying nodes and
+// emits the finalization events. It runs under provMu only — never
+// under mu — because powering a node off blocks on connection drain.
+func (c *Coordinator) powerOffExpired(tr *Transition) {
+	if tr == nil {
+		return
+	}
 	if tr.ToActive < tr.FromActive {
 		for i := tr.ToActive; i < tr.FromActive; i++ {
 			// Best-effort: a node that fails to power off keeps burning
@@ -429,22 +473,30 @@ func (c *Coordinator) finalizeLocked() {
 
 // FinalizeNow ends a pending transition immediately (tests, shutdown).
 func (c *Coordinator) FinalizeNow() {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.finalizeLocked()
+	tr := c.finalizeLocked()
+	c.mu.Unlock()
+	//lint:allow lockorder provMu is the provisioning serialization lock, held across power actuation by design; request routing takes only mu and never waits on provMu
+	c.powerOffExpired(tr)
 }
 
 // Close finalizes any transition and releases all clients. Nodes are
 // left in their current power state.
 func (c *Coordinator) Close() {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return
 	}
 	c.closed = true
-	c.finalizeLocked()
+	tr := c.finalizeLocked()
 	c.mu.Unlock()
+	//lint:allow lockorder provMu is the provisioning serialization lock, held across power actuation by design; request routing takes only mu and never waits on provMu
+	c.powerOffExpired(tr)
 	for _, cl := range c.clients {
 		cl.Close()
 	}

@@ -81,20 +81,32 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // Malformed directives suppress nothing; drivers surface them via
 // CheckDirectives, once per package.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	kept, _, err := RunAll(a, fset, files, pkg, info)
+	return kept, err
+}
+
+// RunAll is Run, but additionally returns the findings a //lint:allow
+// directive suppressed, so machine-readable drivers (proteuslint -json)
+// can report the full picture. Both slices are sorted by position.
+func RunAll(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (kept, suppressed []Diagnostic, err error) {
 	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %w", a.Name, err)
+		return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
-	diags := Suppress(fset, files, pass.diagnostics)
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	kept, suppressed = SuppressSplit(fset, files, pass.diagnostics)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	sort.Slice(suppressed, func(i, j int) bool { return suppressed[i].Pos < suppressed[j].Pos })
+	return kept, suppressed, nil
 }
 
 // CheckDirectives validates every //lint:allow directive in files,
-// reporting malformed ones (missing analyzer name or missing reason) as
-// diagnostics under the pseudo-analyzer "directive". Drivers call it
-// once per package, not once per analyzer.
-func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+// reporting malformed ones as diagnostics under the pseudo-analyzer
+// "directive": a directive with no analyzer name, one with no recorded
+// reason (an allowlist entry without justification is itself a
+// finding), and — when known is non-nil — one naming an analyzer that
+// does not exist (a typo there would silently suppress nothing).
+// Drivers call it once per package, not once per analyzer.
+func CheckDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -103,10 +115,23 @@ func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
 				if !ok {
 					continue
 				}
-				if d.analyzer == "" || d.reason == "" {
+				switch {
+				case d.analyzer == "":
 					out = append(out, Diagnostic{
 						Pos:      c.Pos(),
 						Message:  "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>",
+						Analyzer: "directive",
+					})
+				case d.reason == "":
+					out = append(out, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("//lint:allow %s without a reason: every suppression must record its justification", d.analyzer),
+						Analyzer: "directive",
+					})
+				case known != nil && !known[d.analyzer]:
+					out = append(out, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q (typo? it suppresses nothing)", d.analyzer),
 						Analyzer: "directive",
 					})
 				}

@@ -4,14 +4,16 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
 // src exercises every directive placement: same-line, line-above,
-// malformed (no reason, and bare), and mismatched analyzer name.
+// malformed (no reason, and bare), mismatched analyzer name, and an
+// unknown analyzer name (a typo that would silently suppress nothing).
 const src = `package p
 
-var s1, s2, s3, s4, s5 int
+var s1, s2, s3, s4, s5, s6 int
 
 func f() {
 	s1 = 1 //lint:allow demo covered by the integration harness
@@ -36,6 +38,11 @@ func j() {
 	//lint:allow
 	s5 = 5
 }
+
+func k() {
+	//lint:allow demmo reason is present but the analyzer name is a typo
+	s6 = 6
+}
 `
 
 func parseSrc(t *testing.T) (*token.FileSet, []*ast.File, []token.Pos) {
@@ -52,8 +59,8 @@ func parseSrc(t *testing.T) (*token.FileSet, []*ast.File, []token.Pos) {
 		}
 		return true
 	})
-	if len(assigns) != 5 {
-		t.Fatalf("fixture has %d assignments, want 5", len(assigns))
+	if len(assigns) != 6 {
+		t.Fatalf("fixture has %d assignments, want 6", len(assigns))
 	}
 	return fset, []*ast.File{f}, assigns
 }
@@ -88,37 +95,58 @@ func TestSuppress(t *testing.T) {
 	for _, pos := range assigns {
 		diags = append(diags, Diagnostic{Pos: pos, Message: "assignment", Analyzer: "demo"})
 	}
-	kept := Suppress(fset, files, diags)
+	kept, suppressed := SuppressSplit(fset, files, diags)
 	// s1 (same-line directive) and s2 (line-above directive) are
-	// suppressed; s3 (no reason), s4 (other analyzer), s5 (bare) stay.
-	if len(kept) != 3 {
-		t.Fatalf("Suppress kept %d diagnostics, want 3", len(kept))
+	// suppressed; s3 (no reason), s4 (other analyzer), s5 (bare), and
+	// s6 (unknown analyzer name) stay.
+	if len(kept) != 4 {
+		t.Fatalf("Suppress kept %d diagnostics, want 4", len(kept))
 	}
-	wantLines := []int{16, 21, 26}
+	wantLines := []int{16, 21, 26, 31}
 	for i, d := range kept {
 		if line := fset.Position(d.Pos).Line; line != wantLines[i] {
 			t.Errorf("kept[%d] at line %d, want %d", i, line, wantLines[i])
+		}
+	}
+	wantSuppressed := []int{6, 11}
+	if len(suppressed) != len(wantSuppressed) {
+		t.Fatalf("Suppress dropped %d diagnostics, want %d", len(suppressed), len(wantSuppressed))
+	}
+	for i, d := range suppressed {
+		if line := fset.Position(d.Pos).Line; line != wantSuppressed[i] {
+			t.Errorf("suppressed[%d] at line %d, want %d", i, line, wantSuppressed[i])
 		}
 	}
 }
 
 func TestCheckDirectives(t *testing.T) {
 	fset, files, _ := parseSrc(t)
-	diags := CheckDirectives(fset, files)
-	// The reasonless directive above s3 and the bare one above s5.
-	if len(diags) != 2 {
-		t.Fatalf("CheckDirectives reported %d, want 2", len(diags))
+	known := map[string]bool{"demo": true, "other": true}
+	diags := CheckDirectives(fset, files, known)
+	// The reasonless directive above s3, the bare one above s5, and the
+	// typo'd analyzer name above s6.
+	if len(diags) != 3 {
+		t.Fatalf("CheckDirectives reported %d, want 3", len(diags))
 	}
 	for _, d := range diags {
 		if d.Analyzer != "directive" {
 			t.Errorf("diagnostic attributed to %q, want \"directive\"", d.Analyzer)
 		}
 	}
-	wantLines := []int{15, 25}
+	wantLines := []int{15, 25, 30}
+	wantSubstr := []string{"without a reason", "malformed", "unknown analyzer"}
 	for i, d := range diags {
 		if line := fset.Position(d.Pos).Line; line != wantLines[i] {
 			t.Errorf("malformed directive %d at line %d, want %d", i, line, wantLines[i])
 		}
+		if !strings.Contains(d.Message, wantSubstr[i]) {
+			t.Errorf("directive %d message %q missing %q", i, d.Message, wantSubstr[i])
+		}
+	}
+	// Without a known-analyzer set, name validation is skipped but the
+	// reasonless and bare directives still report.
+	if got := CheckDirectives(fset, files, nil); len(got) != 2 {
+		t.Fatalf("CheckDirectives(nil known) reported %d, want 2", len(got))
 	}
 }
 
@@ -138,8 +166,8 @@ func TestRunSortsAndSuppresses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 3 {
-		t.Fatalf("Run returned %d diagnostics, want 3", len(diags))
+	if len(diags) != 4 {
+		t.Fatalf("Run returned %d diagnostics, want 4", len(diags))
 	}
 	for i := 1; i < len(diags); i++ {
 		if diags[i-1].Pos > diags[i].Pos {

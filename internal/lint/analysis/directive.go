@@ -48,8 +48,15 @@ func parseDirective(text string) (directive, bool) {
 // directive for their analyzer, either on the diagnostic's line or on
 // the line directly above it.
 func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	kept, _ := SuppressSplit(fset, files, diags)
+	return kept
+}
+
+// SuppressSplit partitions diagnostics into those that survive
+// //lint:allow filtering and those a well-formed directive suppressed.
+func SuppressSplit(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	if len(diags) == 0 {
-		return diags
+		return diags, nil
 	}
 	// allowed maps filename -> line -> set of analyzer names allowed.
 	allowed := make(map[string]map[int]map[string]bool)
@@ -74,16 +81,17 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diag
 		}
 	}
 	if len(allowed) == 0 {
-		return diags
+		return diags, nil
 	}
-	kept := diags[:0]
+	kept = make([]Diagnostic, 0, len(diags))
 	for _, dg := range diags {
 		pos := fset.Position(dg.Pos)
 		byLine := allowed[pos.Filename]
 		if byLine[pos.Line][dg.Analyzer] || byLine[pos.Line-1][dg.Analyzer] {
+			suppressed = append(suppressed, dg)
 			continue
 		}
 		kept = append(kept, dg)
 	}
-	return kept
+	return kept, suppressed
 }

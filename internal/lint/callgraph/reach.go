@@ -1,0 +1,159 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// propagate computes each node's transitive fact closure and lock-key
+// closure by fixpoint iteration. The graphs involved are small (one
+// node per function in the module), so a simple sweep-until-stable
+// converges in a handful of passes and needs no SCC condensation.
+//
+// Rules:
+//   - Facts flow caller <- callee across every resolved edge,
+//     including go-spawned and deferred calls (work a function starts
+//     still happens on its behalf). Dynamic edges contribute nothing.
+//   - FactAlloc does not flow out of a //lint:hotpath function: an
+//     annotated callee is a trusted boundary whose allocations are
+//     its own findings, not its callers'.
+//   - Lock keys flow only across synchronous edges (go-spawned
+//     goroutines do not hold their locks on the spawner's path).
+func (p *Program) propagate() {
+	for _, n := range p.Nodes {
+		copy(n.trans[:], n.direct[:])
+		for _, a := range n.Summary.Acquires {
+			n.locks[a.Key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.Nodes {
+			for _, e := range n.Calls {
+				for _, callee := range e.Callees {
+					for k := FactKind(0); k < numFactKinds; k++ {
+						if k == FactAlloc && callee.Hotpath {
+							continue
+						}
+						if callee.trans[k] && !n.trans[k] {
+							n.trans[k] = true
+							changed = true
+						}
+					}
+					if e.Go {
+						continue
+					}
+					for key := range callee.locks {
+						if !n.locks[key] {
+							n.locks[key] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FactPath returns a shortest call chain from start to a function with
+// a direct fact of the given kind, and that fact. The chain includes
+// start and the fact-bearing function. Nil when start does not reach
+// kind.
+func (p *Program) FactPath(start *Node, kind FactKind) ([]*Node, *Fact) {
+	if !start.trans[kind] {
+		return nil, nil
+	}
+	type item struct {
+		n    *Node
+		prev int
+	}
+	queue := []item{{n: start, prev: -1}}
+	seen := map[*Node]bool{start: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if cur.n.direct[kind] {
+			var path []*Node
+			for j := i; j >= 0; j = queue[j].prev {
+				path = append([]*Node{queue[j].n}, path...)
+			}
+			for fi := range cur.n.Summary.Facts {
+				if cur.n.Summary.Facts[fi].Kind == kind {
+					return path, &cur.n.Summary.Facts[fi]
+				}
+			}
+			return path, nil
+		}
+		for _, e := range cur.n.Calls {
+			for _, callee := range e.Callees {
+				if kind == FactAlloc && callee.Hotpath {
+					continue
+				}
+				if !seen[callee] && callee.trans[kind] {
+					seen[callee] = true
+					queue = append(queue, item{n: callee, prev: i})
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// LockPath returns a shortest synchronous call chain from start to a
+// function that directly acquires key, and the acquisition site.
+func (p *Program) LockPath(start *Node, key string) ([]*Node, token.Pos) {
+	type item struct {
+		n    *Node
+		prev int
+	}
+	queue := []item{{n: start, prev: -1}}
+	seen := map[*Node]bool{start: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		for _, a := range cur.n.Summary.Acquires {
+			if a.Key == key {
+				var path []*Node
+				for j := i; j >= 0; j = queue[j].prev {
+					path = append([]*Node{queue[j].n}, path...)
+				}
+				return path, a.Pos
+			}
+		}
+		for _, e := range cur.n.Calls {
+			if e.Go {
+				continue
+			}
+			for _, callee := range e.Callees {
+				if !seen[callee] && callee.locks[key] {
+					seen[callee] = true
+					queue = append(queue, item{n: callee, prev: i})
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// PathString renders a call chain for diagnostics: "a -> b -> c".
+func PathString(path []*Node) string {
+	names := make([]string, len(path))
+	for i, n := range path {
+		names[i] = n.Name
+	}
+	return strings.Join(names, " -> ")
+}
+
+// FactPathString renders the evidence chain for a transitive fact,
+// ending with the direct fact's description and position:
+// "a -> b -> c (time.Now at file.go:12)".
+func (p *Program) FactPathString(start *Node, kind FactKind) string {
+	path, fact := p.FactPath(start, kind)
+	if len(path) == 0 {
+		return ""
+	}
+	s := PathString(path)
+	if fact != nil {
+		s += fmt.Sprintf(" (%s at %s)", fact.Desc, p.Fset.Position(fact.Pos))
+	}
+	return s
+}

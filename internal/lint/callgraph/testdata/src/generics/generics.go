@@ -1,0 +1,66 @@
+// Package generics is the call-graph fixture for type-parameterized
+// code: instantiated generic calls (explicit and inferred), methods on
+// generic types, method values, and method expressions. The resolver
+// must fold every instantiation onto the declared origin — never
+// panicking on, or silently dropping, a generic call site.
+package generics
+
+// Set is a generic type whose method is reached through several call
+// shapes below.
+type Set[T comparable] struct {
+	items map[T]struct{}
+}
+
+// NewSet allocates: the fact must propagate through instantiated calls.
+func NewSet[T comparable]() *Set[T] {
+	return &Set[T]{items: make(map[T]struct{})}
+}
+
+// Add inserts v.
+func (s *Set[T]) Add(v T) {
+	s.items[v] = struct{}{}
+}
+
+// Clone allocates behind an inferred instantiation.
+func Clone[S ~[]E, E any](s S) S {
+	out := make(S, len(s))
+	copy(out, s)
+	return out
+}
+
+// Apply calls through a function-typed parameter: a dynamic edge
+// inside a generic function.
+func Apply[T any](f func(T) T, v T) T {
+	return f(v)
+}
+
+// UseExplicit instantiates explicitly and calls an instantiated method.
+func UseExplicit() *Set[int] {
+	s := NewSet[int]()
+	s.Add(1)
+	return s
+}
+
+// UseInferred lets the checker infer the instantiation.
+func UseInferred(xs []string) []string {
+	return Clone(xs)
+}
+
+// UseMethodValue binds a method value and calls through it: the bind
+// is a closure allocation, the call a dynamic edge.
+func UseMethodValue(s *Set[string]) func(string) {
+	add := s.Add
+	add("x")
+	return add
+}
+
+// UseMethodExpr calls through a method expression, which resolves
+// statically like a direct call.
+func UseMethodExpr(s *Set[int]) {
+	(*Set[int]).Add(s, 2)
+}
+
+// UseApply exercises a generic function receiving a function literal.
+func UseApply() int {
+	return Apply(func(x int) int { return x + 1 }, 3)
+}

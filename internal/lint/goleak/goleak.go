@@ -1,0 +1,54 @@
+// Package goleak defines a whole-program check for unjoinable
+// goroutines: a go statement whose spawned function has no reachable
+// join or cancellation point — no sync.WaitGroup.Done, no channel
+// operation (send, receive, select, close), and no Context.Done/Err —
+// can neither be waited for nor told to stop. In a power-proportional
+// cache cluster that repeatedly powers servers up and down, such
+// goroutines accumulate across transitions and pin resources the
+// power manager believes are released.
+//
+// The reachability search runs over the call graph from the spawned
+// function, following synchronous and further go-spawned edges. Calls
+// through function values are information-free, so a spawn whose
+// target is itself a dynamic value is skipped rather than guessed at.
+package goleak
+
+import (
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/callgraph"
+)
+
+// Analyzer is the goleak check.
+var Analyzer = &callgraph.Analyzer{
+	Name: "goleak",
+	Doc:  "flag goroutines launched with no reachable join or cancellation path (WaitGroup.Done, channel operation, or Context.Done)",
+	Run:  run,
+}
+
+func run(prog *callgraph.Program) ([]analysis.Diagnostic, error) {
+	var out []analysis.Diagnostic
+	for _, n := range prog.Nodes {
+		for _, e := range n.Calls {
+			if !e.Go || len(e.Callees) == 0 {
+				continue
+			}
+			joinable := false
+			for _, callee := range e.Callees {
+				if callee.Reaches(callgraph.FactJoin) {
+					joinable = true
+					break
+				}
+			}
+			if joinable {
+				continue
+			}
+			target := e.Callees[0].Name
+			out = append(out, analysis.Diagnostic{
+				Pos: e.Pos,
+				Message: "goroutine running " + target + " has no join or cancellation path: " +
+					"no WaitGroup.Done, channel operation, or Context.Done is reachable from it",
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/goleak"
+	"proteus/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.RunProgram(t, "testdata", goleak.Analyzer, "a")
+}

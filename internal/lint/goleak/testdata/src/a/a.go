@@ -1,0 +1,46 @@
+// Package a is the goleak fixture: goroutines with no reachable join
+// or cancellation point are flagged; channel-connected, WaitGroup-
+// tracked, and context-aware spawns are accepted.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+// spin has no join or cancellation path at all.
+func spin() {
+	for i := 0; ; i++ {
+		sink = i
+	}
+}
+
+// sender is joinable through its channel send.
+func sender(ch chan int) {
+	ch <- 1
+}
+
+// tracked reaches sync.WaitGroup.Done one call deep.
+func tracked(wg *sync.WaitGroup) {
+	finish(wg)
+}
+
+func finish(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+// watcher is cancellable through ctx.Done.
+func watcher(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func launch(ctx context.Context, wg *sync.WaitGroup, ch chan int, f func()) {
+	go spin() // want "goroutine running a.spin has no join or cancellation path"
+	go sender(ch)
+	go tracked(wg)
+	go watcher(ctx)
+	go func() { ch <- 2 }()
+	go f() // dynamic target: information-free, not guessed at
+}

@@ -1,0 +1,63 @@
+// Package hotalloc defines the allocation-budget check for functions
+// annotated //lint:hotpath. The serving hot path (protocol parse,
+// shard lookup, response write) was made allocation-free in PR 4;
+// this analyzer keeps it that way statically instead of relying on
+// allocs-per-op benchmarks alone.
+//
+// In an annotated function it flags every static allocation site —
+// make/new, append growth, string<->[]byte conversions, string
+// concatenation, map/slice literals, closures, and interface boxing
+// at calls, assignments, and returns — plus any call to an
+// *unannotated* module function that transitively allocates, printing
+// the call chain to the allocation. Annotated callees are trusted
+// boundaries: their allocations are their own findings, so a hot
+// chain is annotated function by function and each link is checked
+// exactly once.
+package hotalloc
+
+import (
+	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/callgraph"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &callgraph.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid static allocation sites in //lint:hotpath functions, including allocations reached through calls to unannotated functions",
+	Run:  run,
+}
+
+func run(prog *callgraph.Program) ([]analysis.Diagnostic, error) {
+	var out []analysis.Diagnostic
+	for _, n := range prog.Nodes {
+		if !n.Hotpath {
+			continue
+		}
+		for _, f := range n.Summary.Facts {
+			if f.Kind == callgraph.FactAlloc {
+				out = append(out, analysis.Diagnostic{
+					Pos:     f.Pos,
+					Message: "allocation in hot path: " + f.Desc,
+				})
+			}
+		}
+		for _, e := range n.Calls {
+			if e.Go {
+				// Spawned work runs off the latency path; the closure
+				// allocation itself was already flagged above.
+				continue
+			}
+			for _, callee := range e.Callees {
+				if callee.Hotpath || !callee.Reaches(callgraph.FactAlloc) {
+					continue
+				}
+				out = append(out, analysis.Diagnostic{
+					Pos:     e.Pos,
+					Message: "call allocates in hot path: " + prog.FactPathString(callee, callgraph.FactAlloc),
+				})
+				break // one finding per call site
+			}
+		}
+	}
+	return out, nil
+}

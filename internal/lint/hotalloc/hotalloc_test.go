@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/hotalloc"
+	"proteus/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.RunProgram(t, "testdata", hotalloc.Analyzer, "a")
+}

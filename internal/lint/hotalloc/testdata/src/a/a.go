@@ -1,0 +1,77 @@
+// Package a is the hotalloc fixture: annotated hot-path functions must
+// be allocation-free. Direct sites (make, conversions, boxing,
+// closures) are flagged, as are calls to unannotated functions that
+// transitively allocate; annotated callees are trusted boundaries, and
+// unannotated functions may allocate freely.
+package a
+
+var sink any
+
+//lint:hotpath boxing seeded bug
+func boxy(n int) {
+	sink = n // want "allocation in hot path: interface boxing at assignment"
+}
+
+//lint:hotpath direct-site seeded bugs
+func alloky(s string) []byte {
+	buf := make([]byte, 8)   // want "allocation in hot path: make"
+	b := []byte(s)           // want `allocation in hot path: \[\]byte\(string\) conversion copies`
+	return append(buf, b...) // want `allocation in hot path: append \(may grow\)`
+}
+
+//lint:hotpath transitive seeded bug
+func chatty() string {
+	return describe(7) // want "call allocates in hot path: a.describe"
+}
+
+func describe(n int) string {
+	out := make([]byte, 0, 4)
+	for ; n > 0; n /= 10 {
+		out = append(out, byte('0'+n%10))
+	}
+	return string(out)
+}
+
+//lint:hotpath clean fast path
+func clean(buf []byte, n int) int {
+	total := 0
+	for _, b := range buf {
+		total += int(b) * n
+	}
+	return total
+}
+
+// cleanCaller trusts its annotated callee: alloky's allocations are
+// alloky's findings, reported exactly once.
+//
+//lint:hotpath trusted annotated callee
+func cleanCaller(s string) int {
+	return len(alloky(s))
+}
+
+//lint:hotpath suppressed by an allow directive
+func allowed() []int {
+	//lint:allow hotalloc fixture exercises the suppression path
+	return make([]int, 4)
+}
+
+// free is unannotated: it allocates without findings.
+func free() []string {
+	return []string{"x", "y"}
+}
+
+// comparisons do not allocate: string(b) as a switch tag or equality
+// operand compares in place.
+//
+//lint:hotpath conversion in comparison context
+func dispatch(cmd []byte) int {
+	if string(cmd) == "get" {
+		return 1
+	}
+	switch string(cmd) {
+	case "set":
+		return 2
+	default:
+		return 0
+	}
+}

@@ -1,14 +1,24 @@
 // Package lint assembles the proteuslint analyzer suite. The analyzers
-// encode the repository's three standing invariants:
+// encode the repository's standing invariants:
 //
 //   - determinism: replay-critical packages take time and randomness
-//     only by injection (nodeterminism),
+//     only by injection (nodeterminism), and do not reach
+//     nondeterminism through calls into unconstrained packages or
+//     depend on map iteration order (transdeterminism),
 //   - locking: no lock-leaking returns, no blocking under a mutex
-//     (locksafety), and counter mutations stay under their mutex
-//     (metrichygiene),
+//     (locksafety), counter mutations stay under their mutex
+//     (metrichygiene), and the global mutex-acquisition-order graph is
+//     acyclic with no blocking reachable under a lock (lockorder),
 //   - resource hygiene: connections are closed or handed off on every
-//     path (closecheck) and hot-path errors are never silently dropped
-//     (errdrop).
+//     path (closecheck), hot-path errors are never silently dropped
+//     (errdrop), and every goroutine has a join or cancellation path
+//     (goleak),
+//   - performance: functions annotated //lint:hotpath have no static
+//     allocation sites, directly or through calls (hotalloc).
+//
+// The first group of checks is per-package (analysis.Analyzer); the
+// interprocedural ones (transdeterminism, lockorder, goleak, hotalloc)
+// run over the whole-program call graph (callgraph.Analyzer).
 //
 // Run the suite with `go run ./cmd/proteuslint ./...` (or `make lint`).
 // Suppress an individual finding with a justified directive:
@@ -16,19 +26,26 @@
 //	//lint:allow <analyzer> <reason>
 //
 // placed on, or directly above, the offending line. Directives without
-// a reason are themselves findings.
+// a reason — or naming an analyzer that does not exist — are
+// themselves findings.
 package lint
 
 import (
 	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/callgraph"
 	"proteus/internal/lint/closecheck"
 	"proteus/internal/lint/errdrop"
+	"proteus/internal/lint/goleak"
+	"proteus/internal/lint/hotalloc"
+	"proteus/internal/lint/lockorder"
 	"proteus/internal/lint/locksafety"
 	"proteus/internal/lint/metrichygiene"
 	"proteus/internal/lint/nodeterminism"
+	"proteus/internal/lint/transdeterminism"
 )
 
-// Analyzers returns the full proteuslint suite in reporting order.
+// Analyzers returns the per-package proteuslint suite in reporting
+// order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nodeterminism.Analyzer,
@@ -37,4 +54,28 @@ func Analyzers() []*analysis.Analyzer {
 		errdrop.Analyzer,
 		metrichygiene.Analyzer,
 	}
+}
+
+// GlobalAnalyzers returns the whole-program suite, run once over the
+// resolved call graph of every loaded package.
+func GlobalAnalyzers() []*callgraph.Analyzer {
+	return []*callgraph.Analyzer{
+		transdeterminism.Analyzer,
+		lockorder.Analyzer,
+		goleak.Analyzer,
+		hotalloc.Analyzer,
+	}
+}
+
+// KnownAnalyzers returns the set of valid analyzer names for
+// //lint:allow validation.
+func KnownAnalyzers() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range GlobalAnalyzers() {
+		known[a.Name] = true
+	}
+	return known
 }

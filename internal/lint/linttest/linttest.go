@@ -28,6 +28,7 @@ import (
 	"testing"
 
 	"proteus/internal/lint/analysis"
+	"proteus/internal/lint/callgraph"
 	"proteus/internal/lint/loader"
 )
 
@@ -72,6 +73,55 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			if !e.matched {
 				t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.raw)
 			}
+		}
+	}
+}
+
+// RunProgram loads every fixture package under testdata/src, builds
+// one call graph over all of them, runs a whole-program analyzer, and
+// checks its findings against the // want comments across every
+// fixture file. Unlike Run, expectations and findings are matched
+// globally: an interprocedural analyzer may report in any loaded
+// package.
+func RunProgram(t *testing.T, testdata string, a *callgraph.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	l := loader.NewSrcRoot(srcRoot)
+	var pkgs []*loader.Package
+	var files []*ast.File
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			return
+		}
+		pkgs = append(pkgs, pkg)
+		files = append(files, pkg.Files...)
+	}
+	prog, err := callgraph.Build(l.Fset, pkgs)
+	if err != nil {
+		t.Errorf("building call graph: %v", err)
+		return
+	}
+	diags, _, err := callgraph.RunAll(a, prog)
+	if err != nil {
+		t.Errorf("running %s: %v", a.Name, err)
+		return
+	}
+	expects, err := parseExpectations(l.Fset, files)
+	if err != nil {
+		t.Errorf("fixtures %v: %v", pkgPaths, err)
+		return
+	}
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected finding: %s (%s)", pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.raw)
 		}
 	}
 }

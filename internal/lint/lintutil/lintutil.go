@@ -3,8 +3,10 @@
 package lintutil
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Func is one analyzable function: a declaration or a function
@@ -196,4 +198,77 @@ func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name strin
 		}
 	}
 	return sel.X, sel.Sel.Name, true
+}
+
+// typeOf is a nil-safe info.TypeOf.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}
+
+// MutexOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on a
+// sync.Mutex or sync.RWMutex, returning the receiver expression and
+// whether the operation acquires (Lock/RLock) or releases.
+func MutexOp(info *types.Info, call *ast.CallExpr) (recv ast.Expr, acquire bool, ok bool) {
+	recv, name, ok := MethodCall(info, call)
+	if !ok {
+		return nil, false, false
+	}
+	switch name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false, false
+	}
+	if !IsMutex(typeOf(info, recv)) {
+		return nil, false, false
+	}
+	return recv, acquire, true
+}
+
+// blockingNetMethods are the methods on net types that can block
+// indefinitely. Getters (Addr, LocalAddr, ...) and deadline setters are
+// deliberately absent: calling them under a mutex is fine.
+var blockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "Close": true,
+	"ReadFrom": true, "WriteTo": true, "AcceptTCP": true,
+}
+
+// BlockingCall recognizes calls that can block indefinitely: dialing,
+// listening, and name resolution in package net (and net/http requests),
+// blocking methods on net types, time.Sleep, and sync.WaitGroup.Wait.
+// The returned string is a human description of the blocking operation.
+func BlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if pkgPath, name, ok := PkgFuncRef(info, call.Fun); ok {
+		switch {
+		case pkgPath == "net" && (strings.HasPrefix(name, "Dial") ||
+			strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup")):
+			return fmt.Sprintf("network I/O call (net.%s)", name), true
+		case pkgPath == "net/http" && (name == "Get" || name == "Post" || name == "Head" || name == "PostForm"):
+			return fmt.Sprintf("network I/O call (http.%s)", name), true
+		case pkgPath == "time" && name == "Sleep":
+			return "time.Sleep", true
+		}
+		return "", false
+	}
+	recv, name, ok := MethodCall(info, call)
+	if !ok {
+		return "", false
+	}
+	recvType := typeOf(info, recv)
+	switch NamedPkgPath(recvType) {
+	case "net", "net/http":
+		if blockingNetMethods[name] || name == "Do" || name == "RoundTrip" {
+			return fmt.Sprintf("network I/O (%s.%s)", NamedName(recvType), name), true
+		}
+	case "sync":
+		if NamedName(recvType) == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait", true
+		}
+	}
+	return "", false
 }

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/linttest"
+	"proteus/internal/lint/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.RunProgram(t, "testdata", lockorder.Analyzer, "a")
+}

@@ -14,12 +14,10 @@
 package locksafety
 
 import (
-	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 
 	"proteus/internal/lint/analysis"
 	"proteus/internal/lint/lintutil"
@@ -125,62 +123,20 @@ func checkFunc(pass *analysis.Pass, fn lintutil.Func) {
 // mutexOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on a
 // sync.Mutex or sync.RWMutex, returning the rendered mutex expression.
 func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, kind eventKind, ok bool) {
-	recv, name, ok := lintutil.MethodCall(pass.TypesInfo, call)
+	recv, acquire, ok := lintutil.MutexOp(pass.TypesInfo, call)
 	if !ok {
 		return "", 0, false
 	}
-	switch name {
-	case "Lock", "RLock":
+	kind = evUnlock
+	if acquire {
 		kind = evLock
-	case "Unlock", "RUnlock":
-		kind = evUnlock
-	default:
-		return "", 0, false
-	}
-	if !lintutil.IsMutex(pass.TypeOf(recv)) {
-		return "", 0, false
 	}
 	return types.ExprString(recv), kind, true
 }
 
-// blockingNetMethods are the methods on net types that can block
-// indefinitely. Getters (Addr, LocalAddr, ...) and deadline setters are
-// deliberately absent: calling them under a mutex is fine.
-var blockingNetMethods = map[string]bool{
-	"Read": true, "Write": true, "Accept": true, "Close": true,
-	"ReadFrom": true, "WriteTo": true, "AcceptTCP": true,
-}
-
-// blockingCall recognizes calls that can block indefinitely: dialing,
-// listening, and name resolution in package net (and net/http requests),
-// blocking methods on net types, time.Sleep, and sync.WaitGroup.Wait.
+// blockingCall recognizes calls that can block indefinitely; see
+// lintutil.BlockingCall (shared with the whole-program lockorder
+// analyzer).
 func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
-	if pkgPath, name, ok := lintutil.PkgFuncRef(pass.TypesInfo, call.Fun); ok {
-		switch {
-		case pkgPath == "net" && (strings.HasPrefix(name, "Dial") ||
-			strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup")):
-			return fmt.Sprintf("network I/O call (net.%s)", name), true
-		case pkgPath == "net/http" && (name == "Get" || name == "Post" || name == "Head" || name == "PostForm"):
-			return fmt.Sprintf("network I/O call (http.%s)", name), true
-		case pkgPath == "time" && name == "Sleep":
-			return "time.Sleep", true
-		}
-		return "", false
-	}
-	recv, name, ok := lintutil.MethodCall(pass.TypesInfo, call)
-	if !ok {
-		return "", false
-	}
-	recvType := pass.TypeOf(recv)
-	switch lintutil.NamedPkgPath(recvType) {
-	case "net", "net/http":
-		if blockingNetMethods[name] || name == "Do" || name == "RoundTrip" {
-			return fmt.Sprintf("network I/O (%s.%s)", lintutil.NamedName(recvType), name), true
-		}
-	case "sync":
-		if lintutil.NamedName(recvType) == "WaitGroup" && name == "Wait" {
-			return "sync.WaitGroup.Wait", true
-		}
-	}
-	return "", false
+	return lintutil.BlockingCall(pass.TypesInfo, call)
 }

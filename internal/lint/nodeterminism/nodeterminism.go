@@ -39,10 +39,12 @@ var ReplayCritical = map[string]bool{
 	"proteus/internal/workload":    true,
 }
 
-// wallClock lists the time package functions that read or schedule
+// WallClock lists the time package functions that read or schedule
 // against the wall clock. Referencing one (even without calling it,
-// e.g. `cfg.Clock = time.Now`) defeats replay.
-var wallClock = map[string]bool{
+// e.g. `cfg.Clock = time.Now`) defeats replay. Exported so the
+// whole-program transdeterminism analyzer (internal/lint/callgraph)
+// shares one source-of-truth table with this direct-use check.
+var WallClock = map[string]bool{
 	"Now":       true,
 	"Since":     true,
 	"Until":     true,
@@ -54,11 +56,11 @@ var wallClock = map[string]bool{
 	"AfterFunc": true,
 }
 
-// globalRand lists the math/rand package-level functions backed by the
+// GlobalRand lists the math/rand package-level functions backed by the
 // shared process-wide source. rand.New, rand.NewSource, and rand.NewZipf
 // are absent: constructing a seeded generator is exactly the idiom the
 // contract requires.
-var globalRand = map[string]bool{
+var GlobalRand = map[string]bool{
 	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
 	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
 	"Float32": true, "Float64": true, "ExpFloat64": true,
@@ -86,10 +88,10 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			switch {
-			case pkgPath == "time" && wallClock[name]:
+			case pkgPath == "time" && WallClock[name]:
 				pass.Reportf(sel.Pos(),
 					"time.%s reads the wall clock; replay-critical packages must use the injected Clock", name)
-			case pkgPath == "math/rand" && globalRand[name]:
+			case pkgPath == "math/rand" && GlobalRand[name]:
 				pass.Reportf(sel.Pos(),
 					"rand.%s uses the process-wide source; use a seeded generator: rand.New(rand.NewSource(seed))", name)
 			}

@@ -1,0 +1,28 @@
+// Package helper is an unconstrained utility package: it may touch the
+// wall clock and the global rand source freely. The transdeterminism
+// fixture's replay-critical package calls into it.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp leaks the wall clock to its caller.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pick leaks the global math/rand source, one call deep.
+func Pick(n int) int {
+	return pick(n)
+}
+
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Double is deterministic; calls to it from critical code are fine.
+func Double(n int) int {
+	return 2 * n
+}

@@ -1,0 +1,13 @@
+package transdeterminism_test
+
+import (
+	"testing"
+
+	"proteus/internal/lint/linttest"
+	"proteus/internal/lint/transdeterminism"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.RunProgram(t, "testdata", transdeterminism.Analyzer,
+		"helper", "proteus/internal/sim")
+}

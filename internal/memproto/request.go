@@ -61,6 +61,8 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 // parser's scratch: it, and its Keys slice, are valid only until the
 // following Next call. Data (storage payloads) and the key strings are
 // freshly allocated and may be retained.
+//
+//lint:hotpath per-request parse loop
 func (p *Parser) Next() (*Request, error) {
 	line, err := p.readLineSlice()
 	if err != nil {
@@ -69,6 +71,7 @@ func (p *Parser) Next() (*Request, error) {
 	fields := splitFields(line, p.fields[:0])
 	p.fields = fields
 	if len(fields) == 0 {
+		//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 		return nil, fmt.Errorf("%w: empty command line", ErrProtocol)
 	}
 	p.req = Request{}
@@ -76,12 +79,16 @@ func (p *Parser) Next() (*Request, error) {
 	case "get", "gets":
 		return p.parseGet(fields)
 	case "set", "add", "replace", "cas", "append", "prepend":
+		//lint:allow hotalloc mutation commands allocate payloads and error text by design; the zero-alloc contract covers retrievals
 		return p.parseStore(fields)
 	case "incr", "decr":
+		//lint:allow hotalloc mutation commands allocate payloads and error text by design; the zero-alloc contract covers retrievals
 		return p.parseArith(fields)
 	case "delete":
+		//lint:allow hotalloc mutation commands allocate payloads and error text by design; the zero-alloc contract covers retrievals
 		return p.parseDelete(fields)
 	case "touch":
+		//lint:allow hotalloc mutation commands allocate payloads and error text by design; the zero-alloc contract covers retrievals
 		return p.parseTouch(fields)
 	case "stats":
 		p.req.Command = CmdStats
@@ -97,6 +104,7 @@ func (p *Parser) Next() (*Request, error) {
 		p.req.Command = CmdQuit
 		return &p.req, nil
 	default:
+		//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 		return nil, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
 	}
 }
@@ -104,24 +112,30 @@ func (p *Parser) Next() (*Request, error) {
 // setKeys fills req.Keys from raw key fields, reusing the backing
 // array. Each key string is a fresh allocation (it may be retained as a
 // map key by the store).
+//
+//lint:hotpath key extraction on every retrieval
 func (p *Parser) setKeys(raw [][]byte) error {
 	p.keys = p.keys[:0]
 	for _, f := range raw {
 		if !validKeyBytes(f) {
+			//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 			return fmt.Errorf("%w: %q", ErrBadKey, f)
 		}
+		//lint:allow hotalloc key strings are fresh copies by contract (retained as map keys by the store); backing-array growth amortizes to zero
 		p.keys = append(p.keys, string(f))
 	}
 	p.req.Keys = p.keys
 	return nil
 }
 
+//lint:hotpath GET command parse
 func (p *Parser) parseGet(fields [][]byte) (*Request, error) {
 	cmd := CmdGet
 	if len(fields[0]) == 4 { // "gets"
 		cmd = CmdGets
 	}
 	if len(fields) < 2 {
+		//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 		return nil, fmt.Errorf("%w: %s needs at least one key", ErrProtocol, fields[0])
 	}
 	if err := p.setKeys(fields[1:]); err != nil {
@@ -257,6 +271,8 @@ func hasNoReply(rest [][]byte) bool {
 // readLineSlice reads one CRLF- (or LF-) terminated line without the
 // terminator, rejecting oversized lines. The returned slice aliases the
 // reader's buffer and is valid only until the next read.
+//
+//lint:hotpath command-line read on every request
 func (p *Parser) readLineSlice() ([]byte, error) {
 	line, err := p.br.ReadSlice('\n')
 	if err != nil {
@@ -264,11 +280,14 @@ func (p *Parser) readLineSlice() ([]byte, error) {
 			return nil, io.EOF
 		}
 		if err == bufio.ErrBufferFull {
+			//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 			return nil, fmt.Errorf("%w: line too long", ErrProtocol)
 		}
+		//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
 	if len(line) > maxLineLen {
+		//lint:allow hotalloc protocol-error paths allocate their message; the steady-state loop never takes them
 		return nil, fmt.Errorf("%w: line too long", ErrProtocol)
 	}
 	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
@@ -282,12 +301,15 @@ func (p *Parser) readLineSlice() ([]byte, error) {
 // separator set is the ASCII whitespace bytes a command line can
 // contain; key validation independently rejects anything at or below
 // the space byte.
+//
+//lint:hotpath field split on every request
 func splitFields(line []byte, dst [][]byte) [][]byte {
 	start := -1
 	for i := 0; i < len(line); i++ {
 		switch line[i] {
 		case ' ', '\t', '\v', '\f', '\r', '\n':
 			if start >= 0 {
+				//lint:allow hotalloc appends into a scratch slice whose backing array is reused call to call; growth amortizes to zero
 				dst = append(dst, line[start:i])
 				start = -1
 			}
@@ -298,6 +320,7 @@ func splitFields(line []byte, dst [][]byte) [][]byte {
 		}
 	}
 	if start >= 0 {
+		//lint:allow hotalloc appends into a scratch slice whose backing array is reused call to call; growth amortizes to zero
 		dst = append(dst, line[start:])
 	}
 	return dst
