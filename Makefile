@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke cover
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke policy-smoke cover
 
 # Minimum total statement coverage for `make cover`, recorded when the
 # conformance harness landed. Raise it when coverage rises; never
@@ -92,6 +92,21 @@ check-smoke:
 		> /dev/null 2>&1; then \
 		echo "check-smoke: fan-out artifact replay did not reproduce"; exit 1; fi
 	@echo "check-smoke: ok"
+
+# Provisioning-policy smoke: a short two-policy sweep over one seeded
+# diurnal trace. -check asserts the Pareto CSV re-parses, no run issued
+# a scale-down mid-drain, and delay-feedback matched static's SLO at
+# lower energy. A byte-diff of two same-seed sweeps proves determinism.
+policy-smoke:
+	@$(GO) run ./cmd/proteus-policy -seed 7 -duration 4m -corpus-pages 20000 \
+		-policies static,delay-feedback -traces diurnal -format csv -check \
+		> /tmp/proteus-policy.a
+	@$(GO) run ./cmd/proteus-policy -seed 7 -duration 4m -corpus-pages 20000 \
+		-policies static,delay-feedback -traces diurnal -format csv -check \
+		> /tmp/proteus-policy.b
+	@diff /tmp/proteus-policy.a /tmp/proteus-policy.b \
+		|| { echo "policy-smoke: same seed produced different sweeps"; exit 1; }
+	@echo "policy-smoke: ok"
 
 # Total statement coverage across the tree; fails below COVER_MIN.
 cover:

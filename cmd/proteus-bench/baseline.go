@@ -18,6 +18,7 @@ import (
 	"proteus/internal/hashring"
 	"proteus/internal/hotkey"
 	"proteus/internal/lint"
+	"proteus/internal/provision"
 	"proteus/internal/workload"
 )
 
@@ -248,6 +249,25 @@ func hotPathBenches() ([]namedBench, func(), error) {
 				} else {
 					_ = replicated.OwnerOnRing(k, 0, 48)
 				}
+			}
+		}},
+		{"policy_decide", func(b *testing.B) {
+			// One full delay-feedback slot decision: PI update, deadband,
+			// dwell/drain/energy gates. Runs once per provisioning slot
+			// in production but inside tight sweep loops in the harness.
+			b.ReportAllocs()
+			policy := provision.NewDelayFeedback(48, 100)
+			states := [4]provision.State{
+				{Delay: 120 * time.Millisecond, Rate: 2400, Active: 30},
+				{Delay: 380 * time.Millisecond, Rate: 3600, Active: 30},
+				{Delay: 460 * time.Millisecond, Rate: 4200, Active: 36},
+				{Delay: 600 * time.Millisecond, Rate: 4600, Active: 40},
+			}
+			for i := 0; i < b.N; i++ {
+				s := states[i%len(states)]
+				s.Slot = i
+				s.SlotWidth = 30 * time.Second
+				policy.Decide(s)
 			}
 		}},
 		{"multiget_16", func(b *testing.B) {

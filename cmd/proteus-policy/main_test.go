@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// smokeArgs keeps the test sweep short: one trace, two policies, a
+// compressed run.
+var smokeArgs = []string{
+	"-seed", "7", "-duration", "4m", "-corpus-pages", "20000",
+	"-policies", "static,delay-feedback", "-traces", "diurnal",
+}
+
+func TestRunByteDeterministic(t *testing.T) {
+	runOnce := func() string {
+		var out bytes.Buffer
+		if err := run(smokeArgs, &out); err != nil {
+			t.Fatalf("sweep failed: %v\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatalf("same-seed sweeps differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestRunCSVParsesAndCheckPasses(t *testing.T) {
+	var out bytes.Buffer
+	args := append([]string{"-format", "csv", "-check"}, smokeArgs...)
+	if err := run(args, &out); err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out.String())
+	}
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not parse: %v\n%s", err, out.String())
+	}
+	if len(recs) != 3 { // header + 2 policies x 1 trace
+		t.Fatalf("got %d CSV records, want 3:\n%s", len(recs), out.String())
+	}
+	if recs[0][0] != "trace" || recs[0][8] != "mid_drain" {
+		t.Fatalf("unexpected header: %v", recs[0])
+	}
+	for _, rec := range recs[1:] {
+		if rec[8] != "0" {
+			t.Fatalf("mid_drain = %s for %s/%s, want 0", rec[8], rec[0], rec[1])
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-policies", "imaginary"}, &out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-traces", "imaginary"}, &out); err == nil {
+		t.Error("unknown trace accepted")
+	}
+	if err := run([]string{"-format", "imaginary"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Error("positional arguments accepted")
+	}
+}

@@ -260,6 +260,16 @@ func (c *Coordinator) InTransition() bool {
 	return c.trans != nil
 }
 
+// Draining reports whether a scale-down's TTL window is still open:
+// dying servers are serving hot data for on-demand migration and must
+// not be powered off early. Provisioning policy actuation gates
+// scale-downs on this (see Supervisor.tick and provision.State).
+func (c *Coordinator) Draining() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.trans != nil && c.trans.ToActive < c.trans.FromActive
+}
+
 // CurrentTransition returns a snapshot of the in-flight transition, or
 // nil when the cluster is stable. The digest slice is shared (digests
 // are immutable); the struct itself is a copy.

@@ -2,17 +2,21 @@ package cluster
 
 import (
 	"fmt"
-	"math"
 	"time"
+
+	"proteus/internal/provision"
 )
 
 // Controller is the delay-feedback provisioning policy used in the
 // paper's evaluation: a reference response time of 0.4 s under a 0.5 s
-// delay bound, updated once per slot. The paper stresses that policy
-// design is not its contribution and omits the loop details; this
-// controller captures the described behaviour — track the workload with
-// as few servers as possible while keeping the measured high-percentile
-// delay under the bound.
+// delay bound, updated once per slot.
+//
+// Deprecated: the decide logic lives in internal/provision
+// (provision.LegacyController); this type is a compatibility shim that
+// delegates to it. New code should build a provision.Policy — the
+// stateful provision.DelayFeedback for a real control loop — and hand
+// it to the Supervisor (SupervisorConfig.Policy) or the simulator
+// (sim.Config.Policy) directly.
 type Controller struct {
 	// Reference is the target high-percentile response time (paper:
 	// 0.4 s, chosen to tolerate overshoot under the 0.5 s bound).
@@ -28,6 +32,8 @@ type Controller struct {
 
 // NewController returns the evaluation's configuration for a fleet of n
 // servers with the given capacity estimate.
+//
+// Deprecated: see Controller.
 func NewController(n int, perServerCapacity float64) *Controller {
 	return &Controller{
 		Reference:         400 * time.Millisecond,
@@ -40,48 +46,37 @@ func NewController(n int, perServerCapacity float64) *Controller {
 
 // Decide returns the server count for the next slot given the current
 // count, the measured high-percentile delay of the ending slot, and the
-// measured request rate.
-//
-// The rule combines feed-forward (enough servers for the observed rate)
-// with feedback (react to the delay error): delay above the bound adds
-// a server on top of the feed-forward term; delay comfortably under the
-// reference allows the feed-forward term to shed servers one at a time.
+// measured request rate. It delegates to provision.LegacyController,
+// which documents the rule.
 func (c *Controller) Decide(current int, delay time.Duration, rate float64) int {
-	if current < c.Min {
-		current = c.Min
-	}
-	feedForward := current
-	if c.PerServerCapacity > 0 {
-		feedForward = int(math.Ceil(rate / c.PerServerCapacity))
-	}
+	t := c.policy().Decide(provision.State{Active: current, Delay: delay, Rate: rate})
+	return t.Servers
+}
 
-	next := current
-	switch {
-	case delay > c.Bound:
-		// SLO violated: grow immediately, at least one server above
-		// the feed-forward estimate.
-		next = max(current+1, feedForward+1)
-	case delay > c.Reference:
-		// Above reference but within bound: hold, or follow the
-		// feed-forward term upward only.
-		next = max(current, feedForward)
-	default:
-		// Comfortable: shed at most one server per slot toward the
-		// feed-forward target (hysteresis against oscillation).
-		if feedForward < current {
-			next = current - 1
-		} else {
-			next = max(current, feedForward)
-		}
+// policy builds the equivalent provision policy from the current field
+// values (callers mutate the exported fields after NewController, so
+// this cannot be cached).
+func (c *Controller) policy() provision.LegacyController {
+	return provision.LegacyController{
+		Reference:         c.Reference,
+		Bound:             c.Bound,
+		PerServerCapacity: c.PerServerCapacity,
+		Min:               c.Min,
+		Max:               c.Max,
 	}
+}
 
-	if next < c.Min {
-		next = c.Min
-	}
-	if next > c.Max {
-		next = c.Max
-	}
-	return next
+// Policy adapts the shim to the provision.Policy interface.
+func (c *Controller) Policy() provision.Policy { return controllerPolicy{c} }
+
+// controllerPolicy reads the Controller's fields at each Decide so
+// post-construction mutation keeps working through the adapter.
+type controllerPolicy struct{ c *Controller }
+
+func (p controllerPolicy) Name() string { return "legacy-feedback" }
+
+func (p controllerPolicy) Decide(s provision.State) provision.Target {
+	return p.c.policy().Decide(s)
 }
 
 func (c *Controller) String() string {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"proteus/internal/faultinject"
+	"proteus/internal/provision"
 	"proteus/internal/telemetry"
 )
 
@@ -17,12 +18,15 @@ type Sample struct {
 }
 
 // Supervisor closes the loop in real time: every slot it reads a
-// measurement, asks the Controller for the next fleet size, and has the
-// Coordinator actuate it with a smooth transition — the paper's
-// "feedback control algorithm along with Proteus".
+// measurement, asks the provisioning Policy for the next fleet size,
+// and has the Coordinator actuate it with a smooth transition — the
+// paper's "feedback control algorithm along with Proteus". Actuation
+// is TTL-aware: a scale-down is never issued while a previous window
+// is still draining (the decision is deferred to the next slot and
+// counted).
 type Supervisor struct {
 	coord  *Coordinator
-	ctrl   *Controller
+	policy provision.Policy
 	sample func() Sample
 	every  time.Duration
 	logger *log.Logger
@@ -30,13 +34,16 @@ type Supervisor struct {
 	// onDecision, when set, observes every slot decision (tests).
 	onDecision func(from, to int)
 
-	// Last Controller.Decide inputs and output, surfaced as gauges so
-	// the control loop's state is scrapeable rather than log-only.
-	delayGauge  *telemetry.Gauge
-	rateGauge   *telemetry.Gauge
-	targetGauge *telemetry.Gauge
-	ticks       *telemetry.Counter
-	droppedTick *telemetry.Counter
+	slot int // 0-based tick ordinal fed to the policy
+
+	// Last Decide inputs and output, surfaced as gauges so the control
+	// loop's state is scrapeable rather than log-only.
+	delayGauge   *telemetry.Gauge
+	rateGauge    *telemetry.Gauge
+	targetGauge  *telemetry.Gauge
+	ticks        *telemetry.Counter
+	droppedTick  *telemetry.Counter
+	deferredTick *telemetry.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -46,7 +53,13 @@ type Supervisor struct {
 type SupervisorConfig struct {
 	// Coordinator actuates decisions (required).
 	Coordinator *Coordinator
-	// Controller decides fleet sizes (required).
+	// Policy decides fleet sizes. Either Policy or Controller is
+	// required; Policy wins when both are set.
+	Policy provision.Policy
+	// Controller is the legacy decision shim, adapted onto Policy for
+	// existing callers.
+	//
+	// Deprecated: pass Policy.
 	Controller *Controller
 	// Sample returns the ending slot's measurement and resets the
 	// window (required).
@@ -68,15 +81,19 @@ type SupervisorConfig struct {
 
 // NewSupervisor builds a stopped supervisor; call Start.
 func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
-	if cfg.Coordinator == nil || cfg.Controller == nil || cfg.Sample == nil {
-		return nil, errors.New("cluster: supervisor needs coordinator, controller and sample")
+	policy := cfg.Policy
+	if policy == nil && cfg.Controller != nil {
+		policy = cfg.Controller.Policy()
+	}
+	if cfg.Coordinator == nil || policy == nil || cfg.Sample == nil {
+		return nil, errors.New("cluster: supervisor needs coordinator, policy (or controller) and sample")
 	}
 	if cfg.Every <= 0 {
 		return nil, errors.New("cluster: supervisor slot width must be positive")
 	}
 	sup := &Supervisor{
 		coord:      cfg.Coordinator,
-		ctrl:       cfg.Controller,
+		policy:     policy,
 		sample:     cfg.Sample,
 		every:      cfg.Every,
 		logger:     cfg.Logger,
@@ -96,6 +113,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		"slot decisions by outcome", "outcome")
 	sup.ticks = tickVec.With("decided")
 	sup.droppedTick = tickVec.With("dropped")
+	sup.deferredTick = tickVec.With("deferred")
 	return sup, nil
 }
 
@@ -146,11 +164,35 @@ func (s *Supervisor) tick() {
 	}
 	m := s.sample()
 	current := s.coord.Active()
-	next := s.ctrl.Decide(current, m.Delay, m.Rate)
+	draining := s.coord.Draining()
+	slot := s.slot
+	s.slot++
+	target := s.policy.Decide(provision.State{
+		Slot:         slot,
+		Now:          time.Duration(slot) * s.every,
+		SlotWidth:    s.every,
+		Delay:        m.Delay,
+		Rate:         m.Rate,
+		Active:       current,
+		InTransition: s.coord.InTransition(),
+		Draining:     draining,
+	})
+	next := target.Servers
 	s.ticks.Inc()
 	s.delayGauge.Set(m.Delay.Seconds())
 	s.rateGauge.Set(m.Rate)
 	s.targetGauge.Set(float64(next))
+	// TTL-aware actuation gate: while a scale-down's window is still
+	// draining, issuing another scale-down would finalize it early and
+	// power off servers that old owners still need. Defer to the next
+	// slot instead; the policy re-decides from fresher data then.
+	if next < current && draining {
+		s.deferredTick.Inc()
+		if s.logger != nil {
+			s.logger.Printf("supervisor: %s asked %d -> %d mid-drain; deferred", s.policy.Name(), current, next)
+		}
+		next = current
+	}
 	if s.onDecision != nil {
 		s.onDecision(current, next)
 	}
@@ -158,8 +200,8 @@ func (s *Supervisor) tick() {
 		return
 	}
 	if s.logger != nil {
-		s.logger.Printf("supervisor: delay=%v rate=%.1f req/s: active %d -> %d",
-			m.Delay, m.Rate, current, next)
+		s.logger.Printf("supervisor: %s delay=%v rate=%.1f req/s (%s): active %d -> %d",
+			s.policy.Name(), m.Delay, m.Rate, target.Reason, current, next)
 	}
 	if err := s.coord.SetActive(next); err != nil {
 		if s.logger != nil {

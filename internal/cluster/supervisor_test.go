@@ -15,7 +15,7 @@ func TestSupervisorValidation(t *testing.T) {
 // Drive the supervisor with synthetic measurements and watch it scale
 // the live fleet both ways.
 func TestSupervisorScalesFleet(t *testing.T) {
-	coord, locals, _ := newTestCluster(t, 4, 2)
+	coord, locals, timer := newTestCluster(t, 4, 2)
 
 	var (
 		mu     sync.Mutex
@@ -63,9 +63,24 @@ func TestSupervisorScalesFleet(t *testing.T) {
 	}
 
 	// Calm measurements: shed one server per slot toward rate/capacity.
+	// Each scale-down opens a TTL drain window; further scale-downs are
+	// deferred until it closes, so the manual timer must fire between
+	// sheds (4 -> 3, drain, 3 -> 2).
 	mu.Lock()
 	sample = Sample{Delay: 50 * time.Millisecond, Rate: 150}
 	mu.Unlock()
+	waitFor(3)
+	// The shed's drain window is open (only the manual timer closes
+	// it): the next decision must hold rather than scale down.
+	select {
+	case d := <-decisions:
+		if d[1] < d[0] {
+			t.Fatalf("scale-down %d -> %d issued mid-drain", d[0], d[1])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decision while draining")
+	}
+	timer.Fire()
 	waitFor(2)
 
 	sup.Stop() // idempotent with the deferred Stop

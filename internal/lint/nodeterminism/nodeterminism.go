@@ -33,6 +33,7 @@ var ReplayCritical = map[string]bool{
 	"proteus/internal/memproto":    true,
 	"proteus/internal/metrics":     true,
 	"proteus/internal/power":       true,
+	"proteus/internal/provision":   true,
 	"proteus/internal/sim":         true,
 	"proteus/internal/telemetry":   true,
 	"proteus/internal/wiki":        true,

@@ -20,6 +20,7 @@ func TestScope(t *testing.T) {
 		"proteus/internal/hashring",
 		"proteus/internal/database",
 		"proteus/internal/cache",
+		"proteus/internal/provision",
 	} {
 		if !applies(p) {
 			t.Errorf("%s should be replay-critical", p)

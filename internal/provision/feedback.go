@@ -1,0 +1,270 @@
+package provision
+
+import (
+	"math"
+	"time"
+
+	"proteus/internal/power"
+)
+
+// FeedbackConfig parametrises the delay-feedback controller. The zero
+// value is unusable; NewDelayFeedback fills paper-flavoured defaults
+// (0.4 s reference under a 0.5 s bound, as the evaluation describes).
+type FeedbackConfig struct {
+	// Reference is the target high-percentile response time the loop
+	// regulates to (paper: 0.4 s, chosen to tolerate overshoot under
+	// the bound).
+	Reference time.Duration
+	// Bound is the delay SLO (paper: 0.5 s). A measurement above it
+	// bypasses the PI loop and grows immediately.
+	Bound time.Duration
+	// PerServerCapacity (req/s) is the feed-forward term's capacity
+	// estimate. 0 disables feed-forward (pure feedback).
+	PerServerCapacity float64
+	// Min and Max clamp the fleet.
+	Min, Max int
+
+	// Kp and Ki are the proportional and integral gains applied to the
+	// relative delay error (Delay-Reference)/Reference. The control
+	// output u = Kp*err + integral scales the feed-forward fleet:
+	// n = ceil(ff * (1+u)), so the integral term effectively learns
+	// how far the true per-server capacity sits from the estimate.
+	Kp, Ki float64
+	// IntegralMin and IntegralMax clamp the integral term
+	// (anti-windup). The lower clamp bounds how far below the
+	// feed-forward estimate the loop may settle.
+	IntegralMin, IntegralMax float64
+	// Deadband is the relative-error band around the reference inside
+	// which the fleet holds (scale-ups demanded by the feed-forward
+	// term still pass). Prevents slot-to-slot thrash on measurement
+	// noise.
+	Deadband float64
+	// DwellSlots is the minimum number of slots after any fleet change
+	// before the next scale-down. Scale-ups are never dwell-gated: the
+	// SLO always wins.
+	DwellSlots int
+	// MaxStepDown bounds servers shed per decision (default 1): a
+	// misread valley costs one transition, not half the fleet.
+	MaxStepDown int
+
+	// Model prices the energy term; SlotWidth and DwellSlots set the
+	// horizon a shed is guaranteed to last (the dwell). A scale-down
+	// is issued only when the projected joule savings over that
+	// horizon beat MigrationCostJ.
+	Model power.Model
+	// SlotWidth is the decision period (required for the energy gate;
+	// 0 falls back to State.SlotWidth per decision).
+	SlotWidth time.Duration
+	// MigrationCostJ estimates the joules one scale-down transition
+	// burns: the digest broadcast, the on-demand migration traffic and
+	// database refills, and the boot energy if the shed is reversed.
+	MigrationCostJ float64
+}
+
+// DefaultMigrationCostJ prices one scale-down transition for the
+// default server model: roughly a boot's worth of peak draw (the cost
+// of being wrong) plus the migration window's extra work.
+const DefaultMigrationCostJ = 1500
+
+// NewDelayFeedback returns the controller with paper defaults for a
+// fleet of up to n servers at the given capacity estimate.
+func NewDelayFeedback(n int, perServerCapacity float64) *DelayFeedback {
+	return &DelayFeedback{cfg: FeedbackConfig{
+		Reference:         400 * time.Millisecond,
+		Bound:             500 * time.Millisecond,
+		PerServerCapacity: perServerCapacity,
+		Min:               1,
+		Max:               n,
+		Kp:                0.6,
+		Ki:                0.15,
+		IntegralMin:       -0.6,
+		IntegralMax:       1.0,
+		Deadband:          0.1,
+		DwellSlots:        2,
+		MaxStepDown:       1,
+		Model:             power.DefaultServer,
+		MigrationCostJ:    DefaultMigrationCostJ,
+	}}
+}
+
+// NewDelayFeedbackConfig builds a controller from an explicit config,
+// filling only the zero-valued loop-shape fields with defaults (gains,
+// clamps, dwell, step, migration cost). Reference, Bound, capacity and
+// Min/Max are taken as given.
+func NewDelayFeedbackConfig(cfg FeedbackConfig) *DelayFeedback {
+	def := NewDelayFeedback(cfg.Max, cfg.PerServerCapacity).cfg
+	if cfg.Kp == 0 {
+		cfg.Kp = def.Kp
+	}
+	if cfg.Ki == 0 {
+		cfg.Ki = def.Ki
+	}
+	if cfg.IntegralMin == 0 {
+		cfg.IntegralMin = def.IntegralMin
+	}
+	if cfg.IntegralMax == 0 {
+		cfg.IntegralMax = def.IntegralMax
+	}
+	if cfg.Deadband == 0 {
+		cfg.Deadband = def.Deadband
+	}
+	if cfg.DwellSlots == 0 {
+		cfg.DwellSlots = def.DwellSlots
+	}
+	if cfg.MaxStepDown == 0 {
+		cfg.MaxStepDown = def.MaxStepDown
+	}
+	if cfg.Model == (power.Model{}) {
+		cfg.Model = def.Model
+	}
+	if cfg.MigrationCostJ == 0 {
+		cfg.MigrationCostJ = def.MigrationCostJ
+	}
+	return &DelayFeedback{cfg: cfg}
+}
+
+// DelayFeedback is the real delay-feedback controller: PI feedback on
+// the measured high-percentile delay against the reference, rate
+// feed-forward, deadband + dwell-time hysteresis, and an energy gate
+// that only sheds a server when the projected savings beat the
+// migration cost. It keeps loop state across slots; one instance per
+// controlled fleet.
+type DelayFeedback struct {
+	cfg FeedbackConfig
+
+	integral   float64
+	lastChange int  // slot of the last actuated fleet change
+	changed    bool // a change has happened (lastChange is meaningful)
+}
+
+// Name implements Policy.
+func (d *DelayFeedback) Name() string { return "delay-feedback" }
+
+// Config returns the controller's effective configuration.
+func (d *DelayFeedback) Config() FeedbackConfig { return d.cfg }
+
+// Integral exposes the integral term (tests, gauges).
+func (d *DelayFeedback) Integral() float64 { return d.integral }
+
+// Decide implements Policy. The loop, in order:
+//
+//  1. Bound violation: grow immediately past the feed-forward term,
+//     bleed the integral (the backlog that caused the violation is not
+//     steady-state evidence).
+//  2. PI update on the relative error, frozen while a drain defers
+//     actuation (no windup against a gate).
+//  3. Desired fleet = ceil(feed-forward * (1+u)), u = Kp*err+integral:
+//     the loop learns the true capacity the estimate missed.
+//  4. Deadband: inside it, only rate-demanded growth passes.
+//  5. Scale-down passes dwell, drain, and energy gates, one server
+//     (MaxStepDown) at a time.
+func (d *DelayFeedback) Decide(s State) Target {
+	cfg := d.cfg
+	current := clamp(s.Active, cfg.Min, cfg.Max)
+	ff := ceilDiv(s.Rate, cfg.PerServerCapacity)
+
+	// SLO violation: react now, reason later.
+	if s.Delay > cfg.Bound {
+		next := clamp(max(current+1, ff+1), cfg.Min, cfg.Max)
+		// Keep only the non-negative half of the integral: the
+		// violation invalidates any learned "capacity is better than
+		// estimated" credit.
+		if d.integral < 0 {
+			d.integral = 0
+		}
+		if next != current {
+			d.lastChange, d.changed = s.Slot, true
+		}
+		return Target{Servers: next, Reason: "grow:slo"}
+	}
+
+	err := 0.0
+	if cfg.Reference > 0 {
+		err = float64(s.Delay-cfg.Reference) / float64(cfg.Reference)
+	}
+	// Anti-windup: while a drain is deferring actuation, or the fleet
+	// is pinned at a clamp the error is pushing past, integrating
+	// would bank error the plant can never answer for.
+	pinnedLow := current <= cfg.Min && err < 0
+	pinnedHigh := current >= cfg.Max && err > 0
+	if !(s.Draining && err < 0) && !pinnedLow && !pinnedHigh {
+		d.integral += cfg.Ki * err
+		d.integral = math.Max(cfg.IntegralMin, math.Min(cfg.IntegralMax, d.integral))
+	}
+	u := cfg.Kp*err + d.integral
+
+	base := ff
+	if base < 1 {
+		// No feed-forward signal (unknown capacity or idle slot):
+		// scale the current fleet instead.
+		base = current
+	}
+	desired := int(math.Ceil(float64(base) * (1 + u)))
+	desired = clamp(desired, cfg.Min, cfg.Max)
+
+	// Deadband: near the reference, hold — except for growth the
+	// feed-forward term demands (rate outran the fleet).
+	if math.Abs(err) <= cfg.Deadband {
+		next := max(current, clamp(ff, cfg.Min, cfg.Max))
+		if next > current {
+			d.lastChange, d.changed = s.Slot, true
+			return Target{Servers: next, Reason: "grow:rate"}
+		}
+		return Target{Servers: current, Reason: "hold"}
+	}
+
+	switch {
+	case desired > current:
+		d.lastChange, d.changed = s.Slot, true
+		return Target{Servers: desired, Reason: "grow:delay"}
+	case desired < current:
+		if d.changed && s.Slot-d.lastChange < cfg.DwellSlots {
+			return Target{Servers: current, Reason: "hold:dwell"}
+		}
+		if s.Draining {
+			return Target{Servers: current, Reason: "defer:drain"}
+		}
+		step := cfg.MaxStepDown
+		if step < 1 {
+			step = 1
+		}
+		next := current - min(step, current-desired)
+		next = clamp(next, cfg.Min, cfg.Max)
+		if next == current {
+			return Target{Servers: current, Reason: "hold"}
+		}
+		if !d.shedWorthIt(current-next, s) {
+			return Target{Servers: current, Reason: "hold:energy"}
+		}
+		d.lastChange, d.changed = s.Slot, true
+		return Target{Servers: next, Reason: "shed"}
+	default:
+		return Target{Servers: current, Reason: "hold"}
+	}
+}
+
+// shedWorthIt applies the energy term: shedding k servers is worth a
+// transition only when the joules saved over the dwell horizon (the
+// minimum time the lower level is guaranteed to last) beat the
+// migration cost. With very short slots the guaranteed savings shrink
+// below the transition's price and the controller correctly refuses to
+// churn.
+func (d *DelayFeedback) shedWorthIt(k int, s State) bool {
+	cfg := d.cfg
+	slot := cfg.SlotWidth
+	if slot <= 0 {
+		slot = s.SlotWidth
+	}
+	if slot <= 0 || cfg.MigrationCostJ <= 0 {
+		return true // energy term disabled
+	}
+	dwell := cfg.DwellSlots
+	if dwell < 1 {
+		dwell = 1
+	}
+	horizon := slot * time.Duration(dwell)
+	// A shed server drops from (at least) idle draw to standby draw.
+	savedW := cfg.Model.Watts(true, 0) - cfg.Model.Watts(false, 0)
+	savedJ := float64(k) * savedW * horizon.Seconds()
+	return savedJ > cfg.MigrationCostJ
+}

@@ -1,0 +1,46 @@
+package provision
+
+import "proteus/internal/telemetry"
+
+// Instrumented wraps a Policy with telemetry: per-decision gauges for
+// the loop inputs and output, and a per-reason decision counter, all
+// labelled with the policy name so sweeps over multiple policies stay
+// distinguishable on one registry.
+type Instrumented struct {
+	inner Policy
+
+	delayGauge  *telemetry.Gauge
+	rateGauge   *telemetry.Gauge
+	targetGauge *telemetry.Gauge
+	decisions   *telemetry.CounterVec
+}
+
+// Instrument wraps p with decision gauges and counters on reg (which
+// may be nil: telemetry's detached instruments make the wrapper free).
+func Instrument(p Policy, reg *telemetry.Registry) *Instrumented {
+	name := p.Name()
+	return &Instrumented{
+		inner: p,
+		delayGauge: reg.Gauge("proteus_provision_delay_seconds",
+			"last slot's high-percentile response time fed to the policy", "policy").With(name),
+		rateGauge: reg.Gauge("proteus_provision_rate",
+			"last slot's request rate (req/s) fed to the policy", "policy").With(name),
+		targetGauge: reg.Gauge("proteus_provision_target_nodes",
+			"fleet size the policy asked for in the last slot", "policy").With(name),
+		decisions: reg.Counter("proteus_provision_decisions_total",
+			"policy decisions by reason tag", "policy", "reason"),
+	}
+}
+
+// Name implements Policy.
+func (i *Instrumented) Name() string { return i.inner.Name() }
+
+// Decide implements Policy.
+func (i *Instrumented) Decide(s State) Target {
+	t := i.inner.Decide(s)
+	i.delayGauge.Set(s.Delay.Seconds())
+	i.rateGauge.Set(s.Rate)
+	i.targetGauge.Set(float64(t.Servers))
+	i.decisions.With(i.inner.Name(), t.Reason).Inc()
+	return t
+}

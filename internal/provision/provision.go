@@ -1,0 +1,95 @@
+// Package provision owns the cluster's provisioning policy: deciding
+// n(t), the number of active cache servers per slot. The paper's power
+// proportionality hinges on this decision, but its delay-feedback
+// controller is unpublished; this package makes the policy surface
+// explicit so implementations can be compared on the same traces (see
+// cmd/proteus-policy) instead of asserted.
+//
+// A Policy is a pure, replay-deterministic function of the State it is
+// handed each provisioning slot — it never reads the wall clock or
+// global randomness (enforced by proteuslint's determinism analyzers).
+// Actuation is the caller's job: the simulator's runner and the live
+// cluster.Supervisor both gate a scale-down while a previous
+// transition window is still draining, so no policy can power off a
+// server that old owners still need for on-demand migration.
+package provision
+
+import (
+	"math"
+	"time"
+)
+
+// State is one provisioning slot's measurement snapshot, assembled by
+// the actuator (sim runner or cluster supervisor) at the slot boundary
+// and handed to the Policy.
+type State struct {
+	// Slot is the 0-based index of the decision (the slot that is
+	// beginning). Policies that follow precomputed plans index by it;
+	// stateful policies use it for dwell-time accounting.
+	Slot int
+	// Now is the slot boundary's time relative to the measurement
+	// epoch (warmup end in the simulator, supervisor start live).
+	Now time.Duration
+	// SlotWidth is the decision period.
+	SlotWidth time.Duration
+	// Delay is the ending slot's measured high-percentile response
+	// time (the telemetry histograms' p99.9 by default).
+	Delay time.Duration
+	// Rate is the ending slot's measured request rate in req/s.
+	Rate float64
+	// Active is the currently provisioned fleet size (the level the
+	// last decision asked for, whether or not its transition has
+	// finished).
+	Active int
+	// InTransition reports that a smooth-transition window is open in
+	// either direction.
+	InTransition bool
+	// Draining reports that a scale-down's TTL window is still open:
+	// dying servers are serving hot data for on-demand migration and
+	// must not be powered off early. Actuators gate scale-downs on
+	// this; policies should avoid treating a deferred decision as a
+	// fleet change (integral windup, dwell restarts).
+	Draining bool
+}
+
+// Target is a Policy's decision for the beginning slot.
+type Target struct {
+	// Servers is the fleet size to provision.
+	Servers int
+	// Reason is a short, deterministic tag explaining the decision
+	// ("hold", "grow:slo", "shed", "defer:drain", ...). It feeds the
+	// decision event stream and the policy harness, never control
+	// flow.
+	Reason string
+}
+
+// Policy decides the fleet size for the next slot from the ending
+// slot's measurements. Implementations may keep state across calls
+// (integral terms, dwell counters) but must be deterministic: the same
+// State sequence yields the same Target sequence.
+type Policy interface {
+	// Name identifies the policy in tables, events, and metrics.
+	Name() string
+	// Decide returns the fleet target for the beginning slot.
+	Decide(State) Target
+}
+
+// clamp bounds n to [min, max] (max < min returns min).
+func clamp(n, min, max int) int {
+	if n < min {
+		return min
+	}
+	if max >= min && n > max {
+		return max
+	}
+	return n
+}
+
+// ceilDiv returns ceil(rate/perServer) as a server count, 0 when the
+// capacity is unknown (<= 0).
+func ceilDiv(rate, perServer float64) int {
+	if perServer <= 0 || rate <= 0 {
+		return 0
+	}
+	return int(math.Ceil(rate / perServer))
+}

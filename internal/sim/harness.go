@@ -159,6 +159,14 @@ func (h *Harness) InTransition() (open bool, deadline time.Duration) {
 	return true, h.trans.deadline
 }
 
+// Draining reports that an open transition window is a scale-down: the
+// dying servers are still serving hot data for on-demand migration, so
+// issuing another scale-down now would cut that short. Provisioning
+// policies consult this to gate actuation (provision.State.Draining).
+func (h *Harness) Draining() bool {
+	return h.trans != nil && h.trans.toN < h.trans.fromN
+}
+
 // ResidentKeys returns server i's cached keys, sorted.
 func (h *Harness) ResidentKeys(i int) []string {
 	keys := h.nodes[i].store.Keys()

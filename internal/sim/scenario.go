@@ -12,6 +12,7 @@ import (
 	"proteus/internal/faultinject"
 	"proteus/internal/metrics"
 	"proteus/internal/power"
+	"proteus/internal/provision"
 	"proteus/internal/telemetry"
 	"proteus/internal/wiki"
 	"proteus/internal/workload"
@@ -103,11 +104,17 @@ type Config struct {
 	Plan []int
 	// PerServerCapacity (req/s) is used when deriving Plan.
 	PerServerCapacity float64
-	// Controller, when non-nil, replaces the static Plan with the
-	// paper's closed-loop policy: at every slot boundary the next
-	// fleet size is decided from the ending slot's measured
-	// high-percentile delay and request rate. The realised sizes are
-	// reported in Result.Plan.
+	// Policy, when non-nil, replaces the static Plan with a closed
+	// loop: at every slot boundary the next fleet size is decided from
+	// the ending slot's measured high-percentile delay and request
+	// rate. The realised sizes are reported in Result.Plan. Scale-downs
+	// decided while a previous window is still draining are deferred to
+	// the next slot (Stats.ScaleDownsDeferred counts them).
+	Policy provision.Policy
+	// Controller is the legacy closed-loop knob, adapted onto Policy
+	// when Policy is nil.
+	//
+	// Deprecated: set Policy.
 	Controller *cluster.Controller
 	// ControllerQuantile is the delay percentile fed to the
 	// controller (default 0.999).
@@ -331,6 +338,13 @@ type Stats struct {
 	DigestFalsePos   uint64 // digest said hot, old server missed
 	DigestMisses     uint64 // cold or absent per digest -> straight to DB
 	Transitions      int
+	// ScaleDownsDeferred counts policy scale-downs held back because a
+	// previous window was still draining (TTL-aware actuation gate).
+	ScaleDownsDeferred uint64
+	// MidDrainScaleDowns counts shrink transitions that began while a
+	// drain was in progress. The gate makes this impossible for policy
+	// runs; the harness asserts it stays zero.
+	MidDrainScaleDowns uint64
 }
 
 // HitRatio returns cache hits over lookups at the new owner.

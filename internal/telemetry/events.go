@@ -44,20 +44,26 @@ const (
 	// EventHotSync: an ownership flip re-synchronised the hot set's
 	// replica copies onto the new owner sets.
 	EventHotSync
+	// EventProvisionDecision: a provisioning policy decided the next
+	// slot's fleet size (From = current, To = target; Node carries the
+	// slot ordinal). Recorded even for holds, so the decision cadence
+	// is reconstructible from the event stream alone.
+	EventProvisionDecision
 )
 
 var eventKindNames = map[EventKind]string{
-	EventPowerOn:         "power_on",
-	EventPowerOff:        "power_off",
-	EventDigestBuild:     "digest_build",
-	EventDigestBroadcast: "digest_broadcast",
-	EventOwnershipFlip:   "ownership_flip",
-	EventMigrationHit:    "migration_hit",
-	EventMigrationMiss:   "migration_miss",
-	EventTTLExpiry:       "ttl_expiry",
-	EventHotPromote:      "hot_promote",
-	EventHotDemote:       "hot_demote",
-	EventHotSync:         "hot_sync",
+	EventPowerOn:           "power_on",
+	EventPowerOff:          "power_off",
+	EventDigestBuild:       "digest_build",
+	EventDigestBroadcast:   "digest_broadcast",
+	EventOwnershipFlip:     "ownership_flip",
+	EventMigrationHit:      "migration_hit",
+	EventMigrationMiss:     "migration_miss",
+	EventTTLExpiry:         "ttl_expiry",
+	EventHotPromote:        "hot_promote",
+	EventHotDemote:         "hot_demote",
+	EventHotSync:           "hot_sync",
+	EventProvisionDecision: "provision_decision",
 }
 
 // String returns the snake_case event name used in exports.

@@ -52,6 +52,17 @@ type Diurnal struct {
 	Noise float64
 	// NoiseWindow is the jitter granularity (default Period/96).
 	NoiseWindow time.Duration
+
+	// SurgeAt, SurgeDuration and SurgeFactor superimpose a flash crowd:
+	// a rate multiplier ramping linearly from 1 up to SurgeFactor and
+	// back over [SurgeAt, SurgeAt+SurgeDuration]. SurgeFactor <= 1 or
+	// SurgeDuration <= 0 disables it. Unlike the diurnal swing, the
+	// surge is a one-off — an open-loop plan derived from Base() does
+	// not anticipate it, which is exactly the forecast-miss scenario
+	// feedback provisioning exists for.
+	SurgeAt       time.Duration
+	SurgeDuration time.Duration
+	SurgeFactor   float64
 }
 
 // DefaultDiurnal returns the paper-shaped curve for the given mean rate
@@ -70,8 +81,18 @@ func (d Diurnal) amplitude() float64 {
 	return (r - 1) / (r + 1)
 }
 
-// Rate returns the instantaneous rate (requests/second) at time t.
+// Rate returns the instantaneous rate (requests/second) at time t,
+// including any flash-crowd surge.
 func (d Diurnal) Rate(t time.Duration) float64 {
+	rate := d.baseRate(t) * d.surge(t)
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+// baseRate is the diurnal curve without the surge.
+func (d Diurnal) baseRate(t time.Duration) float64 {
 	if d.Period <= 0 {
 		return d.Mean
 	}
@@ -80,10 +101,32 @@ func (d Diurnal) Rate(t time.Duration) float64 {
 	if d.Noise > 0 {
 		rate *= 1 + d.Noise*d.jitter(t)
 	}
-	if rate < 0 {
-		rate = 0
-	}
 	return rate
+}
+
+// Base returns the curve with the flash-crowd surge stripped: what a
+// forecaster extrapolating the diurnal pattern would predict. Plans
+// derived from Base miss the surge on purpose.
+func (d Diurnal) Base() Diurnal {
+	d.SurgeFactor = 0
+	d.SurgeAt = 0
+	d.SurgeDuration = 0
+	return d
+}
+
+// surge returns the flash-crowd multiplier at time t: a triangular ramp
+// peaking at SurgeFactor midway through the surge window, 1 elsewhere.
+func (d Diurnal) surge(t time.Duration) float64 {
+	if d.SurgeFactor <= 1 || d.SurgeDuration <= 0 {
+		return 1
+	}
+	off := t - d.SurgeAt
+	if off < 0 || off > d.SurgeDuration {
+		return 1
+	}
+	half := float64(d.SurgeDuration) / 2
+	dist := math.Abs(float64(off) - half)
+	return 1 + (d.SurgeFactor-1)*(1-dist/half)
 }
 
 // jitter returns a deterministic value in [-1, 1) for t's noise window.
@@ -104,8 +147,15 @@ func (d Diurnal) jitter(t time.Duration) float64 {
 }
 
 // Peak returns the maximum instantaneous rate (excluding noise
-// excursions, which are bounded by the Noise fraction).
-func (d Diurnal) Peak() float64 { return d.Mean * (1 + d.amplitude()) * (1 + d.Noise) }
+// excursions, which are bounded by the Noise fraction), including the
+// flash-crowd surge's worst case.
+func (d Diurnal) Peak() float64 {
+	peak := d.Mean * (1 + d.amplitude()) * (1 + d.Noise)
+	if d.SurgeFactor > 1 && d.SurgeDuration > 0 {
+		peak *= d.SurgeFactor
+	}
+	return peak
+}
 
 // Valley returns the minimum instantaneous rate.
 func (d Diurnal) Valley() float64 { return d.Mean * (1 - d.amplitude()) }

@@ -43,6 +43,42 @@ func TestDiurnalShape(t *testing.T) {
 	}
 }
 
+func TestDiurnalSurge(t *testing.T) {
+	d := DefaultDiurnal(100, 24*time.Hour)
+	d.SurgeAt = 6 * time.Hour
+	d.SurgeDuration = 2 * time.Hour
+	d.SurgeFactor = 3
+
+	base := d.Base()
+	if base.Rate(7*time.Hour) != DefaultDiurnal(100, 24*time.Hour).Rate(7*time.Hour) {
+		t.Fatal("Base() did not strip the surge")
+	}
+	// Outside the window the surge is invisible.
+	for _, at := range []time.Duration{0, 5 * time.Hour, 9 * time.Hour, 20 * time.Hour} {
+		if got, want := d.Rate(at), base.Rate(at); got != want {
+			t.Fatalf("Rate(%v) = %g, want %g (outside surge)", at, got, want)
+		}
+	}
+	// The surge midpoint multiplies the base rate by the full factor,
+	// the edges by nothing, and everything stays under Peak().
+	mid := d.SurgeAt + d.SurgeDuration/2
+	if got, want := d.Rate(mid), 3*base.Rate(mid); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Rate(midpoint) = %g, want %g", got, want)
+	}
+	if got, want := d.Rate(d.SurgeAt), base.Rate(d.SurgeAt); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Rate(surge start) = %g, want %g", got, want)
+	}
+	for ti := 0; ti <= 240; ti++ {
+		at := time.Duration(ti) * 6 * time.Minute
+		if got := d.Rate(at); got > d.Peak()+1e-9 {
+			t.Fatalf("Rate(%v) = %g exceeds Peak() = %g", at, got, d.Peak())
+		}
+	}
+	if d.Peak() <= base.Peak() {
+		t.Fatalf("surged Peak() %g not above base %g", d.Peak(), base.Peak())
+	}
+}
+
 func TestDiurnalFlat(t *testing.T) {
 	d := Diurnal{Mean: 50, PeakToValley: 1, Period: time.Hour}
 	for _, frac := range []int{0, 1, 2, 3} {
