@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke policy-smoke cover
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke placement-smoke policy-smoke cover
 
 # Minimum total statement coverage for `make cover`, recorded when the
 # conformance harness landed. Raise it when coverage rises; never
@@ -92,6 +92,26 @@ check-smoke:
 		> /dev/null 2>&1; then \
 		echo "check-smoke: fan-out artifact replay did not reproduce"; exit 1; fi
 	@echo "check-smoke: ok"
+
+# Placement-backend smoke: the same conformance checker, but routing
+# with the O(1) backends instead of Algorithm 1 — proving the geometry
+# probes (prefix ownership, sampled balance, migration bound) and both
+# execution planes hold for every selectable backend, not just the
+# default. Runs without -race: the backends are pure functions and the
+# racy surfaces are already covered by check-smoke.
+placement-smoke:
+	@$(GO) build -o /tmp/proteus-check-placement ./cmd/proteus-check
+	@for backend in pch jump; do \
+		for seed in $(CHECK_SEEDS); do \
+			echo "placement-smoke: backend $$backend, seed $$seed, 3000 steps, both planes"; \
+			/tmp/proteus-check-placement -seed $$seed -steps 3000 -plane both \
+				-backend $$backend -o /dev/null > /dev/null || exit 1; \
+		done; \
+	done
+	@echo "placement-smoke: backend pch, seed 11, 3000 steps, both planes, replicas=2"
+	@/tmp/proteus-check-placement -seed 11 -steps 3000 -plane both -backend pch \
+		-replicas 2 -o /dev/null > /dev/null
+	@echo "placement-smoke: ok"
 
 # Provisioning-policy smoke: a short two-policy sweep over one seeded
 # diurnal trace. -check asserts the Pareto CSV re-parses, no run issued

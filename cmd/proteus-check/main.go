@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"proteus/internal/check"
+	"proteus/internal/core"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 		keys          = fs.Int("keys", 48, "key-universe size")
 		ttl           = fs.Duration("ttl", 30*time.Second, "transition hot-data window (virtual time)")
 		replicas      = fs.Int("replicas", 0, "hot-key replica depth; >1 enables replication and the promote/demote verbs")
+		backend       = fs.String("backend", "proteus", "placement backend: proteus (Algorithm 1), pch, or jump")
 		seedBug       = fs.Bool("seed-bug", false, "arm the deliberate early-power-off bug (sim plane only)")
 		seedBugFanout = fs.Bool("seed-bug-fanout", false, "arm the deliberate skip-fan-out bug (sim plane only)")
 		noShrink      = fs.Bool("no-shrink", false, "skip shrinking the history after a violation")
@@ -74,6 +76,10 @@ func run(args []string, stdout io.Writer) error {
 		if perr != nil {
 			return perr
 		}
+		bk, berr := core.ParseBackend(*backend)
+		if berr != nil {
+			return berr
+		}
 		rep, err = check.Explore(check.Options{
 			Seed:          *seed,
 			Steps:         *steps,
@@ -82,6 +88,7 @@ func run(args []string, stdout io.Writer) error {
 			Keys:          *keys,
 			TTL:           *ttl,
 			Plane:         pk,
+			Backend:       bk,
 			HotReplicas:   *replicas,
 			SeedBug:       *seedBug,
 			SeedBugFanout: *seedBugFanout,

@@ -1,13 +1,18 @@
-// Command proteus-placement inspects the deterministic virtual-node
-// placement (Algorithm 1) for a fleet of N servers: the host-range
-// table, per-prefix balance, the migration matrix between fleet sizes,
-// and the table fingerprint that web servers compare to detect drift.
+// Command proteus-placement inspects a placement backend for a fleet
+// of N servers. For Algorithm 1 (the default backend) that is the
+// exact deterministic geometry: the host-range table, per-prefix
+// balance, the migration matrix between fleet sizes, and the table
+// fingerprint that web servers compare to detect drift. For the O(1)
+// backends (pch, jump) there is no explicit table, so the balance and
+// migration views are measured over a deterministic key sample
+// instead — the same quantification the conformance probes enforce.
 //
 // Usage:
 //
 //	proteus-placement -n 10             # summary + balance + migration matrix
 //	proteus-placement -n 10 -ranges     # full host-range table
 //	proteus-placement -n 10 -export p.bin
+//	proteus-placement -n 1024 -backend pch -samples 100000
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 
 	"proteus/internal/core"
@@ -31,10 +37,30 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("proteus-placement", flag.ContinueOnError)
 	n := fs.Int("n", 10, "number of cache servers in the provisioning order")
-	showRanges := fs.Bool("ranges", false, "print the full host-range table")
-	export := fs.String("export", "", "write the binary placement encoding to this path")
+	backendName := fs.String("backend", "proteus", "placement backend: proteus (Algorithm 1), pch, or jump")
+	samples := fs.Int("samples", 65536, "key-sample size for the O(1) backends' measured tables")
+	showRanges := fs.Bool("ranges", false, "print the full host-range table (proteus backend only)")
+	export := fs.String("export", "", "write the binary placement encoding to this path (proteus backend only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	kind, err := core.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	if kind != core.BackendProteus {
+		if *showRanges {
+			return fmt.Errorf("-ranges requires the proteus backend: %s has no explicit host-range table", kind)
+		}
+		if *export != "" {
+			return fmt.Errorf("-export requires the proteus backend: %s has nothing to encode", kind)
+		}
+		b, err := core.NewBackend(kind, *n)
+		if err != nil {
+			return err
+		}
+		return runSampled(stdout, b, *n, *samples)
 	}
 
 	p, err := core.New(*n)
@@ -97,6 +123,68 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote %d-byte placement encoding to %s\n", len(data), *export)
+	}
+	return nil
+}
+
+// runSampled prints the measured counterparts of the exact tables for
+// a backend with no explicit geometry: per-prefix worst relative
+// imbalance over a deterministic key sample, and the sampled moved
+// fraction for every n→n±1 step next to the |Δn|/max(n,n') bound.
+func runSampled(stdout io.Writer, b core.Backend, n, samples int) error {
+	if samples < 1 {
+		return fmt.Errorf("-samples must be positive, got %d", samples)
+	}
+	keys := make([]string, samples)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bal-%05d", i)
+	}
+
+	fmt.Fprintf(stdout, "placement for N=%d servers, backend %s\n", n, b.Kind())
+	fmt.Fprintf(stdout, "  no precomputed table: O(1) memory, routing measured over %d sampled keys\n\n", samples)
+
+	fmt.Fprintln(stdout, "balance: worst per-server relative deviation from 1/n at each fleet size")
+	fmt.Fprintf(stdout, "%-6s %-10s %-10s\n", "n", "worst-rel", "expect≈√(n/S)")
+	owners := make([]int, samples)
+	counts := make([]int, n)
+	for active := 1; active <= n; active++ {
+		for i := range counts[:active] {
+			counts[i] = 0
+		}
+		for i, k := range keys {
+			owners[i] = b.Lookup(k, active)
+			counts[owners[i]]++
+		}
+		worst := 0.0
+		for s := 0; s < active; s++ {
+			rel := float64(counts[s])*float64(active)/float64(samples) - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%-6d %-10.4f %-10.4f\n", active, worst, math.Sqrt(float64(active)/float64(samples)))
+	}
+
+	fmt.Fprintln(stdout, "\nmigration: sampled moved fraction for each n→n+1 step vs the 1/(n+1) bound")
+	fmt.Fprintf(stdout, "%-10s %-10s %-10s\n", "step", "moved", "bound")
+	prev := make([]int, samples)
+	for i, k := range keys {
+		prev[i] = b.Lookup(k, 1)
+	}
+	for to := 2; to <= n; to++ {
+		moved := 0
+		for i, k := range keys {
+			o := b.Lookup(k, to)
+			if o != prev[i] {
+				moved++
+			}
+			prev[i] = o
+		}
+		fmt.Fprintf(stdout, "%-10s %-10.4f %-10.4f\n",
+			fmt.Sprintf("%d->%d", to-1, to), float64(moved)/float64(samples), 1/float64(to))
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"proteus/internal/cluster"
+	"proteus/internal/core"
 	"proteus/internal/database"
 	"proteus/internal/hotkey"
 	"proteus/internal/metrics"
@@ -46,6 +47,7 @@ func main() {
 	corpusPages := flag.Int("corpus-pages", 100000, "synthetic Wikipedia corpus size")
 	dbShards := flag.Int("db-shards", 7, "database shards")
 	replicas := flag.Int("replicas", 1, "replication factor (Section III-E rings)")
+	backendName := flag.String("backend", "proteus", "placement backend: proteus (Algorithm 1), pch, or jump — must match across every web server")
 	pieceSize := flag.Int("piece-size", 0, "split values larger than this into fixed-size pieces (0 = whole objects)")
 	autoscale := flag.Duration("autoscale", 0, "run the delay-feedback provisioning loop with this slot width (0 = manual /admin/active only)")
 	capacity := flag.Float64("capacity", 200, "per-cache-server capacity estimate in req/s (autoscale feed-forward)")
@@ -55,6 +57,11 @@ func main() {
 	hotMax := flag.Int("hot-max", 16, "hot-key tracker promoted-set bound")
 	hotShare := flag.Float64("hot-share", 0.01, "minimum share of a window to promote a key")
 	flag.Parse()
+
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	addrs := splitNonEmpty(*cacheList)
 	if len(addrs) == 0 {
@@ -82,6 +89,7 @@ func main() {
 		InitialActive:  *active,
 		TTL:            *ttl,
 		Replicas:       *replicas,
+		Backend:        backend,
 		ClientMaxConns: *cacheConns,
 		HotReplicas:    *hotReplicas,
 	}

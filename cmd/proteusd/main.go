@@ -25,6 +25,7 @@ import (
 	"proteus/internal/bloom"
 	"proteus/internal/cache"
 	"proteus/internal/cacheserver"
+	"proteus/internal/core"
 	"proteus/internal/telemetry"
 )
 
@@ -39,7 +40,18 @@ func main() {
 	hashes := flag.Int("digest-hashes", 4, "digest hash functions (the paper uses 4)")
 	counterBits := flag.Int("digest-counter-bits", 4, "bits per digest counter")
 	defaultTTL := flag.Duration("ttl", 0, "default item TTL (0 = never expire)")
+	backendName := flag.String("backend", "proteus", "placement backend the fleet routes with: proteus (Algorithm 1), pch, or jump")
 	flag.Parse()
+
+	// Routing happens in the web tier; the cache server is
+	// placement-agnostic. The flag exists so fleet rollout scripts pass
+	// one -backend value to every binary and a typo dies loudly here
+	// instead of silently splitting the fleet across geometries.
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fleet placement backend: %s (routing decisions are made by the web tier)", backend)
 
 	// The live plane may use wall time freely; only the DES plane is
 	// bound to the injected-clock determinism contract.

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"proteus/internal/core"
 )
 
 // The .check artifact is the replayable record of a violation: a
@@ -16,7 +18,7 @@ import (
 // versions, ignore the trailing events (they are evidence, not input),
 // and re-derive everything else by replaying the schedule.
 //
-//	proteus-check/v2
+//	proteus-check/v3
 //	seed 42
 //	plane sim
 //	servers 5
@@ -24,6 +26,7 @@ import (
 //	keys 48
 //	ttl 30s
 //	replicas 2
+//	backend pch
 //	seed-bug true
 //	seed-bug-fanout false
 //	violation power-safety at step 7: node 2 powered off ...
@@ -35,11 +38,12 @@ import (
 //	[ ...event JSON... ]
 //
 // v2 added the replicas, seed-bug-fanout fields and the
-// promote/demote verbs; v1 artifacts still parse (the new fields
-// default to off).
+// promote/demote verbs; v3 added the backend field. v1 and v2
+// artifacts still parse (the new fields default to off / Algorithm 1).
 
 const (
-	artifactMagic   = "proteus-check/v2"
+	artifactMagic   = "proteus-check/v3"
+	artifactMagicV2 = "proteus-check/v2"
 	artifactMagicV1 = "proteus-check/v1"
 )
 
@@ -64,6 +68,7 @@ func WriteArtifact(w io.Writer, rep *Report) error {
 	fmt.Fprintf(bw, "keys %d\n", o.Keys)
 	fmt.Fprintf(bw, "ttl %s\n", o.TTL)
 	fmt.Fprintf(bw, "replicas %d\n", o.HotReplicas)
+	fmt.Fprintf(bw, "backend %s\n", o.Backend)
 	fmt.Fprintf(bw, "seed-bug %v\n", o.SeedBug)
 	fmt.Fprintf(bw, "seed-bug-fanout %v\n", o.SeedBugFanout)
 	if v != nil {
@@ -89,7 +94,7 @@ func WriteArtifact(w io.Writer, rep *Report) error {
 func ParseArtifact(r io.Reader) (Options, []Step, error) {
 	sc := bufio.NewScanner(r)
 	var opt Options
-	if !sc.Scan() || (sc.Text() != artifactMagic && sc.Text() != artifactMagicV1) {
+	if !sc.Scan() || (sc.Text() != artifactMagic && sc.Text() != artifactMagicV2 && sc.Text() != artifactMagicV1) {
 		return opt, nil, fmt.Errorf("check: not a %s artifact", artifactMagic)
 	}
 	historyLen := -1
@@ -115,6 +120,8 @@ func ParseArtifact(r io.Reader) (Options, []Step, error) {
 			opt.TTL, err = time.ParseDuration(rest)
 		case "replicas":
 			opt.HotReplicas, err = strconv.Atoi(rest)
+		case "backend":
+			opt.Backend, err = core.ParseBackend(rest)
 		case "seed-bug":
 			opt.SeedBug, err = strconv.ParseBool(rest)
 		case "seed-bug-fanout":

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"proteus/internal/core"
 )
 
 // Report is the outcome of one conformance run. With one seed and one
@@ -247,12 +249,16 @@ func eventsJSON(p Plane) []byte {
 // prints and the byte-identity acceptance check compares.
 func (r *Report) Write(w io.Writer) error {
 	o := r.Opt
+	backend := ""
+	if o.Backend != "" && o.Backend != core.BackendProteus {
+		backend = fmt.Sprintf(" backend=%s", o.Backend)
+	}
 	replicas := ""
 	if o.HotReplicas > 1 {
 		replicas = fmt.Sprintf(" replicas=%d", o.HotReplicas)
 	}
-	if _, err := fmt.Fprintf(w, "proteus-check seed=%d steps=%d plane=%s servers=%d initial=%d keys=%d ttl=%s%s\n",
-		o.Seed, o.Steps, o.Plane, o.Servers, o.InitialActive, o.Keys, o.TTL, replicas); err != nil {
+	if _, err := fmt.Fprintf(w, "proteus-check seed=%d steps=%d plane=%s servers=%d initial=%d keys=%d ttl=%s%s%s\n",
+		o.Seed, o.Steps, o.Plane, o.Servers, o.InitialActive, o.Keys, o.TTL, replicas, backend); err != nil {
 		return err
 	}
 	st := r.Stats

@@ -108,6 +108,7 @@ func newLivePlane(opt Options, db func(key string) (string, bool)) (*livePlane, 
 		InitialActive: opt.InitialActive,
 		TTL:           opt.TTL,
 		HotReplicas:   opt.HotReplicas,
+		Backend:       opt.Backend,
 		Faults:        inj,
 		Seed:          opt.Seed,
 		After:         vt.After,

@@ -71,7 +71,9 @@ type modelTransition struct {
 // on and every key at version 0 in the backing store. hotReplicas is
 // the replica depth promoted keys resolve at (<= 1 disables hot-key
 // replication, making the model single-ring exactly as before).
-func NewOracle(servers, initialActive int, ttl time.Duration, keys []string, hotReplicas int) (*Oracle, error) {
+// backend selects the placement geometry (empty = Algorithm 1); both
+// execution planes must be built with the same kind.
+func NewOracle(backend core.BackendKind, servers, initialActive int, ttl time.Duration, keys []string, hotReplicas int) (*Oracle, error) {
 	if servers < 1 {
 		return nil, fmt.Errorf("check: oracle needs at least 1 server, got %d", servers)
 	}
@@ -85,8 +87,9 @@ func NewOracle(servers, initialActive int, ttl time.Duration, keys []string, hot
 		hotReplicas = 1
 	}
 	// Ring 0 of a Replicated is the unseeded primary placement, so with
-	// hot-key replication disabled this is exactly core.New(servers).
-	replicated, err := core.NewReplicated(servers, hotReplicas)
+	// hot-key replication disabled this routes exactly like the bare
+	// backend.
+	replicated, err := core.NewReplicatedBackend(backend, servers, hotReplicas)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +356,7 @@ func (o *Oracle) InTransition() (open bool, from, to int) {
 func (o *Oracle) Flips() int { return o.flips }
 
 // Owner returns the key's current owner under the model's routing.
-func (o *Oracle) Owner(key string) int { return o.placement.Lookup(key, o.active) }
+func (o *Oracle) Owner(key string) int { return o.replicated.OwnerOnRing(key, 0, o.active) }
 
 // Resident returns the model's resident keys on server i, sorted.
 func (o *Oracle) Resident(i int) []string {
@@ -365,6 +368,10 @@ func (o *Oracle) Resident(i int) []string {
 	return keys
 }
 
-// Placement exposes the deterministic placement for the pure geometry
-// probes (balance condition, migration bound).
+// Placement exposes the deterministic placement for the exact-rational
+// geometry probes (balance condition, migration bound). It is nil for
+// the O(1) backends, whose probes sample through Backend instead.
 func (o *Oracle) Placement() *core.Placement { return o.placement }
+
+// Backend exposes the placement geometry shared by both planes.
+func (o *Oracle) Backend() core.Backend { return o.replicated.Backend() }

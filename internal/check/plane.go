@@ -96,6 +96,7 @@ func newSimPlane(opt Options, db func(key string) (string, bool)) (*simPlane, er
 		Servers:       opt.Servers,
 		InitialActive: opt.InitialActive,
 		TTL:           opt.TTL,
+		Backend:       opt.Backend,
 		DigestParams:  digestParams(),
 		DB: func(key string) ([]byte, bool) {
 			v, ok := db(key)

@@ -3,6 +3,8 @@ package check
 import (
 	"fmt"
 	"time"
+
+	"proteus/internal/core"
 )
 
 // PlaneKind selects which execution plane(s) a run drives.
@@ -69,6 +71,11 @@ type Options struct {
 	SeedBugFanout bool
 	// NoShrink skips delta-debugging the history after a violation.
 	NoShrink bool
+	// Backend selects the placement geometry on the oracle and both
+	// planes (empty = Algorithm 1). The geometry probes adapt: exact
+	// rational balance/migration checks for Algorithm 1, deterministic
+	// sampled bounds for the O(1) backends.
+	Backend core.BackendKind
 }
 
 func (o Options) withDefaults() Options {
@@ -119,7 +126,7 @@ type session struct {
 }
 
 func newSession(opt Options, kind PlaneKind) (*session, error) {
-	oracle, err := NewOracle(opt.Servers, opt.InitialActive, opt.TTL, keyUniverse(opt.Keys), opt.HotReplicas)
+	oracle, err := NewOracle(opt.Backend, opt.Servers, opt.InitialActive, opt.TTL, keyUniverse(opt.Keys), opt.HotReplicas)
 	if err != nil {
 		return nil, err
 	}

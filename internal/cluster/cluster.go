@@ -52,6 +52,12 @@ type Config struct {
 	// Cold keys stay at Replicas depth; because ring k's owners are a
 	// prefix of ring k+1's, the two layers share one geometry.
 	HotReplicas int
+	// Backend selects the placement geometry: core.BackendProteus
+	// (Algorithm 1, the default for the empty value), core.BackendPCH
+	// (O(1) power consistent hash) or core.BackendJump. Every ring —
+	// base replication and hot-key — uses the same backend, so all
+	// consumers flip in lockstep.
+	Backend core.BackendKind
 	// HotTracker, when non-nil, enables online hot-key detection: the
 	// web tier feeds ObserveGet, and window-boundary decisions from the
 	// space-saving tracker drive Promote/Demote automatically. Nil
@@ -166,7 +172,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	// One geometry serves both layers: rings [0, Replicas) hold every
 	// key, promoted keys extend into rings [Replicas, HotReplicas).
-	replicated, err := core.NewReplicated(len(cfg.Nodes), cfg.HotReplicas)
+	replicated, err := core.NewReplicatedBackend(cfg.Backend, len(cfg.Nodes), cfg.HotReplicas)
 	if err != nil {
 		return nil, err
 	}
@@ -235,8 +241,13 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Placement exposes the shared routing table.
+// Placement exposes the shared routing table when the backend is
+// Algorithm 1, and nil for the O(1) backends (route through Route /
+// RouteRing instead).
 func (c *Coordinator) Placement() *core.Placement { return c.placement }
+
+// Backend returns the placement geometry in use.
+func (c *Coordinator) Backend() core.Backend { return c.replicated.Backend() }
 
 // Replicas returns the Section III-E replication factor applied to
 // every key (1 when disabled). Promoted keys go deeper; see

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Power consistent hash: O(1) expected-time, O(1)-memory consistent
+// routing over a prefix active set, after the power-of-two
+// constructions of "Fast Consistent Hashing in Constant Time" (power
+// consistent hash) and FlipHash. No per-N precomputation exists —
+// routing is a pure function of the key hash and n — so construction
+// is O(1) versus Algorithm 1's O(N³) exact-rational build.
+//
+// The model is the standard monotone growth process: when the prefix
+// grows j-1→j, every key independently moves to the new bucket j-1
+// with probability 1/j. That process is exactly what jump consistent
+// hash replays, but jump replays it from j=1 and pays O(log n). PCH
+// replays only the last power-of-two window and recurses:
+//
+//	pos(k, 1) = 0
+//	pos(k, n) for n in (m/2, m], m = 2^e:
+//	    walk the move events in window (m/2, n] using a level-e
+//	    stream; if any occurred, pos = the last one's bucket;
+//	    otherwise pos = pos(k, m/2).
+//
+// Move events inside a window are generated with Lamping-Veach's
+// next-jump draw (P(next move bucket ≥ t | last at b) = (b+1)/t),
+// anchored at the virtual bucket m/2-1, so the window walk costs
+// 1 + Σ_{j∈(m/2,n]} 1/j ≤ 1 + ln 2 expected draws. The recursion
+// fires with probability (m/2)/n ≤ 1/2... <1, giving O(1) expected
+// total work independent of n — the property the N=1024 route bench
+// pins against N=16.
+//
+// Correctness, by induction on n (pos(k, m/2) uniform on [0, m/2)):
+//
+//	balance    P(pos = j) for j ≥ m/2 is (1/(j+1))·Π_{i>j+1}(1-1/i)
+//	           = 1/n; P(pos < m/2) = (m/2)/n spread uniformly by the
+//	           induction hypothesis — every bucket weighs exactly 1/n
+//	           under the draw distribution. Per-sample imbalance is
+//	           binomial (≈√(n/S) relative over S keys), quantified by
+//	           the sampled balance probe in internal/check.
+//	monotone   growing n→n+1 extends the window by one event: keys
+//	           either keep their position or move to bucket n, with
+//	           probability 1/(n+1). Crossing a power of two (m→m+1)
+//	           opens the level-(e+1) window (m, m+1]; a key that does
+//	           not move recurses to pos(k, m), its exact previous
+//	           position. Shrinking replays the same process backwards.
+//
+// The per-level streams must be independent of the flip positions
+// they fall back to: deriving the escape position from the same bits
+// that decided the fallback (e.g. returning h & (m/2-1) after
+// observing h & (m-1) ≥ n) skews escapes into [n-m/2, m/2) and breaks
+// balance. Seeding a fresh SplitMix/LCG stream per level from the key
+// hash avoids that correlation.
+
+// PCH is the power-consistent-hash placement backend for a fleet of n
+// servers. The zero value is unusable; use NewPCH.
+type PCH struct {
+	n int
+}
+
+// pchKeySalt decorrelates PCH's key-hash stream from Point (Algorithm
+// 1's ring positions) and from the jump backend, so backends disagree
+// independently rather than systematically.
+const pchKeySalt = 0x70636873616c7431 // "pchsalt1"
+
+// pchLevelSalt spaces the per-level draw streams (golden-ratio
+// increment, the SplitMix64 stream constant).
+const pchLevelSalt = 0x9e3779b97f4a7c15
+
+// NewPCH builds the PCH backend for a fleet of n servers. Unlike
+// Algorithm 1 there is no MaxServers ceiling: nothing is precomputed.
+func NewPCH(n int) (*PCH, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: placement needs at least 1 server, got %d", n)
+	}
+	return &PCH{n: n}, nil
+}
+
+// Kind identifies the backend.
+func (p *PCH) Kind() BackendKind { return BackendPCH }
+
+// Servers returns the fleet size.
+func (p *PCH) Servers() int { return p.n }
+
+// Lookup routes key to its owner among the first active servers.
+// Panics when active < 1; clamps active to the fleet size, mirroring
+// Placement.Owner.
+//
+//lint:hotpath pch primary routing decision
+func (p *PCH) Lookup(key string, active int) int {
+	return p.LookupSeeded(key, 0, active)
+}
+
+// LookupSeeded routes key on the ring perturbed by seed; seed 0 is
+// the primary ring and agrees with Lookup.
+//
+//lint:hotpath pch replica-ring routing decision
+func (p *PCH) LookupSeeded(key string, seed uint64, active int) int {
+	if active < 1 {
+		panic("core: active server count must be >= 1")
+	}
+	if active > p.n {
+		active = p.n
+	}
+	return pchBucket(mix64(fnv64a(key)^pchKeySalt^seed), active)
+}
+
+// pchBucket maps a 64-bit key hash onto [0, n) with the window-walk
+// construction described above.
+//
+//lint:hotpath pch bucket computation
+func pchBucket(kh uint64, n int) int {
+	for n > 1 {
+		// Level e covers n ∈ (lo, 2lo] with lo = 2^(e-1).
+		e := bits.Len(uint(n - 1))
+		lo := int64(1) << (e - 1)
+		b := lo - 1 // virtual anchor: "last move" before the window
+		state := mix64(kh ^ pchLevelSalt*uint64(e))
+		for {
+			// Lamping-Veach next-jump draw; j > b always, so the walk
+			// strictly advances and terminates.
+			state = state*2862933555777941757 + 1
+			j := int64(float64(b+1) * (float64(int64(1)<<31) / float64((state>>33)+1)))
+			if j >= int64(n) {
+				break
+			}
+			b = j
+		}
+		if b >= lo {
+			return int(b)
+		}
+		n = int(lo) // no move in the window: recurse to the pow2 below
+	}
+	return 0
+}

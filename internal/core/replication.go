@@ -3,28 +3,40 @@ package core
 import "fmt"
 
 // Replicated realises Section III-E of the paper: r consistent-hashing
-// rings that share a single virtual-node placement but use r different
+// rings that share a single placement geometry but use r different
 // hash functions. A key is stored on the owner of its position on every
 // ring, giving up to r copies (fewer when two rings map the key to the
 // same server — the paper argues the collision probability is small,
 // Eq. 3).
+//
+// The geometry is any placement Backend (Algorithm 1, power consistent
+// hash, or jump); ring i perturbs the backend's key stream with
+// seeds[i], so e.g. the PCH backend yields r seeded PCH instances
+// mirroring Algorithm 1's seeded-rings construction.
 type Replicated struct {
-	placement *Placement
-	seeds     []uint64
+	backend Backend
+	seeds   []uint64
 }
 
 // replicaSeedBase generates the per-ring hash seeds; any fixed distinct
 // constants work as long as every web server uses the same ones.
 const replicaSeedBase = 0x9e3779b97f4a7c15
 
-// NewReplicated builds an r-way replicated placement over n servers.
-// Ring 0 uses the unseeded hash, so Owners(key, active)[0] equals the
-// unreplicated Lookup result.
+// NewReplicated builds an r-way replicated Algorithm 1 placement over
+// n servers. Ring 0 uses the unseeded hash, so Owners(key, active)[0]
+// equals the unreplicated Lookup result.
 func NewReplicated(n, r int) (*Replicated, error) {
+	return NewReplicatedBackend(BackendProteus, n, r)
+}
+
+// NewReplicatedBackend builds an r-way replicated placement over n
+// servers with the named backend geometry (empty kind selects
+// BackendProteus).
+func NewReplicatedBackend(kind BackendKind, n, r int) (*Replicated, error) {
 	if r < 1 {
 		r = 1
 	}
-	p, err := New(n)
+	b, err := NewBackend(kind, n)
 	if err != nil {
 		return nil, err
 	}
@@ -32,11 +44,19 @@ func NewReplicated(n, r int) (*Replicated, error) {
 	for i := 1; i < r; i++ {
 		seeds[i] = mix64(replicaSeedBase * uint64(i))
 	}
-	return &Replicated{placement: p, seeds: seeds}, nil
+	return &Replicated{backend: b, seeds: seeds}, nil
 }
 
-// Placement returns the shared virtual-node placement.
-func (r *Replicated) Placement() *Placement { return r.placement }
+// Backend returns the shared placement geometry.
+func (r *Replicated) Backend() Backend { return r.backend }
+
+// Placement returns the shared virtual-node placement when the
+// geometry is Algorithm 1, and nil for the O(1) backends (which have
+// no explicit virtual nodes to expose).
+func (r *Replicated) Placement() *Placement {
+	p, _ := r.backend.(*Placement)
+	return p
+}
 
 // Replicas returns the replication factor r.
 func (r *Replicated) Replicas() int { return len(r.seeds) }
@@ -47,13 +67,7 @@ func (r *Replicated) OwnerOnRing(key string, ring, active int) int {
 	if ring < 0 || ring >= len(r.seeds) {
 		panic(fmt.Sprintf("core: ring %d out of range 0..%d", ring, len(r.seeds)-1))
 	}
-	var pt uint64
-	if seed := r.seeds[ring]; seed == 0 {
-		pt = Point(key)
-	} else {
-		pt = PointSeeded(key, seed)
-	}
-	return r.placement.Owner(pt, active)
+	return r.backend.LookupSeeded(key, r.seeds[ring], active)
 }
 
 // Owners returns the server owning the key on each of the r rings at
@@ -61,13 +75,7 @@ func (r *Replicated) OwnerOnRing(key string, ring, active int) int {
 func (r *Replicated) Owners(key string, active int) []int {
 	out := make([]int, len(r.seeds))
 	for i, seed := range r.seeds {
-		var pt uint64
-		if seed == 0 {
-			pt = Point(key)
-		} else {
-			pt = PointSeeded(key, seed)
-		}
-		out[i] = r.placement.Owner(pt, active)
+		out[i] = r.backend.LookupSeeded(key, seed, active)
 	}
 	return out
 }

@@ -6,9 +6,10 @@ import "proteus/internal/core"
 // successor technique to the problem Proteus solved in 2013: balancing
 // keys over exactly the first n servers of a fixed order with minimal
 // movement as n changes, using O(1) memory instead of Proteus's
-// N(N-1)/2+1 explicit virtual nodes. It is included as a comparison
-// baseline (see the DESIGN.md ablation notes), not as part of the
-// paper's evaluation.
+// N(N-1)/2+1 explicit virtual nodes. The walk itself now lives in
+// internal/core as the "jump" placement backend (core.Jump), selectable
+// everywhere a backend flag exists; this adapter keeps the original
+// bench-era Router shape and routes identically (same seed, same walk).
 //
 // Like the Proteus placement (and unlike random-vnode consistent
 // hashing), Jump satisfies the Balance Condition: every active prefix
@@ -18,27 +19,12 @@ import "proteus/internal/core"
 // accepts by fixing the provisioning order.
 type Jump struct{}
 
-// jumpSeed decorrelates Jump's key stream from the ring position hash.
-const jumpSeed = 0x6a756d7068617368 // "jumphash"
-
 // Route implements Router.
 func (Jump) Route(key string, active int) int {
 	if active < 1 {
 		panic("hashring: active server count must be >= 1")
 	}
-	return jumpHash(core.PointSeeded(key, jumpSeed), active)
-}
-
-// jumpHash is the published algorithm: a sequence of deterministic
-// "jumps" whose last landing below n is the bucket.
-func jumpHash(key uint64, buckets int) int {
-	var b, j int64 = -1, 0
-	for j < int64(buckets) {
-		b = j
-		key = key*2862933555777941757 + 1
-		j = int64(float64(b+1) * (float64(1<<31) / float64((key>>33)+1)))
-	}
-	return int(b)
+	return core.JumpLookup(key, active)
 }
 
 var _ Router = Jump{}

@@ -21,10 +21,12 @@ import (
 // measurement harness (experiments) are intentionally not, since they
 // own the wall-clock boundary.
 var ReplayCritical = map[string]bool{
-	"proteus/internal/bloom":       true,
-	"proteus/internal/cache":       true,
-	"proteus/internal/check":       true,
-	"proteus/internal/chunk":       true,
+	"proteus/internal/bloom": true,
+	"proteus/internal/cache": true,
+	"proteus/internal/check": true,
+	"proteus/internal/chunk": true,
+	// core covers every placement backend (Algorithm 1, pch, jump):
+	// routing must replay bit-identically or check artifacts rot.
 	"proteus/internal/core":        true,
 	"proteus/internal/database":    true,
 	"proteus/internal/faultinject": true,

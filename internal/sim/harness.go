@@ -32,7 +32,6 @@ import (
 type Harness struct {
 	cfg        HarnessConfig
 	eng        *Engine
-	placement  *core.Placement
 	replicated *core.Replicated
 	hotRings   int
 	nodes      []*cacheNode
@@ -85,6 +84,10 @@ type HarnessConfig struct {
 	// copies — the write-fan-out bug the replica invariant forbids.
 	// Production configurations never set it.
 	UnsafeSkipFanout bool
+	// Backend selects the placement geometry (empty = Algorithm 1),
+	// mirroring cluster.Config.Backend so both planes route identically
+	// under every backend.
+	Backend core.BackendKind
 }
 
 // NewHarness builds a harness with the initial prefix powered on.
@@ -106,15 +109,14 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		hotRings = 1
 	}
 	// Ring 0 of a Replicated is the unseeded primary placement, so with
-	// HotReplicas disabled this is exactly core.New(cfg.Servers).
-	replicated, err := core.NewReplicated(cfg.Servers, hotRings)
+	// HotReplicas disabled this routes exactly like the bare backend.
+	replicated, err := core.NewReplicatedBackend(cfg.Backend, cfg.Servers, hotRings)
 	if err != nil {
 		return nil, err
 	}
 	h := &Harness{
 		cfg:        cfg,
 		eng:        NewEngine(),
-		placement:  replicated.Placement(),
 		replicated: replicated,
 		hotRings:   hotRings,
 		events:     cfg.Events,
@@ -258,7 +260,7 @@ func (h *Harness) Get(key string) (value []byte, src RequestSource, ok bool) {
 // probe exists to catch.
 func (h *Harness) Set(key string, value []byte) {
 	if h.cfg.UnsafeSkipFanout {
-		owner := h.placement.Lookup(key, h.active)
+		owner := h.replicated.OwnerOnRing(key, 0, h.active)
 		if h.reachable(owner) {
 			h.nodes[owner].store.Set(key, value, 0)
 		}

@@ -70,7 +70,7 @@ func (h *Harness) Promote(key string) bool {
 		return false
 	}
 	h.hot[key] = struct{}{}
-	h.events.Record(telemetry.Event{Kind: telemetry.EventHotPromote, Node: h.placement.Lookup(key, h.active)})
+	h.events.Record(telemetry.Event{Kind: telemetry.EventHotPromote, Node: h.replicated.OwnerOnRing(key, 0, h.active)})
 	return true
 }
 
@@ -82,7 +82,7 @@ func (h *Harness) Demote(key string) bool {
 		return false
 	}
 	delete(h.hot, key)
-	h.events.Record(telemetry.Event{Kind: telemetry.EventHotDemote, Node: h.placement.Lookup(key, h.active)})
+	h.events.Record(telemetry.Event{Kind: telemetry.EventHotDemote, Node: h.replicated.OwnerOnRing(key, 0, h.active)})
 	return true
 }
 

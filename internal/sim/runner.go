@@ -43,8 +43,7 @@ type runner struct {
 	nodes []*cacheNode
 	db    *dbModel
 
-	placement  *core.Placement      // Proteus routing
-	replicated *core.Replicated     // Proteus routing with Section III-E replication
+	replicated *core.Replicated     // Proteus routing (any backend, Section III-E depth >= 1)
 	consistent *hashring.Consistent // Consistent routing
 
 	provisionedN int // plan level currently being executed
@@ -142,20 +141,17 @@ func newRunner(cfg Config) (*runner, error) {
 
 	switch cfg.Scenario {
 	case ScenarioProteus:
-		if cfg.Replicas > 1 {
-			rep, err := core.NewReplicated(cfg.CacheServers, cfg.Replicas)
-			if err != nil {
-				return nil, err
-			}
-			r.replicated = rep
-			r.placement = rep.Placement()
-		} else {
-			p, err := core.New(cfg.CacheServers)
-			if err != nil {
-				return nil, err
-			}
-			r.placement = p
+		reps := cfg.Replicas
+		if reps < 1 {
+			reps = 1
 		}
+		// Ring 0 is the unseeded primary, so with replication disabled
+		// this routes exactly like the bare backend.
+		rep, err := core.NewReplicatedBackend(cfg.Backend, cfg.CacheServers, reps)
+		if err != nil {
+			return nil, err
+		}
+		r.replicated = rep
 	case ScenarioConsistent:
 		c, err := hashring.NewConsistentHalfSquare(cfg.CacheServers)
 		if err != nil {
@@ -171,7 +167,7 @@ func newRunner(cfg Config) (*runner, error) {
 func (r *runner) route(key string, active int) int {
 	switch r.cfg.Scenario {
 	case ScenarioProteus:
-		return r.placement.Lookup(key, active)
+		return r.replicated.OwnerOnRing(key, 0, active)
 	case ScenarioConsistent:
 		return r.consistent.Route(key, active)
 	default: // Static, Naive: hash + modulo

@@ -8,6 +8,7 @@ import (
 
 	"proteus/internal/bloom"
 	"proteus/internal/cluster"
+	"proteus/internal/core"
 	"proteus/internal/database"
 	"proteus/internal/faultinject"
 	"proteus/internal/metrics"
@@ -129,6 +130,9 @@ type Config struct {
 	// scenario: r rings share the placement, reads fall through the
 	// rings, writes store on every distinct owner (0 or 1 disables).
 	Replicas int
+	// Backend selects the placement geometry for the Proteus scenario
+	// (empty = Algorithm 1); see core.BackendKind.
+	Backend core.BackendKind
 	// CrashAt, when positive, powers off CrashServer at that offset
 	// into the measured run without any transition — an unplanned
 	// failure. With replication, surviving copies absorb it.

@@ -18,6 +18,7 @@ import (
 	"proteus/internal/cache"
 	"proteus/internal/cacheclient"
 	"proteus/internal/cluster"
+	"proteus/internal/core"
 	"proteus/internal/faultinject"
 	"proteus/internal/hotkey"
 	"proteus/internal/telemetry"
@@ -39,6 +40,8 @@ type Opts struct {
 	// HotTracker, when set with HotReplicas > Replicas, enables online
 	// promotion from the coordinator's top-k sketch.
 	HotTracker *hotkey.TrackerConfig
+	// Backend selects the placement geometry (empty = Algorithm 1).
+	Backend core.BackendKind
 	// TTL is the transition hot-data window; it only shapes the
 	// recorded deadline — expiry fires via the manual timer. Defaults
 	// to one minute.
@@ -103,6 +106,7 @@ func New(o Opts) (*Env, error) {
 		TTL:           o.TTL,
 		Replicas:      o.Replicas,
 		HotReplicas:   o.HotReplicas,
+		Backend:       o.Backend,
 		HotTracker:    o.HotTracker,
 		After:         after,
 		Faults:        o.Faults,
