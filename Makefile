@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke placement-smoke policy-smoke cover
+.PHONY: all build test race lint fmt vet proteuslint staticcheck vulncheck tools bench-smoke bench-baseline bench-compare allocs-check check-smoke placement-smoke policy-smoke loadgen-smoke cover
 
 # Minimum total statement coverage for `make cover`, recorded when the
 # conformance harness landed. Raise it when coverage rises; never
@@ -127,6 +127,31 @@ policy-smoke:
 	@diff /tmp/proteus-policy.a /tmp/proteus-policy.b \
 		|| { echo "policy-smoke: same seed produced different sweeps"; exit 1; }
 	@echo "policy-smoke: ok"
+
+# Open-loop load-generator smoke: (1) two same-seed -schedule-only runs
+# must be byte-identical — the schedule is a pure function of (seed,
+# spec); (2) a short open-loop run against an in-process 3-server
+# cluster with one scale-down and one scale-up mid-load, where -check
+# re-parses the emitted CSV and asserts zero client-visible errors
+# across both flips and every flip-window interval p99 within 25x of
+# the pre-flip baseline (generous: CI runners share cores; EXPERIMENTS
+# A8 records the measured ratio, ~1x). Budget: ~15 s.
+loadgen-smoke:
+	@$(GO) build -o /tmp/proteus-loadgen ./cmd/proteus-loadgen
+	@/tmp/proteus-loadgen -mode open -schedule-only -schedule poisson \
+		-rate 400 -duration 5s -workers 8 -corpus-pages 2000 -seed 7 \
+		> /tmp/proteus-loadgen-sched.a
+	@/tmp/proteus-loadgen -mode open -schedule-only -schedule poisson \
+		-rate 400 -duration 5s -workers 8 -corpus-pages 2000 -seed 7 \
+		> /tmp/proteus-loadgen-sched.b
+	@diff /tmp/proteus-loadgen-sched.a /tmp/proteus-loadgen-sched.b \
+		|| { echo "loadgen-smoke: same seed produced different schedules"; exit 1; }
+	@echo "loadgen-smoke: open-loop transition run (3 servers, 3s->2, 6s->3)"
+	@/tmp/proteus-loadgen -mode open -local 3 -rate 250 -duration 9s \
+		-report 1s -workers 8 -corpus-pages 2000 -seed 7 \
+		-transition 3s:2,6s:3 -max-p99-ratio 25 -check -format csv \
+		> /tmp/proteus-loadgen-run.csv
+	@echo "loadgen-smoke: ok"
 
 # Total statement coverage across the tree; fails below COVER_MIN.
 cover:

@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"testing"
@@ -18,6 +20,8 @@ import (
 	"proteus/internal/hashring"
 	"proteus/internal/hotkey"
 	"proteus/internal/lint"
+	"proteus/internal/livestack"
+	"proteus/internal/loadgen"
 	"proteus/internal/provision"
 	"proteus/internal/workload"
 )
@@ -62,6 +66,13 @@ const lintNsLimit = 2.0
 // push, so it must stay interactive regardless of what the committed
 // baseline says.
 const lintAbsoluteBudget = 60 * time.Second
+
+// kneeNsLimit is the loose budget for the open-loop saturation knee
+// (recorded as ns per request at the knee, so higher = worse). It is a
+// full-stack macro measurement — two socket hops per request, GC, and
+// scheduler noise on a shared runner — so only a halving of the knee
+// rate fails the build.
+const kneeNsLimit = 2.0
 
 // baselineKeys builds a deterministic key set shared by the benchmarks.
 func baselineKeys(n int) []string {
@@ -376,8 +387,104 @@ func lintSelfcheck() (BaselineResult, error) {
 	}, nil
 }
 
+// kneeWallClock anchors the knee sweep's run timeline to the wall
+// clock: this is the measurement harness, outside the determinism
+// contract, driving a real loopback stack.
+type kneeWallClock struct{ start time.Time }
+
+func (c *kneeWallClock) Now() time.Duration { return time.Since(c.start) }
+func (c *kneeWallClock) WaitUntil(t time.Duration) {
+	if d := t - c.Now(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// loadgenKnee measures the open-loop saturation knee of a small
+// loopback live plane (3 cache servers behind the web tier, read-only
+// Zipf(0.99) traffic, corpus sized to fit in cache) and records it as
+// a pseudo-benchmark: NsPerOp is 1e9 / kneeRPS — nanoseconds per
+// request at the highest offered rate whose p99 stays under the bound —
+// so compare mode's higher-is-worse ratio test catches a knee collapse
+// the same way it catches a microbenchmark regression. A compact
+// version of `proteus-loadgen -mode open -sweep`, kept short enough
+// for CI.
+func loadgenKnee() (BaselineResult, error) {
+	const (
+		kneeP99     = 20 * time.Millisecond
+		sweepWindow = 1200 * time.Millisecond
+		minRate     = 250.0
+		maxRate     = 2000.0
+		stepRate    = 250.0
+	)
+	st, err := livestack.Start(livestack.Config{Nodes: 3, CorpusPages: 2000})
+	if err != nil {
+		return BaselineResult{}, fmt.Errorf("livestack: %w", err)
+	}
+	defer st.Close()
+	// Fill the caches deterministically: read-only traffic on a warm
+	// corpus never touches the modelled DB, so the sweep measures the
+	// cache/web stack, not miss latency.
+	if err := st.Prewarm(8); err != nil {
+		return BaselineResult{}, err
+	}
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConns: 32, MaxIdleConnsPerHost: 32},
+		Timeout:   10 * time.Second,
+	}
+	do := func(op loadgen.Op) error {
+		resp, err := client.Get(st.URL + "/page/" + op.Keys[0])
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", op.Keys[0], resp.Status)
+		}
+		return nil
+	}
+	run := func(rate float64, dur time.Duration) (*loadgen.Result, error) {
+		r, err := loadgen.NewRunner(loadgen.Config{
+			Workers:   8,
+			Duration:  dur,
+			Arrivals:  loadgen.Poisson{Rate: rate},
+			Mix:       loadgen.Mix{Get: 1},
+			Keys:      st.Corpus,
+			ZipfAlpha: 0.99,
+			Seed:      1,
+			Interval:  dur,
+			Clock:     &kneeWallClock{start: time.Now()},
+			Do:        do,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return r.Run()
+	}
+	var points []loadgen.SweepPoint
+	var issued uint64
+	for rate := minRate; rate <= maxRate+1e-9; rate += stepRate {
+		res, err := run(rate, sweepWindow)
+		if err != nil {
+			return BaselineResult{}, fmt.Errorf("knee sweep at %g/s: %w", rate, err)
+		}
+		points = append(points, loadgen.SweepPointFromResult(rate, sweepWindow, res))
+		issued += res.Issued
+	}
+	knee := loadgen.FindKnee(points, kneeP99, 0.9)
+	if knee < 0 {
+		return BaselineResult{}, fmt.Errorf(
+			"loadgen knee: first sweep point (%g/s) already over %v p99", minRate, kneeP99)
+	}
+	return BaselineResult{
+		Name:       "loadgen_knee",
+		Iterations: int(issued),
+		NsPerOp:    1e9 / points[knee].Offered,
+	}, nil
+}
+
 // runBenches measures every hot-path benchmark plus the lint
-// selfcheck wall clock.
+// selfcheck wall clock and the open-loop saturation knee.
 func runBenches() ([]BaselineResult, error) {
 	benches, cleanup, err := hotPathBenches()
 	if err != nil {
@@ -405,6 +512,13 @@ func runBenches() ([]BaselineResult, error) {
 	results = append(results, ls)
 	fmt.Fprintf(os.Stderr, "%-30s %12d iters %12.1f ns/op %6d B/op %4d allocs/op\n",
 		ls.Name, ls.Iterations, ls.NsPerOp, ls.BytesPerOp, ls.AllocsPerOp)
+	lk, err := loadgenKnee()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lk)
+	fmt.Fprintf(os.Stderr, "%-30s %12d iters %12.1f ns/op (knee %.0f req/s)\n",
+		lk.Name, lk.Iterations, lk.NsPerOp, 1e9/lk.NsPerOp)
 	return results, nil
 }
 
@@ -460,13 +574,16 @@ func compareBaseline(path string) error {
 			continue
 		}
 		limit := nsRegressionLimit
-		if r.Name == "lint_selfcheck" {
+		switch r.Name {
+		case "lint_selfcheck":
 			limit = lintNsLimit
 			if r.NsPerOp > float64(lintAbsoluteBudget.Nanoseconds()) {
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.1fs wall clock exceeds the %s CI budget",
 					r.Name, r.NsPerOp/1e9, lintAbsoluteBudget))
 			}
+		case "loadgen_knee":
+			limit = kneeNsLimit
 		}
 		ratio := r.NsPerOp / b.NsPerOp
 		switch {

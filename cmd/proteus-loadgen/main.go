@@ -1,140 +1,139 @@
-// Command proteus-loadgen is the RBE (remote browser emulator) of the
-// paper's evaluation: it simulates independent users, each with a
-// 0.5-second think time and an independent working set of 50 pages,
-// issuing HTTP requests against one or more proteus-web front ends and
-// reporting response-time percentiles per reporting interval.
+// Command proteus-loadgen drives load against the live plane in two
+// modes.
+//
+// -mode rbe is the RBE (remote browser emulator) of the paper's
+// evaluation, preserved exactly as it has always behaved: independent
+// closed-loop users, each with a 0.5-second think time and an
+// independent working set of 50 pages, issuing HTTP requests against
+// one or more proteus-web front ends and reporting response-time
+// percentiles per reporting interval. Closed-loop users self-throttle
+// under stall, so this mode understates latency during transitions
+// (coordinated omission) — it exists for continuity with the paper's
+// Figs. 6–7 methodology.
+//
+// -mode open is the honest instrument (internal/loadgen): arrivals are
+// scheduled on a fixed timeline before the run — Poisson,
+// constant-rate, or a diurnal trace replayed at 10–100× speed — and
+// every request's latency is measured from its *intended* start, so a
+// stalled cluster is charged for every request scheduled during the
+// stall. It adds a rate-sweep driver that walks offered load upward to
+// find the throughput-vs-p99 knee, and a -transition run that flips
+// the active-server count mid-saturation and reports per-interval
+// percentiles across the flip — the paper's no-spike claim measured
+// under real load.
 //
 // Usage:
 //
-//	proteus-loadgen -web http://127.0.0.1:8080 [-users 200]
-//	                [-duration 1m] [-corpus-pages 100000] [-report 10s]
+//	proteus-loadgen [-mode rbe] -web http://127.0.0.1:8080 [-users 200]
+//	                [-duration 1m] [-corpus-pages 100000] [-report 10s] [-seed 1]
+//
+//	proteus-loadgen -mode open [-web URL | -local N [-active K]]
+//	                [-rate 500] [-schedule poisson|constant|diurnal|trace]
+//	                [-trace FILE] [-speedup 20] [-workers 32]
+//	                [-mix get=0.9,set=0.05,mget=0.05] [-mget-keys 8]
+//	                [-zipf 0.99] [-duration 30s] [-report 1s]
+//	                [-transition 10s:5,20s:6] [-max-p99-ratio 3]
+//	                [-sweep 100:2000:100] [-sweep-window 5s] [-knee-p99 50ms]
+//	                [-format table|csv|both] [-schedule-only] [-check]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
-	"math/rand"
-	"net/http"
+	"os"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
-
-	"proteus/internal/metrics"
-	"proteus/internal/wiki"
-	"proteus/internal/workload"
 )
 
 func main() {
-	log.SetFlags(log.LstdFlags)
-	log.SetPrefix("proteus-loadgen: ")
-
-	webList := flag.String("web", "http://127.0.0.1:8080", "comma-separated web tier base URLs")
-	users := flag.Int("users", 200, "concurrent emulated users")
-	duration := flag.Duration("duration", time.Minute, "experiment length")
-	corpusPages := flag.Int("corpus-pages", 100000, "corpus size (must match proteus-web)")
-	report := flag.Duration("report", 10*time.Second, "reporting interval")
-	seed := flag.Int64("seed", 1, "user page-set seed")
-	flag.Parse()
-
-	targets := splitNonEmpty(*webList)
-	if len(targets) == 0 {
-		log.Fatal("at least one -web URL required")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-loadgen:", err)
+		os.Exit(1)
 	}
-	corpus, err := wiki.New(*corpusPages, wiki.DefaultPageSize)
-	if err != nil {
-		log.Fatalf("corpus: %v", err)
-	}
-	pool, err := workload.NewUserPool(workload.UserPoolConfig{Corpus: corpus, Seed: *seed})
-	if err != nil {
-		log.Fatalf("user pool: %v", err)
-	}
-
-	client := &http.Client{Timeout: 10 * time.Second}
-	var (
-		mu       sync.Mutex
-		hist     metrics.Histogram
-		errs     atomic.Uint64
-		requests atomic.Uint64
-		stopCh   = make(chan struct{})
-		wg       sync.WaitGroup
-	)
-
-	for u := 0; u < *users; u++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			user := pool.User(id)
-			rng := rand.New(rand.NewSource(*seed ^ int64(id)))
-			// Desynchronise start across one think period.
-			select {
-			case <-time.After(time.Duration(rng.Int63n(int64(workload.ThinkTime)))):
-			case <-stopCh:
-				return
-			}
-			for {
-				select {
-				case <-stopCh:
-					return
-				default:
-				}
-				target := targets[rng.Intn(len(targets))]
-				start := time.Now()
-				ok := fetch(client, target, user.NextPage())
-				elapsed := time.Since(start)
-				requests.Add(1)
-				if !ok {
-					errs.Add(1)
-				}
-				mu.Lock()
-				hist.Observe(elapsed)
-				mu.Unlock()
-				select {
-				case <-time.After(user.NextThink()):
-				case <-stopCh:
-					return
-				}
-			}
-		}(u)
-	}
-
-	log.Printf("driving %d users against %d front end(s) for %v", *users, len(targets), *duration)
-	ticker := time.NewTicker(*report)
-	deadline := time.After(*duration)
-	defer ticker.Stop()
-loop:
-	for {
-		select {
-		case <-ticker.C:
-			mu.Lock()
-			snapshot := hist
-			hist.Reset()
-			mu.Unlock()
-			if snapshot.Count() > 0 {
-				fmt.Printf("%s  n=%-7d mean=%-12v p50=%-12v p99=%-12v p99.9=%-12v errs=%d\n",
-					time.Now().Format("15:04:05"), snapshot.Count(), snapshot.Mean(),
-					snapshot.Quantile(0.5), snapshot.Quantile(0.99), snapshot.Quantile(0.999),
-					errs.Load())
-			}
-		case <-deadline:
-			break loop
-		}
-	}
-	close(stopCh)
-	wg.Wait()
-	log.Printf("done: %d requests, %d errors", requests.Load(), errs.Load())
 }
 
-func fetch(client *http.Client, base, key string) bool {
-	resp, err := client.Get(base + "/page/" + key)
-	if err != nil {
-		return false
+// options carries every flag; each mode reads its subset.
+type options struct {
+	mode        string
+	web         string
+	users       int
+	duration    time.Duration
+	corpusPages int
+	report      time.Duration
+	seed        int64
+
+	rate         float64
+	schedule     string
+	tracePath    string
+	speedup      float64
+	workers      int
+	mix          string
+	mgetKeys     int
+	zipf         float64
+	local        int
+	active       int
+	ttl          time.Duration
+	transitions  string
+	maxP99Ratio  float64
+	sweep        string
+	sweepWindow  time.Duration
+	kneeP99      time.Duration
+	format       string
+	scheduleOnly bool
+	check        bool
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("proteus-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var o options
+	fs.StringVar(&o.mode, "mode", "rbe", "generator mode: rbe (closed-loop paper emulator) or open (open-loop)")
+	fs.StringVar(&o.web, "web", "http://127.0.0.1:8080", "comma-separated web tier base URLs")
+	fs.IntVar(&o.users, "users", 200, "concurrent emulated users (rbe mode)")
+	fs.DurationVar(&o.duration, "duration", time.Minute, "experiment length")
+	fs.IntVar(&o.corpusPages, "corpus-pages", 100000, "corpus size (must match proteus-web)")
+	fs.DurationVar(&o.report, "report", 10*time.Second, "reporting interval")
+	fs.Int64Var(&o.seed, "seed", 1, "user page-set seed / open-loop schedule seed")
+
+	fs.Float64Var(&o.rate, "rate", 500, "open mode: aggregate offered load, requests/second")
+	fs.StringVar(&o.schedule, "schedule", "poisson", "open mode: arrival process — poisson, constant, diurnal, or trace")
+	fs.StringVar(&o.tracePath, "trace", "", "open mode: wikibench-format trace file (-schedule trace)")
+	fs.Float64Var(&o.speedup, "speedup", 20, "open mode: trace/diurnal replay speedup (10–100x typical)")
+	fs.IntVar(&o.workers, "workers", 32, "open mode: concurrent connections (the offered rate is split across them)")
+	fs.StringVar(&o.mix, "mix", "get=0.9,set=0.05,mget=0.05", "open mode: operation mix weights")
+	fs.IntVar(&o.mgetKeys, "mget-keys", 8, "open mode: keys per MultiGet batch")
+	fs.Float64Var(&o.zipf, "zipf", 0.99, "open mode: Zipf key-popularity skew (0 = uniform)")
+	fs.IntVar(&o.local, "local", 0, "open mode: bring up an in-process cluster with N cache servers instead of targeting -web")
+	fs.IntVar(&o.active, "active", 0, "open mode with -local: initially active servers (0 = all)")
+	fs.DurationVar(&o.ttl, "ttl", 10*time.Second, "open mode with -local: transition hot-data window")
+	fs.StringVar(&o.transitions, "transition", "", "open mode: comma-separated t:n scale flips applied mid-run, e.g. 10s:5,20s:6")
+	fs.Float64Var(&o.maxP99Ratio, "max-p99-ratio", 0, "open mode with -check: fail when any flip-window interval p99 exceeds this multiple of the pre-flip baseline (0 = report only)")
+	fs.StringVar(&o.sweep, "sweep", "", "open mode: rate sweep min:max:step, e.g. 100:2000:100 — walks offered load to find the knee")
+	fs.DurationVar(&o.sweepWindow, "sweep-window", 5*time.Second, "open mode: measurement window per sweep step")
+	fs.DurationVar(&o.kneeP99, "knee-p99", 50*time.Millisecond, "open mode: p99 bound defining the knee")
+	fs.StringVar(&o.format, "format", "both", "open mode output: table, csv or both")
+	fs.BoolVar(&o.scheduleOnly, "schedule-only", false, "open mode: print the deterministic schedule and exit without issuing load")
+	fs.BoolVar(&o.check, "check", false, "open mode: re-parse the emitted CSV and assert run invariants, exiting non-zero on failure")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	switch o.format {
+	case "table", "csv", "both":
+	default:
+		return fmt.Errorf("unknown -format %q (want table, csv or both)", o.format)
+	}
+	switch o.mode {
+	case "rbe":
+		return runRBE(o, stdout)
+	case "open":
+		return runOpen(o, stdout)
+	default:
+		return fmt.Errorf("unknown -mode %q (want rbe or open)", o.mode)
+	}
 }
 
 func splitNonEmpty(s string) []string {

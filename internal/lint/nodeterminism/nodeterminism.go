@@ -32,14 +32,20 @@ var ReplayCritical = map[string]bool{
 	"proteus/internal/faultinject": true,
 	"proteus/internal/hashring":    true,
 	"proteus/internal/hotkey":      true,
-	"proteus/internal/memproto":    true,
-	"proteus/internal/metrics":     true,
-	"proteus/internal/power":       true,
-	"proteus/internal/provision":   true,
-	"proteus/internal/sim":         true,
-	"proteus/internal/telemetry":   true,
-	"proteus/internal/wiki":        true,
-	"proteus/internal/workload":    true,
+	// loadgen schedules arrivals before a run; the schedule must be a
+	// pure function of (seed, spec), or the open-loop generator's
+	// byte-identical-schedule guarantee (and `make loadgen-smoke`) breaks.
+	// The wall clock enters only through the injected Clock at the
+	// cmd/proteus-loadgen boundary.
+	"proteus/internal/loadgen":   true,
+	"proteus/internal/memproto":  true,
+	"proteus/internal/metrics":   true,
+	"proteus/internal/power":     true,
+	"proteus/internal/provision": true,
+	"proteus/internal/sim":       true,
+	"proteus/internal/telemetry": true,
+	"proteus/internal/wiki":      true,
+	"proteus/internal/workload":  true,
 }
 
 // WallClock lists the time package functions that read or schedule

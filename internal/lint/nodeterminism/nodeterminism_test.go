@@ -8,7 +8,7 @@ import (
 )
 
 func TestFixtures(t *testing.T) {
-	linttest.Run(t, "testdata", nodeterminism.Analyzer, "a")
+	linttest.Run(t, "testdata", nodeterminism.Analyzer, "a", "loadgen")
 }
 
 func TestScope(t *testing.T) {
@@ -21,6 +21,7 @@ func TestScope(t *testing.T) {
 		"proteus/internal/database",
 		"proteus/internal/cache",
 		"proteus/internal/provision",
+		"proteus/internal/loadgen",
 	} {
 		if !applies(p) {
 			t.Errorf("%s should be replay-critical", p)

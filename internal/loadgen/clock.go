@@ -1,0 +1,48 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// ManualClock is a virtual Clock for deterministic tests: WaitUntil
+// jumps time forward to the target instead of sleeping, and Advance
+// models time spent inside an operation (a service time or a stall).
+// There is no background goroutine — time moves only when the worker
+// waits or the responder advances — which makes it exact for
+// single-worker runs: the sequence of Now values is a pure function of
+// the schedule and the injected service times. Multi-worker virtual
+// runs need real coordination between issuers and belong to the
+// discrete-event simulator, not this clock.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// WaitUntil implements Clock: virtual time jumps to t when t is in the
+// future and is untouched when the worker is already late — exactly
+// the open-loop contract (a late worker issues immediately).
+func (c *ManualClock) WaitUntil(t time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Advance moves virtual time forward by d (a responder modelling
+// service time or a stall calls this from inside Config.Do).
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+}

@@ -1,0 +1,57 @@
+package loadgen
+
+import (
+	"time"
+)
+
+// SweepPoint is one offered-rate measurement in a saturation sweep.
+type SweepPoint struct {
+	Offered  float64 // scheduled arrivals per second
+	Achieved float64 // issued operations per second
+	Errors   uint64
+	P50      time.Duration
+	P99      time.Duration
+	P999     time.Duration
+	Mean     time.Duration
+}
+
+// FindKnee locates the throughput-vs-p99 knee in a sweep ordered by
+// ascending offered rate: the index of the highest-rate point that
+// still *keeps up* — p99 within p99Bound, zero-or-tolerated errors
+// absorbed by the caller, and achieved throughput at least minGoodput
+// of offered (a generator that cannot drain its own schedule is past
+// saturation no matter what the histogram says). An isolated earlier
+// violation (a GC pause landing in one measurement window on a shared
+// runner) does not truncate the knee: genuine saturation keeps every
+// later point over the bound, so the last good point is the robust
+// estimate. Returns -1 when no point is under the knee.
+func FindKnee(points []SweepPoint, p99Bound time.Duration, minGoodput float64) int {
+	knee := -1
+	for i, p := range points {
+		if p99Bound > 0 && p.P99 > p99Bound {
+			continue
+		}
+		if minGoodput > 0 && p.Offered > 0 && p.Achieved < minGoodput*p.Offered {
+			continue
+		}
+		knee = i
+	}
+	return knee
+}
+
+// SweepPointFromResult condenses a run into a sweep row.
+func SweepPointFromResult(offered float64, duration time.Duration, res *Result) SweepPoint {
+	achieved := 0.0
+	if duration > 0 {
+		achieved = float64(res.Issued) / duration.Seconds()
+	}
+	return SweepPoint{
+		Offered:  offered,
+		Achieved: achieved,
+		Errors:   res.Errors,
+		P50:      res.Hist.Quantile(0.5),
+		P99:      res.Hist.Quantile(0.99),
+		P999:     res.Hist.Quantile(0.999),
+		Mean:     res.Hist.Mean(),
+	}
+}

@@ -1,0 +1,247 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNoCoordinatedOmission is the package's reason to exist, pinned
+// table-driven over every schedule kind: with a virtual clock and a
+// responder that stalls mid-run, (1) every arrival keeps its scheduled
+// intended-start timestamp — the stall does not push later arrivals'
+// intended times — and (2) the stall is charged to the latency of every
+// request it delays, computed against an exact single-worker oracle.
+//
+// A closed-loop generator fails both: arrivals after the stall shift
+// later (so their recorded latency looks healthy), and the stalled
+// period simply issues fewer requests — coordinated omission.
+func TestNoCoordinatedOmission(t *testing.T) {
+	corpus := testKeys(t, 256)
+	const dur = time.Second
+	events := testTrace(t, 100, 10*time.Second)
+	for _, tc := range []struct {
+		name string
+		spec ArrivalSpec
+	}{
+		{"constant", Constant{Rate: 10}},
+		{"poisson", Poisson{Rate: 10}},
+		{"trace", Trace{Events: events, Speedup: 10}}, // ~10/s at 10x
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Workers:   1,
+				Duration:  dur,
+				Arrivals:  tc.spec,
+				Keys:      corpus,
+				ZipfAlpha: 0.8,
+				Seed:      3,
+				Interval:  100 * time.Millisecond,
+			}
+			// The schedule as laid down before the run: the reference
+			// for intended-start immutability.
+			want, err := ScheduleOps(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) < 5 {
+				t.Fatalf("schedule too short (%d ops) to stall meaningfully", len(want))
+			}
+			stallSeq := 2
+			const stall = 350 * time.Millisecond
+			const service = time.Millisecond
+			serviceFor := func(seq int) time.Duration {
+				if seq == stallSeq {
+					return stall
+				}
+				return service
+			}
+
+			// Exact single-worker oracle: walk the schedule charging
+			// each op completion − intended.
+			var (
+				oracleNow time.Duration
+				oracleSum time.Duration
+				oracleMax time.Duration
+				oracleLat []time.Duration
+			)
+			for seq, op := range want {
+				if op.Intended > oracleNow {
+					oracleNow = op.Intended
+				}
+				oracleNow += serviceFor(seq)
+				lat := oracleNow - op.Intended
+				oracleLat = append(oracleLat, lat)
+				oracleSum += lat
+				if lat > oracleMax {
+					oracleMax = lat
+				}
+			}
+
+			clock := &ManualClock{}
+			var got []Op
+			cfg.Clock = clock
+			cfg.Do = func(op Op) error {
+				got = append(got, op)
+				clock.Advance(serviceFor(op.Seq))
+				return nil
+			}
+			r, err := NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (1) Intended-start immutability: the issued ops carry
+			// exactly the pre-run schedule's timestamps, stall or not.
+			if len(got) != len(want) {
+				t.Fatalf("issued %d ops, schedule has %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Intended != want[i].Intended {
+					t.Fatalf("op %d intended drifted: issued at schedule says %v, run used %v",
+						i, want[i].Intended, got[i].Intended)
+				}
+			}
+
+			// (2) The stall is charged: recorded latencies equal the
+			// oracle exactly (sum, max, count are exact in the
+			// histogram; bucketed quantiles are checked via the count
+			// of delayed requests).
+			if res.Hist.Count() != uint64(len(want)) {
+				t.Fatalf("recorded %d samples, want %d", res.Hist.Count(), len(want))
+			}
+			if res.Hist.Sum() != oracleSum {
+				t.Fatalf("latency sum %v, oracle %v — stall not fully charged", res.Hist.Sum(), oracleSum)
+			}
+			if res.Hist.Max() != oracleMax {
+				t.Fatalf("latency max %v, oracle %v", res.Hist.Max(), oracleMax)
+			}
+			delayed := 0
+			for _, lat := range oracleLat {
+				if lat >= 10*service {
+					delayed++
+				}
+			}
+			if delayed < 2 {
+				t.Fatalf("oracle says only %d delayed requests; stall placement broken", delayed)
+			}
+			// The generator itself fell behind by the stall minus the
+			// inter-arrival slack — MaxLag must be positive, proving
+			// requests were issued late yet charged from intended time.
+			if res.MaxLag <= 0 {
+				t.Fatal("MaxLag is zero: the stall never delayed an issue, test is vacuous")
+			}
+
+			// (3) Interval accounting: the delayed requests land in the
+			// buckets of their *intended* starts. The oracle says
+			// exactly which intended times carry a delayed latency;
+			// an interval may only show one when the oracle placed a
+			// delayed request inside it.
+			delayedIn := map[int]bool{}
+			for seq, lat := range oracleLat {
+				if lat >= 10*service {
+					delayedIn[int(want[seq].Intended/cfg.Interval)] = true
+				}
+			}
+			for i, iv := range res.Intervals {
+				// An interval whose max exceeds the threshold contains
+				// at least one delayed request.
+				if iv.Hist.Count() > 0 && iv.Hist.Max() >= 10*service && !delayedIn[i] {
+					t.Fatalf("delayed latency recorded in interval starting %v; the oracle placed none there",
+						iv.Start)
+				}
+			}
+			if res.Errors != 0 {
+				t.Fatalf("unexpected errors: %d", res.Errors)
+			}
+		})
+	}
+}
+
+// TestRunnerMultiWorkerMerge checks the merged result across workers:
+// counts add up and per-interval histograms cover every scheduled op.
+func TestRunnerMultiWorkerMerge(t *testing.T) {
+	corpus := testKeys(t, 256)
+	clock := &ManualClock{}
+	cfg := Config{
+		Workers:  4,
+		Duration: 2 * time.Second,
+		Arrivals: Constant{Rate: 100},
+		Keys:     corpus,
+		Seed:     9,
+		Interval: 500 * time.Millisecond,
+		Clock:    clock,
+		Do:       func(Op) error { return nil },
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled != 200 || res.Issued != 200 {
+		t.Fatalf("scheduled %d issued %d, want 200/200", res.Scheduled, res.Issued)
+	}
+	var inIntervals uint64
+	for _, iv := range res.Intervals {
+		inIntervals += iv.Hist.Count()
+	}
+	if inIntervals != res.Hist.Count() || inIntervals != 200 {
+		t.Fatalf("interval samples %d, total %d, want 200", inIntervals, res.Hist.Count())
+	}
+	if len(res.Intervals) != 4 {
+		t.Fatalf("got %d intervals, want 4", len(res.Intervals))
+	}
+}
+
+// TestRunnerErrorsCharged checks failed ops count as errors in both the
+// aggregate and their intended interval.
+func TestRunnerErrorsCharged(t *testing.T) {
+	corpus := testKeys(t, 64)
+	clock := &ManualClock{}
+	fail := map[int]bool{3: true, 7: true}
+	cfg := Config{
+		Workers:  1,
+		Duration: time.Second,
+		Arrivals: Constant{Rate: 10},
+		Keys:     corpus,
+		Seed:     1,
+		Interval: 100 * time.Millisecond,
+		Clock:    clock,
+		Do: func(op Op) error {
+			if fail[op.Seq] {
+				return errFail
+			}
+			return nil
+		},
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 2 {
+		t.Fatalf("errors %d, want 2", res.Errors)
+	}
+	var ivErrs uint64
+	for _, iv := range res.Intervals {
+		ivErrs += iv.Errors
+	}
+	if ivErrs != 2 {
+		t.Fatalf("interval errors %d, want 2", ivErrs)
+	}
+}
+
+var errFail = workloadError("injected failure")
+
+type workloadError string
+
+func (e workloadError) Error() string { return string(e) }

@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"proteus/internal/workload"
+)
+
+// Schedule is one worker's arrival sequence: monotone non-decreasing
+// intended start times on the run timeline. Next returns false when
+// the sequence is exhausted (unbounded schedules never do — the runner
+// cuts them at Config.Duration).
+type Schedule interface {
+	Next() (time.Duration, bool)
+}
+
+// ArrivalSpec builds per-worker schedules. The spec describes the
+// *aggregate* arrival process; Worker(seed, w, total) returns worker
+// w's share such that the union over workers realises the aggregate.
+type ArrivalSpec interface {
+	// Worker derives worker w's schedule from the run seed.
+	Worker(seed int64, w, total int) (Schedule, error)
+	// String names the spec for schedule dumps.
+	String() string
+}
+
+// Constant is a deterministic constant-rate process: aggregate
+// arrivals at exactly Rate per second, strided across workers (worker
+// w takes arrivals w, w+total, w+2·total, …), so the global timeline
+// is an even grid regardless of the worker count.
+type Constant struct {
+	Rate float64 // aggregate arrivals per second
+}
+
+func (c Constant) String() string { return fmt.Sprintf("constant(%g/s)", c.Rate) }
+
+// Worker implements ArrivalSpec.
+func (c Constant) Worker(seed int64, w, total int) (Schedule, error) {
+	if c.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: constant rate must be positive, got %g", c.Rate)
+	}
+	if total < 1 || w < 0 || w >= total {
+		return nil, fmt.Errorf("loadgen: bad worker %d of %d", w, total)
+	}
+	gap := float64(time.Second) / c.Rate
+	return &constantSchedule{gap: gap, next: float64(w) * gap, stride: float64(total) * gap}, nil
+}
+
+type constantSchedule struct {
+	gap, next, stride float64
+}
+
+func (s *constantSchedule) Next() (time.Duration, bool) {
+	at := time.Duration(s.next)
+	s.next += s.stride
+	return at, true
+}
+
+// Poisson is a homogeneous Poisson process at the aggregate Rate.
+// Each worker draws an independent Poisson stream at Rate/total from
+// its own seeded generator; by superposition the aggregate is Poisson
+// at Rate, and each worker's schedule is a pure function of
+// (seed, w, total).
+type Poisson struct {
+	Rate float64 // aggregate arrivals per second
+}
+
+func (p Poisson) String() string { return fmt.Sprintf("poisson(%g/s)", p.Rate) }
+
+// Worker implements ArrivalSpec.
+func (p Poisson) Worker(seed int64, w, total int) (Schedule, error) {
+	if p.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: poisson rate must be positive, got %g", p.Rate)
+	}
+	if total < 1 || w < 0 || w >= total {
+		return nil, fmt.Errorf("loadgen: bad worker %d of %d", w, total)
+	}
+	return &poissonSchedule{
+		rng:  rand.New(rand.NewSource(workerSeed(seed, w, 1))),
+		rate: p.Rate / float64(total),
+	}, nil
+}
+
+type poissonSchedule struct {
+	rng  *rand.Rand
+	rate float64
+	at   float64 // nanoseconds
+}
+
+func (s *poissonSchedule) Next() (time.Duration, bool) {
+	s.at += s.rng.ExpFloat64() / s.rate * float64(time.Second)
+	return time.Duration(s.at), true
+}
+
+// Trace replays a recorded timeline (the wikibench-format diurnal
+// trace, workload.Event timestamps) at Speedup× real time: an event at
+// trace time T arrives at run time T/Speedup. Events are strided
+// round-robin across workers in timestamp order. The trace contributes
+// the arrival *timeline* (its diurnal shape and burstiness); key
+// popularity still comes from the configured mix and Zipf skew, so
+// every schedule kind flows through one deterministic op generator.
+type Trace struct {
+	Events  []workload.Event
+	Speedup float64 // > 0; 1 replays in real time
+}
+
+func (t Trace) String() string {
+	return fmt.Sprintf("trace(%d events, %gx)", len(t.Events), t.Speedup)
+}
+
+// Worker implements ArrivalSpec.
+func (t Trace) Worker(seed int64, w, total int) (Schedule, error) {
+	if t.Speedup <= 0 {
+		return nil, fmt.Errorf("loadgen: trace speedup must be positive, got %g", t.Speedup)
+	}
+	if total < 1 || w < 0 || w >= total {
+		return nil, fmt.Errorf("loadgen: bad worker %d of %d", w, total)
+	}
+	if len(t.Events) == 0 {
+		return nil, fmt.Errorf("loadgen: trace has no events")
+	}
+	for i := 1; i < len(t.Events); i++ {
+		if t.Events[i].At < t.Events[i-1].At {
+			return nil, fmt.Errorf("loadgen: trace timestamps not monotone at event %d", i)
+		}
+	}
+	return &traceSchedule{events: t.Events, idx: w, stride: total, speedup: t.Speedup}, nil
+}
+
+type traceSchedule struct {
+	events  []workload.Event
+	idx     int
+	stride  int
+	speedup float64
+}
+
+func (s *traceSchedule) Next() (time.Duration, bool) {
+	if s.idx >= len(s.events) {
+		return 0, false
+	}
+	at := time.Duration(float64(s.events[s.idx].At) / s.speedup)
+	s.idx += s.stride
+	return at, true
+}

@@ -1,0 +1,32 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// newCDF precomputes the Zipf CDF over n ranks with skew alpha — the
+// same construction as workload.NewZipf, rebuilt here so the sampler
+// can be shared read-only across workers while each worker draws with
+// its own seeded generator (workload.Zipf binds one generator at
+// construction).
+func newCDF(alpha float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("loadgen: zipf needs n >= 1, got %d", n)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf, nil
+}
+
+func searchFloat64s(cdf []float64, u float64) int {
+	return sort.SearchFloat64s(cdf, u)
+}
